@@ -1,0 +1,370 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§9) as testing.B benchmarks, plus microbenchmarks of the core
+// operations and the ablation of §8.1's anchor-ID index claim. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Fixtures are generated once per size and shared across benchmarks. The
+// larger experiment scales live in cmd/pqbench.
+package pqgram_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pqgram"
+	"pqgram/internal/core"
+	"pqgram/internal/diff"
+	"pqgram/internal/edit"
+	"pqgram/internal/forest"
+	"pqgram/internal/gen"
+	"pqgram/internal/profile"
+	"pqgram/internal/store"
+)
+
+var benchP = pqgram.DefaultParams
+
+// --- shared fixtures -----------------------------------------------------
+
+var (
+	xmarkDocs  = map[int]*pqgram.Tree{}
+	dblpDocs   = map[int]*pqgram.Tree{}
+	forestsFix = map[int]*forest.Index{}
+	forestDocs = map[int][]*pqgram.Tree{}
+	fixMu      sync.Mutex
+)
+
+func xmarkDoc(n int) *pqgram.Tree {
+	fixMu.Lock()
+	defer fixMu.Unlock()
+	if d, ok := xmarkDocs[n]; ok {
+		return d
+	}
+	d := gen.XMark(int64(n), n)
+	xmarkDocs[n] = d
+	return d
+}
+
+func dblpDoc(n int) *pqgram.Tree {
+	fixMu.Lock()
+	defer fixMu.Unlock()
+	if d, ok := dblpDocs[n]; ok {
+		return d
+	}
+	d := gen.DBLP(int64(n), n)
+	dblpDocs[n] = d
+	return d
+}
+
+// lookupFixture builds a collection of numDocs XMark documents with a
+// fixed total node budget, indexed in a forest (Figure 13 left setup).
+func lookupFixture(numDocs int) (*forest.Index, []*pqgram.Tree) {
+	fixMu.Lock()
+	defer fixMu.Unlock()
+	if f, ok := forestsFix[numDocs]; ok {
+		return f, forestDocs[numDocs]
+	}
+	docs := gen.XMarkForest(int64(numDocs), numDocs, 300000)
+	f := forest.New(benchP)
+	for i, d := range docs {
+		if err := f.Add(fmt.Sprintf("doc-%d", i), d); err != nil {
+			panic(err)
+		}
+	}
+	forestsFix[numDocs] = f
+	forestDocs[numDocs] = docs
+	return f, docs
+}
+
+// benchLiveUpdate measures continuous incremental maintenance: a live
+// document and its live index, updated in place per batch of edits, as in
+// the paper's application scenario. Script generation runs off the clock.
+func benchLiveUpdate(b *testing.B, doc *pqgram.Tree, ops int) {
+	b.Helper()
+	tn := doc.Clone()
+	idx := pqgram.BuildIndex(tn, benchP)
+	rng := rand.New(rand.NewSource(int64(ops)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		_, log, err := gen.RandomScript(rng, tn, ops, gen.DefaultMix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := pqgram.UpdateIndexInPlace(idx, tn, log, benchP); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- microbenchmarks -------------------------------------------------------
+
+func BenchmarkBuildIndex(b *testing.B) {
+	for _, n := range []int{10000, 50000, 200000} {
+		doc := xmarkDoc(n)
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				idx := pqgram.BuildIndex(doc, benchP)
+				if idx.Size() == 0 {
+					b.Fatal("empty index")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDistance(b *testing.B) {
+	a := xmarkDoc(20000)
+	rng := rand.New(rand.NewSource(1))
+	c, _, err := gen.Perturb(rng, a, 50, gen.DefaultMix)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ia, ic := pqgram.BuildIndex(a, benchP), pqgram.BuildIndex(c, benchP)
+	b.Run("precomputed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = ia.Distance(ic)
+		}
+	})
+	b.Run("on-the-fly", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = pqgram.Distance(a, c, benchP)
+		}
+	})
+}
+
+// --- Figure 13 (left): lookup with and without precomputed index ----------
+
+func BenchmarkFig13LookupIndexed(b *testing.B) {
+	for _, numDocs := range []int{32, 256, 2048} {
+		f, docs := lookupFixture(numDocs)
+		rng := rand.New(rand.NewSource(int64(numDocs)))
+		query, _, err := gen.Perturb(rng, docs[numDocs/2], 10, gen.DefaultMix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("docs=%d", numDocs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = f.Lookup(query, 0.7)
+			}
+		})
+	}
+}
+
+func BenchmarkFig13LookupOnTheFly(b *testing.B) {
+	for _, numDocs := range []int{32, 256, 2048} {
+		_, docs := lookupFixture(numDocs)
+		rng := rand.New(rand.NewSource(int64(numDocs)))
+		query, _, err := gen.Perturb(rng, docs[numDocs/2], 10, gen.DefaultMix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("docs=%d", numDocs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := pqgram.BuildIndex(query, benchP)
+				matches := 0
+				for _, d := range docs {
+					if q.Distance(pqgram.BuildIndex(d, benchP)) < 0.7 {
+						matches++
+					}
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 13 (right): build from scratch vs incremental update ----------
+
+func BenchmarkFig13BuildScratch(b *testing.B) {
+	for _, n := range []int{50000, 200000, 800000} {
+		doc := xmarkDoc(n)
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = pqgram.BuildIndex(doc, benchP)
+			}
+		})
+	}
+}
+
+func BenchmarkFig13IncrementalUpdate(b *testing.B) {
+	for _, n := range []int{50000, 200000, 800000} {
+		doc := xmarkDoc(n)
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			benchLiveUpdate(b, doc, 100)
+		})
+	}
+}
+
+// --- Figure 14 (left): index size --------------------------------------
+
+func BenchmarkFig14IndexSize(b *testing.B) {
+	for _, n := range []int{50000, 200000} {
+		doc := xmarkDoc(n)
+		xml, err := pqgram.WriteXMLString(doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pr := range []pqgram.Params{{P: 1, Q: 2}, {P: 3, Q: 3}} {
+			b.Run(fmt.Sprintf("nodes=%d/p%dq%d", n, pr.P, pr.Q), func(b *testing.B) {
+				f := forest.New(pr)
+				if err := f.Add("doc", doc); err != nil {
+					b.Fatal(err)
+				}
+				var sz int64
+				for i := 0; i < b.N; i++ {
+					sz, err = store.Size(f)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(sz), "index-bytes")
+				b.ReportMetric(float64(len(xml)), "xml-bytes")
+				b.ReportMetric(float64(sz)/float64(len(xml)), "index/xml")
+			})
+		}
+	}
+}
+
+// --- Figure 14 (right): update time by log size -------------------------
+
+func BenchmarkFig14UpdateByLogSize(b *testing.B) {
+	doc := dblpDoc(200000)
+	for _, ops := range []int{1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("edits=%d", ops), func(b *testing.B) {
+			benchLiveUpdate(b, doc, ops)
+		})
+	}
+}
+
+// --- Table 2: breakdown of the update time ------------------------------
+
+func BenchmarkTable2Breakdown(b *testing.B) {
+	doc := dblpDoc(200000)
+	for _, ops := range []int{1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("edits=%d", ops), func(b *testing.B) {
+			tn := doc.Clone()
+			idx := pqgram.BuildIndex(tn, benchP)
+			rng := rand.New(rand.NewSource(7 * int64(ops)))
+			var agg pqgram.UpdateStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				_, log, err := gen.RandomScript(rng, tn, ops, gen.DefaultMix)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				st, err := pqgram.UpdateIndexInPlace(idx, tn, log, benchP)
+				if err != nil {
+					b.Fatal(err)
+				}
+				agg.DeltaPlus += st.DeltaPlus
+				agg.LambdaPlus += st.LambdaPlus
+				agg.DeltaMinus += st.DeltaMinus
+				agg.LambdaMinus += st.LambdaMinus
+				agg.ApplyIndex += st.ApplyIndex
+			}
+			n := float64(b.N)
+			b.ReportMetric(float64(agg.DeltaPlus.Microseconds())/n/1000, "Δ+ms/op")
+			b.ReportMetric(float64(agg.LambdaPlus.Microseconds())/n/1000, "λΔ+ms/op")
+			b.ReportMetric(float64(agg.DeltaMinus.Microseconds())/n/1000, "Δ-ms/op")
+			b.ReportMetric(float64(agg.LambdaMinus.Microseconds())/n/1000, "λΔ-ms/op")
+			b.ReportMetric(float64(agg.ApplyIndex.Microseconds())/n/1000, "applyms/op")
+		})
+	}
+}
+
+// --- Ablation: anchor-ID secondary index (§8.1) --------------------------
+
+func BenchmarkAblationAnchorIndex(b *testing.B) {
+	doc := xmarkDoc(200000)
+	rng := rand.New(rand.NewSource(99))
+	tn := doc.Clone()
+	_, log, err := gen.RandomScript(rng, tn, 500, gen.DefaultMix)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, indexed := range []bool{true, false} {
+		name := "with-index"
+		if !indexed {
+			name = "without-index"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tables := core.NewTablesIndexed(profile.Params(benchP), indexed)
+				for _, op := range log {
+					tables.AddDelta(tn, op)
+				}
+				if err := tables.Rewind(log); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Forest maintenance under load ---------------------------------------
+
+func BenchmarkForestUpdate(b *testing.B) {
+	f, docs := lookupFixture(32)
+	doc := docs[0].Clone()
+	rng := rand.New(rand.NewSource(5))
+	b.Run("ops=20", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, log, err := gen.RandomScript(rng, doc, 20, gen.DefaultMix)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := f.Update("doc-0", doc, log); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- extensions: diff recovery and log preprocessing ---------------------
+
+func BenchmarkDiff(b *testing.B) {
+	for _, n := range []int{100, 400} {
+		base := gen.XMark(int64(n), n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		mutant, _, err := gen.Perturb(rng, base, 10, gen.DefaultMix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				work := base.Clone()
+				if _, _, err := diff.Script(work, mutant); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkOptimizeLog(b *testing.B) {
+	doc := xmarkDoc(50000)
+	tn := doc.Clone()
+	rng := rand.New(rand.NewSource(1))
+	_, log, err := gen.RandomScript(rng, tn, 1000, gen.OpMix{Insert: 1, Delete: 1, Rename: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = edit.OptimizeLog(tn, log)
+	}
+}
+
+func BenchmarkSimilarityJoin(b *testing.B) {
+	f, _ := lookupFixture(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.SimilarityJoin(0.5)
+	}
+}

@@ -1,0 +1,82 @@
+// Command pqbench regenerates the tables and figures of the paper's
+// evaluation section (§9) on synthetic workloads.
+//
+// Usage:
+//
+//	pqbench -exp all                 # everything, default scale
+//	pqbench -exp fig13-lookup        # Figure 13 (left)
+//	pqbench -exp fig13-update        # Figure 13 (right)
+//	pqbench -exp fig14-size          # Figure 14 (left)
+//	pqbench -exp fig14-update        # Figure 14 (right)
+//	pqbench -exp table2              # Table 2
+//	pqbench -exp ablate-index        # §8.1 anchor-index ablation
+//	pqbench -exp ablate-mix          # edit-mix ablation
+//	pqbench -exp ablate-pq           # (p,q) quality ablation
+//
+// The -scale flag multiplies the default workload sizes (0.1 for a quick
+// smoke run, 4 for a long one). Every experiment cross-checks the
+// incremental results against full rebuilds and panics on divergence.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pqgram/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (see package comment)")
+	scale := flag.Float64("scale", 1, "workload scale factor")
+	flag.Parse()
+
+	s := func(n int) int {
+		v := int(float64(n) * *scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	run := func(name string, f func() *bench.Result) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		res := f()
+		if err := res.Print(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "pqbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig13-lookup", func() *bench.Result {
+		return bench.Fig13Lookup(s(600000), []int{32, 256, 2048}, 0.7)
+	})
+	run("fig13-update", func() *bench.Result {
+		return bench.Fig13Update([]int{s(50000), s(100000), s(200000), s(400000), s(800000)}, 100)
+	})
+	run("fig14-size", func() *bench.Result {
+		return bench.Fig14Size([]int{s(25000), s(50000), s(100000), s(200000), s(400000)})
+	})
+	run("fig14-update", func() *bench.Result {
+		return bench.Fig14Update(s(400000), []int{1, 4, 16, 64, 256, 1024, 4096})
+	})
+	run("table2", func() *bench.Result {
+		return bench.Table2(s(400000), []int{1, 10, 100, 1000})
+	})
+	run("ablate-index", func() *bench.Result {
+		return bench.AblationAnchorIndex(s(200000), 1000)
+	})
+	run("ablate-mix", func() *bench.Result {
+		return bench.AblationOpMix(s(200000), 500)
+	})
+	run("ablate-pq", func() *bench.Result {
+		return bench.AblationPQ(s(150), 40)
+	})
+
+	if *exp != "all" && !strings.HasPrefix(*exp, "fig") && !strings.HasPrefix(*exp, "table") && !strings.HasPrefix(*exp, "ablate") {
+		fmt.Fprintf(os.Stderr, "pqbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

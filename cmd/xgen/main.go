@@ -1,0 +1,184 @@
+// Command xgen generates the synthetic workloads of the paper's
+// experiments: XMark-shaped auction documents (substituting the XML
+// benchmark's xmlgen), DBLP-shaped bibliographies, and random edit scripts
+// with their inverse logs.
+//
+// Usage:
+//
+//	xgen doc  -kind xmark|dblp -nodes 10000 -seed 1 -o doc.xml
+//	xgen edit -seed 1 -ops 100 [-mix ins,del,ren weights "1,1,1"] \
+//	          -in doc.xml -out doc-edited.xml -log changes.log
+//
+// The edit subcommand applies a random script to the input document,
+// writes the resulting document and the log of inverse operations — the
+// exact inputs of `pqindex update`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"pqgram"
+	"pqgram/internal/gen"
+	"pqgram/internal/tree"
+	"pqgram/internal/xmlconv"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "doc":
+		err = runDoc(os.Args[2:])
+	case "edit":
+		err = runEdit(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xgen:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: xgen {doc|edit} [flags]")
+	os.Exit(2)
+}
+
+func writeDoc(path string, t *tree.Tree) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	return xmlconv.Write(fh, t)
+}
+
+func runDoc(args []string) error {
+	fs := flag.NewFlagSet("doc", flag.ExitOnError)
+	kind := fs.String("kind", "xmark", "document shape: xmark or dblp")
+	nodes := fs.Int("nodes", 10000, "approximate node count")
+	seed := fs.Int64("seed", 1, "generator seed")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	var t *tree.Tree
+	switch *kind {
+	case "xmark":
+		t = gen.XMark(*seed, *nodes)
+	case "dblp":
+		t = gen.DBLP(*seed, *nodes)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if *out == "" {
+		return xmlconv.Write(os.Stdout, t)
+	}
+	if err := writeDoc(*out, t); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d nodes\n", *out, t.Size())
+	return nil
+}
+
+func runEdit(args []string) error {
+	fs := flag.NewFlagSet("edit", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "script seed")
+	ops := fs.Int("ops", 100, "number of edit operations")
+	mixStr := fs.String("mix", "1,1,1", "insert,delete,rename weights")
+	in := fs.String("in", "", "input document")
+	out := fs.String("out", "", "resulting document")
+	logPath := fs.String("log", "", "log of inverse operations")
+	fs.Parse(args)
+	if *in == "" || *out == "" || *logPath == "" {
+		return fmt.Errorf("edit needs -in, -out and -log")
+	}
+	mix, err := parseMix(*mixStr)
+	if err != nil {
+		return err
+	}
+	fh, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	t, err := xmlconv.Parse(fh, xmlconv.Options{})
+	fh.Close()
+	if err != nil {
+		return err
+	}
+	mix.XMLSafe = true // the result must round-trip through XML
+	rng := rand.New(rand.NewSource(*seed))
+	_, log, err := gen.RandomScript(rng, t, *ops, mix)
+	if err != nil {
+		return err
+	}
+	if err := writeDoc(*out, t); err != nil {
+		return err
+	}
+	// Safety net: the serialized result must parse back to the same tree,
+	// or the node-id sidecar (and with it the log) would be meaningless.
+	if err := verifyRoundTrip(*out, t); err != nil {
+		return err
+	}
+	// XML does not carry node identities; persist them so that
+	// `pqindex update` can match the log against the resulting document.
+	idsFile, err := os.Create(*out + ".ids")
+	if err != nil {
+		return err
+	}
+	if err := xmlconv.WriteIDs(idsFile, t); err != nil {
+		idsFile.Close()
+		return err
+	}
+	if err := idsFile.Close(); err != nil {
+		return err
+	}
+	lf, err := os.Create(*logPath)
+	if err != nil {
+		return err
+	}
+	defer lf.Close()
+	if err := pqgram.WriteLog(lf, log); err != nil {
+		return err
+	}
+	fmt.Printf("applied %d ops; wrote %s (%d nodes) and %s\n", *ops, *out, t.Size(), *logPath)
+	return nil
+}
+
+func verifyRoundTrip(path string, want *tree.Tree) error {
+	fh, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	got, err := xmlconv.Parse(fh, xmlconv.Options{})
+	if err != nil {
+		return fmt.Errorf("%s does not reparse: %w", path, err)
+	}
+	if !tree.EqualLabels(want, got) {
+		return fmt.Errorf("%s does not round-trip through XML; this is a bug in the XML-safe edit generator", path)
+	}
+	return nil
+}
+
+func parseMix(s string) (gen.OpMix, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return gen.OpMix{}, fmt.Errorf("mix wants three comma-separated weights, got %q", s)
+	}
+	var w [3]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 {
+			return gen.OpMix{}, fmt.Errorf("bad mix weight %q", p)
+		}
+		w[i] = v
+	}
+	return gen.OpMix{Insert: w[0], Delete: w[1], Rename: w[2]}, nil
+}

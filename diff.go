@@ -1,0 +1,15 @@
+package pqgram
+
+import "pqgram/internal/diff"
+
+// Diff computes a minimal edit script that transforms tree a into tree b
+// (|script| = TreeEditDistance(a, b)), applying it to a in place and
+// returning both the script and the log of inverse operations. It covers
+// the change-detection scenario: when two document versions exist but no
+// edit feed does, Diff recovers a log that drives UpdateIndex.
+//
+// Inserted nodes receive fresh IDs. Diff inherits the paper's operation
+// model: the root cannot change, so it fails if the minimal mapping cannot
+// keep the two roots paired with an unchanged label. Cost: Zhang–Shasha is
+// O(|a|·|b|·depth²) — fine for documents, not for multi-million-node trees.
+func Diff(a, b *Tree) (Script, Log, error) { return diff.Script(a, b) }

@@ -1,0 +1,80 @@
+package pqgram
+
+import (
+	"io"
+
+	"pqgram/internal/edit"
+)
+
+// Op is a single tree edit operation: INS(n, v, k, m), DEL(n) or
+// REN(n, l'). Operations are applied with Apply, which also returns the
+// inverse operation — collect those to build the Log that incremental
+// index maintenance consumes.
+type Op = edit.Op
+
+// Script is a sequence of edit operations applied in order.
+type Script = edit.Script
+
+// Log is the sequence of inverse edit operations (ē₁, ..., ēₙ) recording
+// how to transform the edited tree back to the original.
+type Log = edit.Log
+
+// Insert builds INS(n, v, k, m): a new node n with the given label becomes
+// the k-th child of v and adopts v's children c_k..c_m (m = k-1 inserts a
+// leaf). The node ID must be fresh: never used in the tree before, even by
+// a node that was deleted since (see CheckFreshIDs).
+func Insert(n NodeID, label string, v NodeID, k, m int) Op {
+	return edit.Ins(n, label, v, k, m)
+}
+
+// Delete builds DEL(n): n is removed and its children are spliced into its
+// position. The root cannot be deleted.
+func Delete(n NodeID) Op { return edit.Del(n) }
+
+// Rename builds REN(n, l'): the label of n becomes l'. The root cannot be
+// renamed, and the label must actually change.
+func Rename(n NodeID, label string) Op { return edit.Ren(n, label) }
+
+// CheckFreshIDs verifies that a script never re-inserts a node identity
+// that occurred before (in t0 or as an earlier insert). Incremental index
+// maintenance requires fresh identities; a violating log fails during
+// UpdateIndex, this check fails it earlier with a precise reason.
+func CheckFreshIDs(t0 *Tree, s Script) error { return edit.CheckFreshIDs(t0, s) }
+
+// VerifyLog checks that a log is a valid sequence of inverse operations
+// for the tree tn and returns the reconstructed original tree. Use it to
+// vet logs from untrusted feeds before UpdateIndex; it costs a tree copy
+// and a replay, which UpdateIndex itself avoids.
+func VerifyLog(tn *Tree, log Log) (*Tree, error) { return edit.VerifyLog(tn, log) }
+
+// OptimizeLog returns an equivalent, possibly shorter log: rename chains
+// per node collapse to at most one rename, and leaf nodes that were
+// inserted and immediately deleted again disappear (the log preprocessing
+// the paper's §10 proposes). tn is the tree the log belongs to; neither
+// argument is modified.
+func OptimizeLog(tn *Tree, log Log) Log { return edit.OptimizeLog(tn, log) }
+
+// SubtreeDelete compiles the removal of the whole subtree rooted at n into
+// a script of node operations (deleted bottom-up).
+func SubtreeDelete(t *Tree, n NodeID) (Script, error) { return edit.SubtreeDelete(t, n) }
+
+// SubtreeInsert compiles the insertion of a whole subtree as the k-th
+// child of v into a script of leaf inserts (top-down). New node IDs are
+// allocated from firstID; the assigned root ID is returned.
+func SubtreeInsert(sub *Tree, v NodeID, k int, firstID NodeID) (Script, NodeID, error) {
+	return edit.SubtreeInsert(sub, v, k, firstID)
+}
+
+// SubtreeMove compiles moving the subtree rooted at n under v at position
+// k (delete bottom-up, re-insert top-down with fresh IDs from firstID).
+func SubtreeMove(t *Tree, n, v NodeID, k int, firstID NodeID) (Script, NodeID, error) {
+	return edit.SubtreeMove(t, n, v, k, firstID)
+}
+
+// WriteLog writes operations in the stable line-oriented text format, one
+// per line (INS/DEL/REN ...). It round-trips through ReadLog.
+func WriteLog(w io.Writer, ops []Op) error { return edit.WriteLog(w, ops) }
+
+// ReadLog parses a log written by WriteLog. Blank lines and lines starting
+// with '#' are ignored.
+func ReadLog(r io.Reader) ([]Op, error) { return edit.ReadLog(r) }

@@ -1,0 +1,93 @@
+// Quickstart: build trees, compute pq-gram distances, maintain an index
+// incrementally, and run approximate lookups over a small collection.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pqgram"
+)
+
+func main() {
+	// --- Trees and distances ------------------------------------------
+	// Parse XML documents into ordered labeled trees.
+	orders, err := pqgram.ParseXMLString(`
+		<order id="17">
+			<customer>ACME Corp</customer>
+			<items><item sku="A1" qty="2"/><item sku="B7" qty="1"/></items>
+			<total>99.50</total>
+		</order>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	similar, err := pqgram.ParseXMLString(`
+		<order id="18">
+			<customer>ACME Corp</customer>
+			<items><item sku="A1" qty="3"/><item sku="B7" qty="1"/></items>
+			<total>129.00</total>
+		</order>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	unrelated, err := pqgram.ParseXMLString(`<invoice><lines/><tax/></invoice>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p := pqgram.DefaultParams // 3,3-grams, the paper's default
+	fmt.Printf("distance(order17, order18)  = %.3f\n", pqgram.Distance(orders, similar, p))
+	fmt.Printf("distance(order17, invoice)  = %.3f\n", pqgram.Distance(orders, unrelated, p))
+
+	// --- Incremental index maintenance --------------------------------
+	// Index the document once...
+	index := pqgram.BuildIndex(orders, p)
+	fmt.Printf("indexed %d pq-grams of order17\n", index.Size())
+
+	// ...then edit it, keeping the log of inverse operations. In a real
+	// system the edits arrive from a change feed; here we apply them
+	// directly. Node IDs are document order: 1=<order>, 2=@id, ...
+	var invLog pqgram.Log
+	for _, op := range []pqgram.Op{
+		pqgram.Rename(4, "=ACME Corporation"), // fix the customer text
+		pqgram.Delete(12),                     // drop the second item
+	} {
+		inv, err := op.Apply(orders)
+		if err != nil {
+			log.Fatal(err)
+		}
+		invLog = append(invLog, inv)
+	}
+
+	// The new index is computed from (old index, edited doc, log) — the
+	// original document is no longer needed, and nothing is rebuilt.
+	index, err = pqgram.UpdateIndex(index, orders, invLog, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	check := pqgram.BuildIndex(orders, p)
+	fmt.Printf("incremental update matches a full rebuild: %v\n", index.Equal(check))
+
+	// --- Approximate lookup over a collection -------------------------
+	f := pqgram.NewForest(p)
+	docs := map[string]string{
+		"orders/17":  `<order><customer>ACME</customer><items><item/><item/></items></order>`,
+		"orders/18":  `<order><customer>ACME</customer><items><item/></items></order>`,
+		"orders/99":  `<order><customer>Globex</customer><items><item/><item/><item/></items></order>`,
+		"invoices/3": `<invoice><lines><line/></lines><tax/></invoice>`,
+	}
+	for id, doc := range docs {
+		t, err := pqgram.ParseXMLString(doc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Add(id, t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	query, _ := pqgram.ParseXMLString(`<order><customer>ACME!</customer><items><item/><item/></items></order>`)
+	fmt.Println("documents within distance 0.6 of the query:")
+	for _, m := range f.Lookup(query, 0.6) {
+		fmt.Printf("  %-12s %.3f\n", m.TreeID, m.Distance)
+	}
+}

@@ -1,0 +1,321 @@
+// Server runs a small HTTP document-similarity service backed by an
+// incrementally maintained pq-gram forest index — the deployment shape the
+// paper targets: documents change through edit feeds, the index follows
+// the feed, and approximate lookups stay fast because nothing is rebuilt.
+//
+// Endpoints (JSON unless noted):
+//
+//	PUT    /docs/{id}          body: XML           index a document
+//	DELETE /docs/{id}                              drop a document
+//	POST   /docs/{id}/edits    {"xml","ids","log"} incremental update
+//	POST   /lookup             {"xml","tau","top"} approximate lookup
+//	GET    /stats                                  index statistics
+//
+// Run without arguments to start on :8080; with -demo the process starts
+// the server on a random port, exercises every endpoint with generated
+// data, prints the results, and exits.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+
+	"pqgram"
+	"pqgram/internal/gen" // demo data generation only
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	demo := flag.Bool("demo", false, "self-exercise the API and exit")
+	flag.Parse()
+
+	srv := newServer(pqgram.NewForest(pqgram.DefaultParams))
+	if !*demo {
+		log.Printf("pq-gram index service listening on %s", *addr)
+		log.Fatal(http.ListenAndServe(*addr, srv))
+	}
+	runDemo(srv)
+}
+
+// server is the HTTP facade over a forest index. The forest itself is not
+// concurrency-safe; a single RWMutex serializes writers and lets lookups
+// proceed in parallel.
+type server struct {
+	mu     sync.RWMutex
+	forest *pqgram.Forest
+	mux    *http.ServeMux
+}
+
+func newServer(f *pqgram.Forest) *server {
+	s := &server{forest: f, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/docs/", s.handleDocs)
+	s.mux.HandleFunc("/lookup", s.handleLookup)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *server) handleDocs(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/docs/")
+	if rest == "" {
+		httpError(w, http.StatusBadRequest, "missing document id")
+		return
+	}
+	if id, ok := strings.CutSuffix(rest, "/edits"); ok && r.Method == http.MethodPost {
+		s.handleEdits(w, r, id)
+		return
+	}
+	id := rest
+	switch r.Method {
+	case http.MethodPut:
+		doc, err := pqgram.ParseXML(r.Body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad document: %v", err)
+			return
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.forest.Has(id) {
+			if err := s.forest.Remove(id); err != nil {
+				httpError(w, http.StatusInternalServerError, "%v", err)
+				return
+			}
+		}
+		if err := s.forest.Add(id, doc); err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, map[string]any{"id": id, "nodes": doc.Size(),
+			"pqgrams": s.forest.TreeIndex(id).Size()})
+	case http.MethodDelete:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err := s.forest.Remove(id); err != nil {
+			httpError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		writeJSON(w, map[string]string{"removed": id})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+// editsRequest carries the paper's maintenance inputs: the resulting
+// document, its node identities, and the log of inverse edit operations.
+type editsRequest struct {
+	XML string          `json:"xml"`
+	IDs []pqgram.NodeID `json:"ids"`
+	Log []string        `json:"log"`
+}
+
+func (s *server) handleEdits(w http.ResponseWriter, r *http.Request, id string) {
+	var req editsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	tn, err := pqgram.ParseXMLString(req.XML)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad document: %v", err)
+		return
+	}
+	if len(req.IDs) > 0 {
+		var sb strings.Builder
+		for _, nid := range req.IDs {
+			fmt.Fprintln(&sb, nid)
+		}
+		if err := pqgram.ApplyXMLIDs(strings.NewReader(sb.String()), tn); err != nil {
+			httpError(w, http.StatusBadRequest, "bad ids: %v", err)
+			return
+		}
+	}
+	ops, err := pqgram.ReadLog(strings.NewReader(strings.Join(req.Log, "\n")))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad log: %v", err)
+		return
+	}
+	// Vet the log before touching the index: a broken feed must not be
+	// able to corrupt it.
+	if _, err := pqgram.VerifyLog(tn, ops); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "log does not apply: %v", err)
+		return
+	}
+	ops = pqgram.OptimizeLog(tn, ops)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.forest.Update(id, tn, ops)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "update failed: %v", err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"id": id, "ops": len(ops),
+		"added": st.PlusGrams, "removed": st.MinusGrams,
+		"micros": st.Total.Microseconds(),
+	})
+}
+
+type lookupRequest struct {
+	XML string  `json:"xml"`
+	Tau float64 `json:"tau"`
+	Top int     `json:"top"`
+}
+
+func (s *server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req lookupRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	query, err := pqgram.ParseXMLString(req.XML)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad query document: %v", err)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var matches []pqgram.Match
+	if req.Top > 0 {
+		matches = s.forest.LookupTop(query, req.Top)
+	} else {
+		matches = s.forest.Lookup(query, req.Tau)
+	}
+	writeJSON(w, matches)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pr := s.forest.Params()
+	writeJSON(w, map[string]any{
+		"p": pr.P, "q": pr.Q,
+		"docs": s.forest.Len(), "pqgrams": s.forest.Size(),
+	})
+}
+
+// --- demo driver ----------------------------------------------------------
+
+func runDemo(h http.Handler) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, h)
+	base := "http://" + ln.Addr().String()
+	client := func(method, path string, body []byte) map[string]any {
+		req, err := http.NewRequest(method, base+path, bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		var out map[string]any
+		json.Unmarshal(raw, &out)
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("%s %s: %d %s", method, path, resp.StatusCode, raw)
+		}
+		return out
+	}
+
+	// Index three generated documents.
+	rng := rand.New(rand.NewSource(1))
+	base0 := gen.DBLP(1, 400)
+	for i, doc := range []*pqgram.Tree{base0, mustPerturb(rng, base0, 6), gen.DBLP(9, 400)} {
+		xml, err := pqgram.WriteXMLString(doc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out := client("PUT", fmt.Sprintf("/docs/doc-%d", i), []byte(xml))
+		fmt.Printf("indexed doc-%d: %v nodes, %v pq-grams\n", i, out["nodes"], out["pqgrams"])
+	}
+
+	// Edit doc-0 through the feed endpoint: serialize the edited state,
+	// its identities and the log.
+	working, err := pqgram.ParseXMLString(mustXML(base0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var lines []string
+	for _, op := range []pqgram.Op{pqgram.Rename(3, "@key=renamed/0"), pqgram.Delete(5)} {
+		inv, err := op.Apply(working)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lines = append(lines, inv.String())
+	}
+	body, _ := json.Marshal(editsRequest{
+		XML: mustXML(working),
+		IDs: working.PreorderIDs(),
+		Log: lines,
+	})
+	out := client("POST", "/docs/doc-0/edits", body)
+	fmt.Printf("updated doc-0 incrementally: +%v −%v pq-grams in %vµs\n",
+		out["added"], out["removed"], out["micros"])
+
+	// Look up a noisy copy of doc-0.
+	query := mustPerturb(rng, working, 4)
+	lb, _ := json.Marshal(lookupRequest{XML: mustXML(query), Top: 3})
+	req, _ := http.NewRequest("POST", base+"/lookup", bytes.NewReader(lb))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var matches []pqgram.Match
+	json.NewDecoder(resp.Body).Decode(&matches)
+	resp.Body.Close()
+	fmt.Println("nearest documents to the noisy copy of doc-0:")
+	for _, m := range matches {
+		fmt.Printf("  %-8s %.3f\n", m.TreeID, m.Distance)
+	}
+
+	stats := client("GET", "/stats", nil)
+	fmt.Printf("stats: %v docs, %v pq-grams (p=%v q=%v)\n",
+		stats["docs"], stats["pqgrams"], stats["p"], stats["q"])
+}
+
+func mustXML(t *pqgram.Tree) string {
+	s, err := pqgram.WriteXMLString(t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
+}
+
+func mustPerturb(rng *rand.Rand, t *pqgram.Tree, n int) *pqgram.Tree {
+	mix := gen.XMLSafeMix
+	out, _, err := gen.Perturb(rng, t, n, mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module pqgram
+
+go 1.22

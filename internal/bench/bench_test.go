@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExperimentsRunAtTinyScale executes every experiment at a very small
+// scale: the harness itself cross-checks incremental results against
+// rebuilds and panics on divergence, so this doubles as an end-to-end
+// correctness test of the whole pipeline.
+func TestExperimentsRunAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cases := []struct {
+		name string
+		run  func() *Result
+	}{
+		{"fig13-lookup", func() *Result { return Fig13Lookup(6000, []int{4, 16}, 0.7) }},
+		{"fig13-update", func() *Result { return Fig13Update([]int{2000, 4000}, 20) }},
+		{"fig14-size", func() *Result { return Fig14Size([]int{2000, 4000}) }},
+		{"fig14-update", func() *Result { return Fig14Update(4000, []int{1, 8, 64}) }},
+		{"table2", func() *Result { return Table2(4000, []int{1, 10}) }},
+		{"ablate-index", func() *Result { return AblationAnchorIndex(3000, 100) }},
+		{"ablate-mix", func() *Result { return AblationOpMix(3000, 50) }},
+		{"ablate-pq", func() *Result { return AblationPQ(60, 8) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res := c.run()
+			if len(res.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			var buf bytes.Buffer
+			if err := res.Print(&buf); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "==") || len(strings.Split(out, "\n")) < 4 {
+				t.Fatalf("unexpected rendering:\n%s", out)
+			}
+		})
+	}
+}

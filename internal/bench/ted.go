@@ -1,0 +1,9 @@
+package bench
+
+import (
+	"pqgram/internal/ted"
+	"pqgram/internal/tree"
+)
+
+// tedDistance wraps the Zhang–Shasha baseline for the quality ablation.
+func tedDistance(a, b *tree.Tree) int { return ted.Distance(a, b) }

@@ -1,0 +1,719 @@
+package core_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pqgram/internal/core"
+	"pqgram/internal/edit"
+	"pqgram/internal/paperfix"
+	"pqgram/internal/profile"
+	"pqgram/internal/tree"
+)
+
+var p33 = profile.Params{P: 3, Q: 3}
+
+// anchored converts a profile (grams with full node identity) into the
+// sorted bag of (anchor, label-tuple) pairs that Tables.Snapshot reports.
+func anchored(prof profile.Profile, pr profile.Params) []core.AnchoredTuple {
+	var out []core.AnchoredTuple
+	for _, g := range prof {
+		out = append(out, core.AnchoredTuple{Anchor: g.Anchor(pr).ID, Tuple: g.LabelTuple()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Anchor != out[j].Anchor {
+			return out[i].Anchor < out[j].Anchor
+		}
+		return out[i].Tuple < out[j].Tuple
+	})
+	return out
+}
+
+func sameAnchored(t *testing.T, what string, got, want []core.AnchoredTuple) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d anchored tuples, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: entry %d differs: anchor %d vs %d", what, i, got[i].Anchor, want[i].Anchor)
+		}
+	}
+}
+
+// supersetWithin asserts that got ⊇ want and that every extra element of
+// got is drawn from allowed (the invariant pq-grams that the widened delta
+// of AddDelta may legitimately over-include). All slices are sorted bags.
+func supersetWithin(t *testing.T, what string, got, want, allowed []core.AnchoredTuple) {
+	t.Helper()
+	count := func(s []core.AnchoredTuple) map[core.AnchoredTuple]int {
+		m := make(map[core.AnchoredTuple]int, len(s))
+		for _, a := range s {
+			m[a]++
+		}
+		return m
+	}
+	gm, am := count(got), count(allowed)
+	for _, w := range want {
+		if gm[w] == 0 {
+			t.Fatalf("%s: missing required pq-gram at anchor %d", what, w.Anchor)
+		}
+		gm[w]--
+	}
+	for extra, c := range gm {
+		if c > 0 && am[extra] < c {
+			t.Fatalf("%s: %d extra pq-grams at anchor %d are not invariant", what, c, extra.Anchor)
+		}
+	}
+}
+
+// TestExample5DeltaPlus replays the paper's Example 5: Δ2⁺ computed on T2
+// from the log (ē1 = DEL(n7), ē2 = INS(n3, n1, 2, 3)).
+func TestExample5DeltaPlus(t *testing.T) {
+	t2, log := paperfix.T2()
+	tables := core.DeltaPlus(t2, log, p33)
+	sameAnchored(t, "Δ2⁺", tables.Snapshot(), anchored(paperfix.DeltaPlus2(), p33))
+
+	iPlus, err := tables.Lambda()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iPlus.Equal(paperfix.LambdaDeltaPlus2()) {
+		t.Error("λ(Δ2⁺) does not match Example 5")
+	}
+}
+
+// TestExample5UpdateStep checks the intermediate state 𝒰(Δ2⁺, ē2) listed in
+// Example 5, then the final Δ2⁻ and λ(Δ2⁻).
+func TestExample5UpdateStep(t *testing.T) {
+	t2, log := paperfix.T2()
+	tables := core.DeltaPlus(t2, log, p33)
+
+	if err := tables.Update(log[1]); err != nil { // ē2 = INS(n3, n1, 2, 3)
+		t.Fatal(err)
+	}
+	sameAnchored(t, "𝒰(Δ2⁺, ē2)", tables.Snapshot(), anchored(paperfix.DeltaU2(), p33))
+
+	if err := tables.Update(log[0]); err != nil { // ē1 = DEL(n7)
+		t.Fatal(err)
+	}
+	sameAnchored(t, "Δ2⁻", tables.Snapshot(), anchored(paperfix.DeltaMinus2(), p33))
+
+	iMinus, err := tables.Lambda()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iMinus.Equal(paperfix.LambdaDeltaMinus2()) {
+		t.Error("λ(Δ2⁻) does not match Example 5")
+	}
+}
+
+// TestExample5FullUpdate runs Algorithm 1 end to end on the paper's example.
+func TestExample5FullUpdate(t *testing.T) {
+	t0 := paperfix.T0()
+	i0 := profile.BuildIndex(t0, p33)
+	t2, log := paperfix.T2()
+
+	in, st, err := core.UpdateIndexStats(i0, t2, log, p33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := profile.BuildIndex(t2, p33)
+	if !in.Equal(want) {
+		t.Fatal("updated index differs from rebuilt index")
+	}
+	if st.PlusGrams != 9 || st.MinusGrams != 9 {
+		t.Errorf("|Δ⁺|=%d |Δ⁻|=%d, want 9 and 9", st.PlusGrams, st.MinusGrams)
+	}
+	if st.SkippedOps != 0 {
+		t.Errorf("skipped ops = %d, want 0", st.SkippedOps)
+	}
+	// I0 must be untouched.
+	if !i0.Equal(profile.BuildIndex(t0, p33)) {
+		t.Error("UpdateIndex mutated I0")
+	}
+}
+
+// TestExample5ThreeOps extends the example with the third edit operation.
+func TestExample5ThreeOps(t *testing.T) {
+	t0 := paperfix.T0()
+	i0 := profile.BuildIndex(t0, p33)
+	tn := t0.Clone()
+	log, err := paperfix.ScriptWithThird().Apply(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := core.UpdateIndex(i0, tn, log, p33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Equal(profile.BuildIndex(tn, p33)) {
+		t.Fatal("updated index differs from rebuilt index")
+	}
+}
+
+// TestDeltaAgainstBruteForce checks Algorithm 2 against Definition 4
+// (δ(T_j, ē) = P_j \ P_i) for single random operations of every kind.
+func TestDeltaAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	params := []profile.Params{pp(1, 1), pp(1, 2), pp(2, 1), pp(2, 2), pp(3, 3), pp(2, 4), pp(4, 2)}
+	for iter := 0; iter < 200; iter++ {
+		pr := params[iter%len(params)]
+		ti := randomTree(rng, 2+rng.Intn(40))
+		tj := ti.Clone()
+		nextID := tj.MaxID() + 100
+		op := randomOp(rng, tj, &nextID)
+		inv, err := op.Apply(tj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables := core.NewTables(pr)
+		if !tables.AddDelta(tj, inv) {
+			t.Fatalf("iter %d: inverse %v not applicable on T_j", iter, inv)
+		}
+		// AddDelta may over-approximate (identity widening): the result must
+		// contain δ(T_j, ē) = P_j \ P_i exactly, plus at most invariant
+		// pq-grams shared by both versions.
+		pj, pi := profile.Build(tj, pr), profile.Build(ti, pr)
+		supersetWithin(t, "δ", tables.Snapshot(),
+			anchored(pj.Diff(pi), pr), anchored(pj.Intersect(pi), pr))
+	}
+}
+
+// TestDeltaInapplicable checks Definition 4's empty case: operations that
+// are not defined on the tree produce an empty delta.
+func TestDeltaInapplicable(t *testing.T) {
+	tr := tree.MustParse("a(b c)")
+	tables := core.NewTables(p33)
+	ops := []edit.Op{
+		edit.Del(99),                // node not in tree
+		edit.Ren(99, "x"),           // node not in tree
+		edit.Ren(2, "b"),            // label unchanged
+		edit.Ins(2, "x", 1, 1, 0),   // ID already present
+		edit.Ins(10, "x", 99, 1, 0), // parent missing
+		edit.Ins(10, "x", 1, 1, 5),  // m out of range
+	}
+	for _, op := range ops {
+		if tables.AddDelta(tr, op) {
+			t.Errorf("%v: delta should be empty", op)
+		}
+	}
+	if tables.Len() != 0 {
+		t.Fatalf("tables not empty: %d grams", tables.Len())
+	}
+}
+
+// TestSingleStepFullProfile checks equation (10): 𝒰(P_j, ē_j) = P_i, by
+// loading the complete profile of T_j into the tables and rewinding one op.
+func TestSingleStepFullProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	params := []profile.Params{pp(1, 1), pp(2, 2), pp(3, 3), pp(1, 3), pp(3, 1), pp(2, 3), pp(4, 4)}
+	for iter := 0; iter < 200; iter++ {
+		pr := params[iter%len(params)]
+		ti := randomTree(rng, 2+rng.Intn(30))
+		tj := ti.Clone()
+		nextID := tj.MaxID() + 100
+		op := randomOp(rng, tj, &nextID)
+		inv, err := op.Apply(tj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables := core.NewTables(pr)
+		tables.AddTree(tj)
+		if err := tables.Update(inv); err != nil {
+			t.Fatalf("iter %d (%v, params %v): %v", iter, inv, pr, err)
+		}
+		want := profile.Build(ti, pr)
+		sameAnchored(t, "𝒰(P_j)", tables.Snapshot(), anchored(want, pr))
+	}
+}
+
+// TestUpdateSymmetry checks 𝒰(δ(T_j, ē), ē) = δ(T_i, e): the rewound new
+// pq-grams are exactly the old pq-grams.
+func TestUpdateSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for iter := 0; iter < 150; iter++ {
+		ti := randomTree(rng, 2+rng.Intn(30))
+		tj := ti.Clone()
+		nextID := tj.MaxID() + 100
+		op := randomOp(rng, tj, &nextID)
+		inv, err := op.Apply(tj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables := core.NewTables(p33)
+		tables.AddDelta(tj, inv)
+		if err := tables.Update(inv); err != nil {
+			t.Fatalf("iter %d (%v): %v", iter, inv, err)
+		}
+		// The rewound set must contain δ(T_i, e) = P_i \ P_j exactly, plus
+		// at most invariant pq-grams (from the widened input delta, which
+		// pass through 𝒰 unchanged).
+		pi, pj := profile.Build(ti, p33), profile.Build(tj, p33)
+		supersetWithin(t, "old pq-grams", tables.Snapshot(),
+			anchored(pi.Diff(pj), p33), anchored(pi.Intersect(pj), p33))
+	}
+}
+
+// TestIncrementalMatchesRebuild is the master property test (Theorems 1, 2
+// and Lemma 2 combined): for random trees and random edit scripts, the
+// incrementally updated index equals the index rebuilt from scratch.
+func TestIncrementalMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	params := []profile.Params{pp(1, 1), pp(1, 2), pp(2, 1), pp(2, 2), pp(3, 3), pp(2, 4), pp(4, 2), pp(4, 4)}
+	iters := 300
+	if testing.Short() {
+		iters = 60
+	}
+	for iter := 0; iter < iters; iter++ {
+		pr := params[iter%len(params)]
+		t0 := randomTree(rng, 1+rng.Intn(60))
+		i0 := profile.BuildIndex(t0, pr)
+		tn := t0.Clone()
+		nextID := tn.MaxID() + 1000
+		nOps := 1 + rng.Intn(25)
+		var script edit.Script
+		var log edit.Log
+		for i := 0; i < nOps; i++ {
+			op := randomOp(rng, tn, &nextID)
+			inv, err := op.Apply(tn)
+			if err != nil {
+				t.Fatalf("iter %d: %v: %v", iter, op, err)
+			}
+			script = append(script, op)
+			log = append(log, inv)
+		}
+		in, err := core.UpdateIndex(i0, tn, log, pr)
+		if err != nil {
+			t.Fatalf("iter %d params %v script %v: %v", iter, pr, script, err)
+		}
+		want := profile.BuildIndex(tn, pr)
+		if !in.Equal(want) {
+			t.Fatalf("iter %d params %v: incremental index differs from rebuild\nscript: %v\nT0: %sTn: %s",
+				iter, pr, script, t0, tn)
+		}
+	}
+}
+
+// TestScenarioRenameThenDelete: the rename's inverse is inapplicable on Tn
+// (the node is gone), exercising Definition 4's empty case inside a log.
+func TestScenarioRenameThenDelete(t *testing.T) {
+	t0 := tree.MustParse("a(b(c d) e)")
+	i0 := profile.BuildIndex(t0, p33)
+	tn := t0.Clone()
+	script := edit.Script{edit.Ren(2, "x"), edit.Del(2)}
+	log, err := script.Apply(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, st, err := core.UpdateIndexStats(i0, tn, log, p33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SkippedOps != 1 {
+		t.Errorf("skipped ops = %d, want 1 (ē1 = REN back is inapplicable)", st.SkippedOps)
+	}
+	if !in.Equal(profile.BuildIndex(tn, p33)) {
+		t.Fatal("index mismatch")
+	}
+}
+
+// TestScenarioInsertThenDeleteSameNode: a node inserted and then deleted
+// never appears in Tn; both inverses interact.
+func TestScenarioInsertThenDeleteSameNode(t *testing.T) {
+	t0 := tree.MustParse("a(b c d)")
+	i0 := profile.BuildIndex(t0, p33)
+	tn := t0.Clone()
+	script := edit.Script{
+		edit.Ins(50, "n", 1, 2, 3), // adopt c, d... wait IDs: 1:a 2:b 3:c 4:d
+		edit.Del(50),
+	}
+	log, err := script.Apply(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.EqualLabels(t0, tn) {
+		t.Fatal("script should be a no-op on labels")
+	}
+	in, err := core.UpdateIndex(i0, tn, log, p33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Equal(profile.BuildIndex(tn, p33)) {
+		t.Fatal("index mismatch")
+	}
+}
+
+// TestScenarioMoveWithFreshID: a "move" simulated as DEL + INS, giving the
+// re-inserted node a fresh identity (the supported encoding; see
+// TestIDReuseUnsupported for why the identity must be fresh).
+func TestScenarioMoveWithFreshID(t *testing.T) {
+	t0 := tree.MustParse("a(b(x y) c)")
+	i0 := profile.BuildIndex(t0, p33)
+	tn := t0.Clone()
+	// Delete b (splices x,y under a), then insert a new b leaf at the end.
+	script := edit.Script{edit.Del(2), edit.Ins(50, "b", 1, 4, 3)}
+	log, err := script.Apply(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := core.UpdateIndex(i0, tn, log, p33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Equal(profile.BuildIndex(tn, p33)) {
+		t.Fatal("index mismatch")
+	}
+}
+
+// TestIDReuseUnsupported documents a limitation inherited from the paper:
+// re-inserting a previously deleted node identity breaks Lemma 3 (the
+// inverse of the earlier delete is inapplicable on Tn per Definition 4, so
+// its delta is empty and the rewind chain lacks pq-grams it needs). The
+// implementation must fail loudly rather than return a silently wrong
+// index. edit.CheckFreshIDs detects such scripts up front.
+func TestIDReuseUnsupported(t *testing.T) {
+	t0 := tree.MustParse("a(b(x y) c)")
+	i0 := profile.BuildIndex(t0, p33)
+	tn := t0.Clone()
+	script := edit.Script{edit.Del(2), edit.Ins(2, "b", 1, 4, 3)} // reuses ID 2
+	if err := edit.CheckFreshIDs(t0, script); err == nil {
+		t.Error("CheckFreshIDs missed the ID reuse")
+	}
+	log, err := script.Apply(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := core.UpdateIndex(i0, tn, log, p33)
+	if err == nil && in.Equal(profile.BuildIndex(tn, p33)) {
+		t.Fatal("ID reuse unexpectedly produced a correct index; tighten the test")
+	}
+	if err == nil {
+		t.Fatal("ID reuse produced a wrong index without an error")
+	}
+}
+
+// TestScenarioAdjacentSiblingOps: overlapping delta regions under one parent.
+func TestScenarioAdjacentSiblingOps(t *testing.T) {
+	t0 := tree.MustParse("a(b c d e f)")
+	i0 := profile.BuildIndex(t0, p33)
+	tn := t0.Clone()
+	script := edit.Script{
+		edit.Del(3),                // delete c
+		edit.Del(4),                // delete d (now 2nd pos)
+		edit.Ins(60, "g", 1, 2, 3), // group b's neighbors
+		edit.Ren(5, "E"),
+	}
+	log, err := script.Apply(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := core.UpdateIndex(i0, tn, log, p33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Equal(profile.BuildIndex(tn, p33)) {
+		t.Fatal("index mismatch")
+	}
+}
+
+// TestScenarioDeepChain exercises the p boundary on a path-shaped tree.
+func TestScenarioDeepChain(t *testing.T) {
+	t0 := tree.MustParse("a(b(c(d(e(f(g))))))")
+	for _, pr := range []profile.Params{pp(1, 1), pp(3, 3), pp(5, 2), pp(7, 1)} {
+		i0 := profile.BuildIndex(t0, pr)
+		tn := t0.Clone()
+		script := edit.Script{
+			edit.Ren(4, "D"),
+			edit.Del(3),
+			edit.Ins(70, "x", 2, 1, 1),
+		}
+		log, err := script.Apply(tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := core.UpdateIndex(i0, tn, log, pr)
+		if err != nil {
+			t.Fatalf("params %v: %v", pr, err)
+		}
+		if !in.Equal(profile.BuildIndex(tn, pr)) {
+			t.Fatalf("params %v: index mismatch", pr)
+		}
+	}
+}
+
+// TestScenarioWideNode exercises the q boundary on a star-shaped tree.
+func TestScenarioWideNode(t *testing.T) {
+	t0 := tree.New("r")
+	for i := 0; i < 20; i++ {
+		t0.AddChild(t0.Root(), "c")
+	}
+	for _, pr := range []profile.Params{pp(1, 1), pp(3, 3), pp(2, 5), pp(1, 8)} {
+		i0 := profile.BuildIndex(t0, pr)
+		tn := t0.Clone()
+		script := edit.Script{
+			edit.Del(5),
+			edit.Ins(100, "m", 1, 3, 10),
+			edit.Ren(12, "C"),
+			edit.Del(100),
+		}
+		log, err := script.Apply(tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := core.UpdateIndex(i0, tn, log, pr)
+		if err != nil {
+			t.Fatalf("params %v: %v", pr, err)
+		}
+		if !in.Equal(profile.BuildIndex(tn, pr)) {
+			t.Fatalf("params %v: index mismatch", pr)
+		}
+	}
+}
+
+// TestEmptyLog: no operations, index unchanged.
+func TestEmptyLog(t *testing.T) {
+	t0 := paperfix.T0()
+	i0 := profile.BuildIndex(t0, p33)
+	in, st, err := core.UpdateIndexStats(i0, t0, nil, p33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Equal(i0) {
+		t.Fatal("empty log changed index")
+	}
+	if st.PlusGrams != 0 || st.MinusGrams != 0 {
+		t.Fatal("empty log produced deltas")
+	}
+}
+
+// TestBogusLogFails: a log that does not belong to the tree must surface an
+// error rather than silently corrupting the index.
+func TestBogusLogFails(t *testing.T) {
+	t0 := paperfix.T0()
+	i0 := profile.BuildIndex(t0, p33)
+	// DEL(2) is applicable on T0 so the delta is non-empty, but rewinding
+	// INS for a node that was never deleted gives inconsistent tables or a
+	// wrong index; the weaker guarantee is: either error or detectably
+	// wrong result. Use a log whose rewind references missing anchors.
+	bogus := edit.Log{edit.Ins(999, "z", 888, 1, 0)}
+	_, err := core.UpdateIndex(i0, t0, bogus, p33)
+	if err == nil {
+		t.Fatal("bogus log did not error")
+	}
+}
+
+// TestWrongBaseIndexFails: I⁻ not contained in I₀ is reported.
+func TestWrongBaseIndexFails(t *testing.T) {
+	tn, log := paperfix.T2()
+	empty := make(profile.Index) // wrong I0
+	_, err := core.UpdateIndex(empty, tn, log, p33)
+	if err == nil {
+		t.Fatal("expected containment error")
+	}
+}
+
+// TestTablesLambdaConsistency: Lambda equals the index of the loaded tree.
+func TestTablesLambdaConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for i := 0; i < 20; i++ {
+		tr := randomTree(rng, 1+rng.Intn(50))
+		tables := core.NewTables(p33)
+		tables.AddTree(tr)
+		got, err := tables.Lambda()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(profile.BuildIndex(tr, p33)) {
+			t.Fatal("Lambda differs from BuildIndex")
+		}
+		if tables.Len() != profile.Count(tr, p33) {
+			t.Fatal("Len differs from Count")
+		}
+	}
+}
+
+// TestUnindexedTablesAgree: the parId secondary index is an optimization
+// only; results must be identical without it.
+func TestUnindexedTablesAgree(t *testing.T) {
+	t2, log := paperfix.T2()
+	a := core.NewTablesIndexed(p33, true)
+	b := core.NewTablesIndexed(p33, false)
+	for _, op := range log {
+		a.AddDelta(t2, op)
+		b.AddDelta(t2, op)
+	}
+	if err := a.Rewind(log); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Rewind(log); err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sameAnchored(t, "unindexed", sb, sa)
+}
+
+// TestAnchors reports the distinct anchors present.
+func TestAnchors(t *testing.T) {
+	t2, log := paperfix.T2()
+	tables := core.DeltaPlus(t2, log, p33)
+	got := tables.Anchors()
+	want := []tree.NodeID{1, 5, 6, 7} // anchors of Δ2⁺
+	if len(got) != len(want) {
+		t.Fatalf("anchors = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("anchors = %v, want %v", got, want)
+		}
+	}
+}
+
+// randomTree builds a random tree with n nodes.
+func randomTree(rng *rand.Rand, n int) *tree.Tree {
+	labels := []string{"a", "b", "c", "d", "e"}
+	tr := tree.New(labels[rng.Intn(len(labels))])
+	nodes := []*tree.Node{tr.Root()}
+	for i := 1; i < n; i++ {
+		parent := nodes[rng.Intn(len(nodes))]
+		pos := rng.Intn(parent.Fanout()+1) + 1
+		c := tr.AddChildAt(parent, labels[rng.Intn(len(labels))], pos)
+		nodes = append(nodes, c)
+	}
+	return tr
+}
+
+// randomOp picks a random applicable operation for tr.
+func randomOp(rng *rand.Rand, tr *tree.Tree, nextID *tree.NodeID) edit.Op {
+	labels := []string{"a", "b", "c", "d", "e"}
+	nodes := tr.Nodes()
+	for {
+		switch rng.Intn(3) {
+		case 0:
+			v := nodes[rng.Intn(len(nodes))]
+			k := 1
+			if v.Fanout() > 0 {
+				k = rng.Intn(v.Fanout()) + 1
+			}
+			m := k - 1 + rng.Intn(v.Fanout()-k+2)
+			*nextID++
+			return edit.Ins(*nextID, labels[rng.Intn(len(labels))], v.ID(), k, m)
+		case 1:
+			n := nodes[rng.Intn(len(nodes))]
+			if n.IsRoot() {
+				continue
+			}
+			return edit.Del(n.ID())
+		default:
+			n := nodes[rng.Intn(len(nodes))]
+			if n.IsRoot() {
+				continue
+			}
+			l := labels[rng.Intn(len(labels))]
+			if n.Label() == l {
+				continue
+			}
+			return edit.Ren(n.ID(), l)
+		}
+	}
+}
+
+// pp builds profile parameters concisely in test tables.
+func pp(p, q int) profile.Params { return profile.Params{P: p, Q: q} }
+
+// TestSubtreeOperationLogs: logs produced by compiled subtree operations
+// (delete, insert, move — §10 future work) drive correct maintenance.
+func TestSubtreeOperationLogs(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for iter := 0; iter < 60; iter++ {
+		t0 := randomTree(rng, 5+rng.Intn(40))
+		i0 := profile.BuildIndex(t0, p33)
+		tn := t0.Clone()
+		nodes := tn.Nodes()
+		var script edit.Script
+		var err error
+		switch iter % 3 {
+		case 0:
+			n := nodes[1+rng.Intn(len(nodes)-1)]
+			script, err = edit.SubtreeDelete(tn, n.ID())
+		case 1:
+			sub := randomTree(rng, 1+rng.Intn(8))
+			v := nodes[rng.Intn(len(nodes))]
+			script, _, err = edit.SubtreeInsert(sub, v.ID(), rng.Intn(v.Fanout()+1)+1, tn.MaxID()+1000)
+		default:
+			n := nodes[1+rng.Intn(len(nodes)-1)]
+			// Pick a target outside n's subtree.
+			var v *tree.Node
+			for _, cand := range nodes {
+				if cand != n && !n.IsAncestorOf(cand) {
+					v = cand
+					break
+				}
+			}
+			if v == nil {
+				continue
+			}
+			// Position on v after n's subtree is removed: clamp to the
+			// post-delete fanout lower bound 1.
+			script, _, err = edit.SubtreeMove(tn, n.ID(), v.ID(), 1, tn.MaxID()+1000)
+		}
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		log, err := script.Apply(tn)
+		if err != nil {
+			t.Fatalf("iter %d: apply: %v", iter, err)
+		}
+		in, err := core.UpdateIndex(i0, tn, log, p33)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if !in.Equal(profile.BuildIndex(tn, p33)) {
+			t.Fatalf("iter %d: subtree-op log produced wrong index", iter)
+		}
+	}
+}
+
+// TestOptimizedLogsMaintainCorrectly: logs shrunk by edit.OptimizeLog drive
+// the same, correct index update.
+func TestOptimizedLogsMaintainCorrectly(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	shrunk := 0
+	for iter := 0; iter < 150; iter++ {
+		t0 := randomTree(rng, 3+rng.Intn(30))
+		i0 := profile.BuildIndex(t0, p33)
+		tn := t0.Clone()
+		nextID := tn.MaxID() + 1000
+		var log edit.Log
+		for i := 0; i < 2+rng.Intn(16); i++ {
+			op := randomOp(rng, tn, &nextID)
+			inv, err := op.Apply(tn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			log = append(log, inv)
+			// Inject redundancy: rename chains.
+			if op.Kind == edit.Rename && rng.Intn(2) == 0 {
+				op2 := edit.Ren(op.Node, op.Label+"-again")
+				if inv2, err := op2.Apply(tn); err == nil {
+					log = append(log, inv2)
+				}
+			}
+		}
+		opt := edit.OptimizeLog(tn, log)
+		if len(opt) < len(log) {
+			shrunk++
+		}
+		in, err := core.UpdateIndex(i0, tn, opt, p33)
+		if err != nil {
+			t.Fatalf("iter %d: %v\nlog: %v\nopt: %v", iter, err, log, opt)
+		}
+		if !in.Equal(profile.BuildIndex(tn, p33)) {
+			t.Fatalf("iter %d: optimized log produced wrong index\nlog: %v\nopt: %v", iter, log, opt)
+		}
+	}
+	if shrunk == 0 {
+		t.Fatal("optimizer never shrank a log; redundancy injection broken")
+	}
+}

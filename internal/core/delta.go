@@ -1,0 +1,170 @@
+package core
+
+import (
+	"pqgram/internal/edit"
+	"pqgram/internal/fingerprint"
+	"pqgram/internal/tree"
+)
+
+// AddDelta computes the delta function δ(T, ē) of Definition 4 / Algorithm 2
+// on the tree T and unions the resulting pq-grams into the table pair,
+// preventing duplicates (§8.1). It reports whether any pq-grams were added;
+// per Definition 4, δ is empty for operations that are not defined on T.
+//
+// For rename and delete operations δ is every pq-gram containing the
+// operated node; for an insert it is every pq-gram containing the parent v
+// and at least one of the children c_k..c_m (Lemma 1).
+//
+// For inverse inserts the positional region k..m is widened by the recorded
+// identities of the adopted children (Op.Adopted): the proofs of Lemmas 1
+// and 3 characterize the delta by node membership, but sibling positions on
+// Tn can differ from the positions on the intermediate tree the operation
+// was recorded against (a later operation inserted or removed a sibling).
+// The widened region covers the adopted children wherever they sit under v
+// on Tn, which is exactly the per-step delta portion that survives to Tn.
+// Without the widening the rewind can miss pq-grams it needs (detected as
+// an error) or, worse, produce a silently wrong index.
+func (t *Tables) AddDelta(tn *tree.Tree, op edit.Op) bool {
+	added := false
+	switch op.Kind {
+	case edit.Rename, edit.Delete:
+		if op.Check(tn) != nil {
+			return false
+		}
+		n := tn.Node(op.Node)
+		v := n.Parent()
+		k := n.SiblingPos()
+		t.addSubMatrix(v, k, k)
+		for _, x := range tree.DescendantsWithin(n, t.pr.P-1) {
+			t.addFullMatrix(x)
+		}
+		added = true
+	case edit.Insert:
+		if op.Check(tn) == nil {
+			v := tn.Node(op.Parent)
+			t.addSubMatrix(v, op.K, op.M)
+			for i := op.K; i <= op.M; i++ {
+				for _, x := range tree.DescendantsWithin(v.Child(i), t.pr.P-2) {
+					t.addFullMatrix(x)
+				}
+			}
+			added = true
+		}
+		// Identity widening over the adopted children and the splice-region
+		// neighbors that still sit under v on Tn. Every added pq-gram is a
+		// genuine pq-gram of Tn, so over-adding is safe: pq-grams that turn
+		// out invariant pass through the rewind unchanged and cancel in
+		// I₀ ∖ λ(Δ⁻) ⊎ λ(Δ⁺).
+		if v := tn.Node(op.Parent); v != nil && !tn.Contains(op.Node) {
+			for _, cid := range op.Adopted {
+				c := tn.Node(cid)
+				if c == nil || c.Parent() != v {
+					continue
+				}
+				pos := c.SiblingPos()
+				t.addSubMatrix(v, pos, pos)
+				for _, x := range tree.DescendantsWithin(c, t.pr.P-2) {
+					t.addFullMatrix(x)
+				}
+				added = true
+			}
+			// For an inverse leaf insert (no adopted children) the delta's
+			// q-windows span the gap left by the removed node; they contain
+			// no adopted child, so they are anchored by the recorded
+			// splice-region neighbors instead.
+			if len(op.Adopted) == 0 {
+				for _, nid := range []tree.NodeID{op.NbrLeft, op.NbrRight} {
+					c := tn.Node(nid)
+					if nid == 0 || c == nil || c.Parent() != v {
+						continue
+					}
+					pos := c.SiblingPos()
+					t.addSubMatrix(v, pos, pos)
+					added = true
+				}
+				// A gap with no context at all: v's only child was removed,
+				// so the delta is the leaf pq-gram of v if v is still a
+				// leaf on Tn.
+				if op.NbrLeft == 0 && op.NbrRight == 0 && v.IsLeaf() {
+					t.addFullMatrix(v)
+					added = true
+				}
+			}
+		}
+	}
+	return added
+}
+
+// AddTree loads the complete profile of tn into the tables: every node
+// becomes an anchor with its full q-matrix. Useful for building an index
+// through the table representation and for single-step update tests
+// (equation 10: 𝒰(P_j, ē_j) = P_i).
+func (t *Tables) AddTree(tn *tree.Tree) {
+	tn.PreOrder(func(n *tree.Node) bool {
+		t.addFullMatrix(n)
+		return true
+	})
+}
+
+// addSubMatrix adds (P_T(v), Q_T^{k..m}(v)): v's p-part and the rows k to
+// m+q-1 of its q-matrix, read from the tree.
+func (t *Tables) addSubMatrix(v *tree.Node, k, m int) {
+	t.p.put(pEntryOf(v, t.pr.P))
+	q := t.pr.Q
+	if v.IsLeaf() {
+		// Q^{k..m} of a leaf is the (•…•) matrix (§7.2 special case).
+		t.q.put(v.ID(), leafRow(q))
+		return
+	}
+	for row := k; row <= m+q-1; row++ {
+		t.q.put(v.ID(), qRowOf(v, row, q))
+	}
+}
+
+// addFullMatrix adds (P_T(x), Q_T(x)): x's p-part and its complete q-matrix.
+func (t *Tables) addFullMatrix(x *tree.Node) {
+	t.p.put(pEntryOf(x, t.pr.P))
+	q := t.pr.Q
+	if x.IsLeaf() {
+		t.q.put(x.ID(), leafRow(q))
+		return
+	}
+	for row := 1; row <= x.Fanout()+q-1; row++ {
+		t.q.put(x.ID(), qRowOf(x, row, q))
+	}
+}
+
+// pEntryOf builds the P tuple of a node from the tree: its ancestor label
+// chain of length p (null-padded above the root), sibling position and
+// parent ID.
+func pEntryOf(n *tree.Node, p int) *pEntry {
+	ppart := make([]fingerprint.Hash, p)
+	a := n
+	for i := p - 1; i >= 0; i-- {
+		if a == nil {
+			break // remaining slots stay Null
+		}
+		ppart[i] = fingerprint.Of(a.Label())
+		a = a.Parent()
+	}
+	e := &pEntry{anch: n.ID(), ppart: ppart, fanout: n.Fanout()}
+	if par := n.Parent(); par != nil {
+		e.parent = par.ID()
+		e.sibPos = n.SiblingPos()
+	}
+	return e
+}
+
+// qRowOf builds row `row` of the q-matrix of non-leaf node v: the labels of
+// children c_{row-q+1} .. c_{row}, with nulls outside [1, fanout].
+func qRowOf(v *tree.Node, row, q int) qRow {
+	part := make([]fingerprint.Hash, q)
+	f := v.Fanout()
+	for j := 0; j < q; j++ {
+		ci := row - q + 1 + j
+		if ci >= 1 && ci <= f {
+			part[j] = fingerprint.Of(v.Child(ci).Label())
+		}
+	}
+	return qRow{row: row, part: part}
+}

@@ -1,0 +1,93 @@
+package core_test
+
+import (
+	"testing"
+
+	"pqgram/internal/core"
+	"pqgram/internal/edit"
+	"pqgram/internal/profile"
+	"pqgram/internal/tree"
+)
+
+// FuzzUpdateIndex drives the master invariant — incremental update equals
+// rebuild — from a fuzzer-controlled byte string that deterministically
+// selects a start tree, (p,q), and an edit sequence. The decoder only ever
+// produces valid scripts with fresh IDs, so every accepted input must
+// yield an exactly correct index.
+func FuzzUpdateIndex(f *testing.F) {
+	f.Add([]byte{3, 3, 7, 0, 1, 2, 3, 4, 5})
+	f.Add([]byte{1, 1, 2, 9, 9, 9, 9})
+	f.Add([]byte{2, 4, 12, 200, 100, 50, 25, 12, 6, 3, 1})
+	f.Add([]byte{4, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		next := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[0]
+			data = data[1:]
+			return b
+		}
+		pr := profile.Params{P: int(next()%4) + 1, Q: int(next()%4) + 1}
+		// Build a small start tree.
+		t0 := tree.New("r")
+		nodes := []*tree.Node{t0.Root()}
+		for i := 0; i < int(next()%20); i++ {
+			b := next()
+			parent := nodes[int(b)%len(nodes)]
+			label := string(rune('a' + b%5))
+			nodes = append(nodes, t0.AddChildAt(parent, label, int(b/16)%(parent.Fanout()+1)+1))
+		}
+		i0 := profile.BuildIndex(t0, pr)
+		tn := t0.Clone()
+		nextID := tn.MaxID() + 100
+
+		// Decode an edit sequence; stop when the data runs out.
+		var log edit.Log
+		for len(data) >= 3 {
+			kind, sel, pos := next(), next(), next()
+			all := tn.Nodes()
+			var op edit.Op
+			switch kind % 3 {
+			case 0:
+				v := all[int(sel)%len(all)]
+				k := int(pos)%(v.Fanout()+1) + 1
+				m := k - 1
+				if pos%2 == 0 {
+					m = k - 1 + int(pos/2)%(v.Fanout()-k+2)
+				}
+				nextID++
+				op = edit.Ins(nextID, string(rune('a'+kind%5)), v.ID(), k, m)
+			case 1:
+				n := all[int(sel)%len(all)]
+				if n.IsRoot() {
+					continue
+				}
+				op = edit.Del(n.ID())
+			default:
+				n := all[int(sel)%len(all)]
+				if n.IsRoot() {
+					continue
+				}
+				l := string(rune('a' + pos%5))
+				if n.Label() == l {
+					l += "x"
+				}
+				op = edit.Ren(n.ID(), l)
+			}
+			inv, err := op.Apply(tn)
+			if err != nil {
+				t.Fatalf("decoder produced invalid op %v: %v", op, err)
+			}
+			log = append(log, inv)
+		}
+
+		in, err := core.UpdateIndex(i0, tn, log, pr)
+		if err != nil {
+			t.Fatalf("UpdateIndex failed on valid log: %v\nlog: %v", err, log)
+		}
+		if !in.Equal(profile.BuildIndex(tn, pr)) {
+			t.Fatalf("incremental index differs from rebuild\nlog: %v\nT0:\n%sTn:\n%s", log, t0, tn)
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"pqgram/internal/fingerprint"
+)
+
+// window is the splice representation of a q-(sub)matrix Q^{k..m}(a) of §7.2:
+// the rows of the sub-matrix are exactly the sliding q-windows over the
+// label sequence  left ++ diag ++ right, where diag holds the labels of the
+// children c_k..c_m (the matrix diagonals of Figure 10) and left/right hold
+// the q-1 context labels on either side (null-padded at the child-list
+// boundaries). All // operators of the paper reduce to replacing diag and
+// re-emitting windows.
+type window struct {
+	left  []fingerprint.Hash // length q-1
+	diag  []fingerprint.Hash // length m-k+1 (may be 0)
+	right []fingerprint.Hash // length q-1
+}
+
+func nullCtx(q int) []fingerprint.Hash { return make([]fingerprint.Hash, q-1) }
+
+// extractWindow rebuilds the splice representation from the stored rows
+// k..m+q-1 of a sub-matrix (as returned by qTable.getRange). rows may be
+// empty only when the range itself is empty (q = 1 and m = k-1).
+func extractWindow(rows []qRow, k, m, q int) (window, error) {
+	nSeq := (m + q - 1) - (k - q + 1) + 1 // = m-k+1 + 2(q-1)
+	if nSeq < 0 {
+		nSeq = 0
+	}
+	seq := make([]fingerprint.Hash, nSeq)
+	for idx := range seq {
+		j := k - q + 1 + idx // sequence position (child index, may be out of [1,f])
+		i := j
+		if i < k {
+			i = k
+		}
+		rowIdx := i - k
+		if rowIdx >= len(rows) {
+			return window{}, fmt.Errorf("core: sub-matrix rows %d..%d incomplete (have %d rows)", k, m+q-1, len(rows))
+		}
+		r := rows[rowIdx]
+		if r.row != i {
+			return window{}, fmt.Errorf("core: sub-matrix row %d numbered %d", i, r.row)
+		}
+		part := j - (i - q + 1)
+		seq[idx] = r.part[part]
+	}
+	w := window{
+		left:  seq[:q-1],
+		diag:  seq[q-1 : q-1+(m-k+1)],
+		right: seq[q-1+(m-k+1):],
+	}
+	return w, nil
+}
+
+// leafWindow is the splice representation of a leaf's (•…•) matrix: no
+// diagonals, all-null context.
+func leafWindow(q int) window {
+	return window{left: nullCtx(q), diag: nil, right: nullCtx(q)}
+}
+
+// emitWindows materializes the rows of the sub-matrix obtained by replacing
+// the window's diagonals with diag (the A//B operator): sliding q-windows
+// over left ++ diag ++ right, numbered from startRow. Following §7.2's
+// special cases, a result with no diagonals and all-null context is the
+// empty matrix (the caller's replaceRange turns an anchor with no rows left
+// into a leaf row).
+func (w window) emitWindows(startRow int, diag []fingerprint.Hash, q int) []qRow {
+	if len(diag) == 0 && allNull(w.left) && allNull(w.right) {
+		return nil
+	}
+	seq := make([]fingerprint.Hash, 0, len(w.left)+len(diag)+len(w.right))
+	seq = append(seq, w.left...)
+	seq = append(seq, diag...)
+	seq = append(seq, w.right...)
+	n := len(seq) - q + 1
+	if n <= 0 {
+		return nil
+	}
+	rows := make([]qRow, n)
+	for i := 0; i < n; i++ {
+		part := make([]fingerprint.Hash, q)
+		copy(part, seq[i:i+q])
+		rows[i] = qRow{row: startRow + i, part: part}
+	}
+	return rows
+}
+
+// matrixShape reads the fanout and diagonal labels of a full q-matrix as
+// stored in the Q table (rows 1..f+q-1, or the single all-null leaf row).
+func matrixShape(rows []qRow, q int) (fanout int, diag []fingerprint.Hash, err error) {
+	if len(rows) == 0 {
+		return 0, nil, fmt.Errorf("core: empty q-matrix")
+	}
+	if isLeafMatrix(rows) {
+		return 0, nil, nil
+	}
+	f := len(rows) - (q - 1)
+	if f < 1 {
+		return 0, nil, fmt.Errorf("core: q-matrix with %d rows cannot be full for q=%d", len(rows), q)
+	}
+	w, err := extractWindow(rows, 1, f, q)
+	if err != nil {
+		return 0, nil, err
+	}
+	return f, w.diag, nil
+}

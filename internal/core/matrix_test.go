@@ -1,0 +1,303 @@
+package core
+
+import (
+	"testing"
+
+	"pqgram/internal/fingerprint"
+	"pqgram/internal/profile"
+	"pqgram/internal/tree"
+)
+
+func h(s string) fingerprint.Hash { return fingerprint.Of(s) }
+
+// rowsOf builds stored rows numbered from lo with the given parts.
+func rowsOf(lo int, parts ...[]fingerprint.Hash) []qRow {
+	out := make([]qRow, len(parts))
+	for i, p := range parts {
+		out[i] = qRow{row: lo + i, part: p}
+	}
+	return out
+}
+
+func hs(labels ...string) []fingerprint.Hash {
+	out := make([]fingerprint.Hash, len(labels))
+	for i, l := range labels {
+		if l != "*" {
+			out[i] = h(l)
+		}
+	}
+	return out
+}
+
+func TestExtractWindowSingleDiagonal(t *testing.T) {
+	// Q^{2..2} of a node with children (a b c d), q=3: rows 2..4.
+	rows := rowsOf(2, hs("*", "a", "b"), hs("a", "b", "c"), hs("b", "c", "d"))
+	w, err := extractWindow(rows, 2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.left) != 2 || w.left[0] != 0 || w.left[1] != h("a") {
+		t.Fatalf("left = %v", w.left)
+	}
+	if len(w.diag) != 1 || w.diag[0] != h("b") {
+		t.Fatalf("diag = %v", w.diag)
+	}
+	if len(w.right) != 2 || w.right[0] != h("c") || w.right[1] != h("d") {
+		t.Fatalf("right = %v", w.right)
+	}
+}
+
+func TestExtractWindowMultiDiagonal(t *testing.T) {
+	// Q^{1..3} of children (a b c), q=2: rows 1..4.
+	rows := rowsOf(1, hs("*", "a"), hs("a", "b"), hs("b", "c"), hs("c", "*"))
+	w, err := extractWindow(rows, 1, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.diag) != 3 || w.diag[0] != h("a") || w.diag[2] != h("c") {
+		t.Fatalf("diag = %v", w.diag)
+	}
+	if len(w.left) != 1 || w.left[0] != 0 {
+		t.Fatalf("left = %v", w.left)
+	}
+	if len(w.right) != 1 || w.right[0] != 0 {
+		t.Fatalf("right = %v", w.right)
+	}
+}
+
+func TestExtractWindowEmptyRange(t *testing.T) {
+	// m = k-1 with q=1: no rows, empty window.
+	w, err := extractWindow(nil, 3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.left)+len(w.diag)+len(w.right) != 0 {
+		t.Fatalf("window not empty: %+v", w)
+	}
+}
+
+func TestExtractWindowGapDetection(t *testing.T) {
+	rows := rowsOf(2, hs("*", "a", "b"))
+	rows = append(rows, qRow{row: 9, part: hs("x", "y", "z")})
+	if _, err := extractWindow(rows, 2, 3, 3); err == nil {
+		t.Fatal("row-number gap not detected")
+	}
+}
+
+func TestEmitWindowsReplaceDiagonal(t *testing.T) {
+	// Replace diagonal with a single new label n: windows over left+n+right.
+	w := window{left: hs("a", "b"), diag: hs("x"), right: hs("c", "*")}
+	rows := w.emitWindows(4, hs("n"), 3)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	if rows[0].row != 4 || rows[2].row != 6 {
+		t.Fatalf("row numbers %d..%d", rows[0].row, rows[2].row)
+	}
+	want := [][]fingerprint.Hash{hs("a", "b", "n"), hs("b", "n", "c"), hs("n", "c", "*")}
+	for i := range want {
+		for j := range want[i] {
+			if rows[i].part[j] != want[i][j] {
+				t.Fatalf("row %d = %v, want %v", i, rows[i].part, want[i])
+			}
+		}
+	}
+}
+
+func TestEmitWindowsDeleteAllDiagonals(t *testing.T) {
+	// diag removed, non-null context remains: q-1 rows over the context.
+	w := window{left: hs("a", "b"), diag: hs("x", "y"), right: hs("c", "d")}
+	rows := w.emitWindows(1, nil, 3)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+}
+
+func TestEmitWindowsAllNullCollapse(t *testing.T) {
+	// diag removed, all-null context: the (•…•) special case — no rows;
+	// the caller decides whether a leaf row replaces them.
+	w := window{left: hs("*", "*"), diag: hs("x"), right: hs("*", "*")}
+	if rows := w.emitWindows(1, nil, 3); rows != nil {
+		t.Fatalf("rows = %v, want nil", rows)
+	}
+}
+
+func TestLeafWindowInsert(t *testing.T) {
+	// (•…•) // D(n) = D(n): q rows with the single diagonal n.
+	rows := leafWindow(3).emitWindows(1, hs("n"), 3)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	if rows[0].part[2] != h("n") || rows[2].part[0] != h("n") {
+		t.Fatalf("diagonal misplaced: %v", rows)
+	}
+}
+
+func TestMatrixShape(t *testing.T) {
+	// Full matrix of children (a b), q=2: rows 1..3.
+	rows := rowsOf(1, hs("*", "a"), hs("a", "b"), hs("b", "*"))
+	f, diag, err := matrixShape(rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 2 || len(diag) != 2 || diag[0] != h("a") || diag[1] != h("b") {
+		t.Fatalf("fanout %d diag %v", f, diag)
+	}
+	// Leaf matrix.
+	f, diag, err = matrixShape([]qRow{leafRow(2)}, 2)
+	if err != nil || f != 0 || diag != nil {
+		t.Fatalf("leaf: f=%d diag=%v err=%v", f, diag, err)
+	}
+	// Degenerate.
+	if _, _, err := matrixShape(nil, 2); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, _, err := matrixShape(rowsOf(1, hs("a", "b")), 3); err == nil {
+		t.Fatal("underfull matrix accepted")
+	}
+}
+
+func TestQTableReplaceRangeRenumbers(t *testing.T) {
+	q := newQTable()
+	for i := 1; i <= 6; i++ {
+		q.put(7, qRow{row: i, part: hs("x")})
+	}
+	// Replace rows 2..4 (3 rows) with 1 row: rows 5,6 shift to 3,4.
+	q.replaceRange(7, 2, 4, rowsOf(2, hs("r")))
+	rows := q.all(7)
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, want := range []int{1, 2, 3, 4} {
+		if rows[i].row != want {
+			t.Fatalf("row %d numbered %d, want %d", i, rows[i].row, want)
+		}
+	}
+	if rows[1].part[0] != h("r") {
+		t.Fatal("replacement not in place")
+	}
+}
+
+func TestQTableReplaceRangeGrows(t *testing.T) {
+	q := newQTable()
+	q.put(7, qRow{row: 1, part: hs("a")})
+	q.put(7, qRow{row: 2, part: hs("b")})
+	// Insert 2 rows at position 2 (replacing zero rows).
+	q.replaceRange(7, 2, 1, rowsOf(2, hs("n1"), hs("n2")))
+	rows := q.all(7)
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[3].part[0] != h("b") || rows[3].row != 4 {
+		t.Fatalf("old row not shifted: %+v", rows[3])
+	}
+}
+
+func TestQTableGetRangeChecks(t *testing.T) {
+	q := newQTable()
+	q.put(7, qRow{row: 2, part: hs("a")})
+	if _, err := q.getRange(7, 1, 2); err == nil {
+		t.Fatal("missing row 1 not detected")
+	}
+	if _, err := q.getRange(7, 2, 3); err == nil {
+		t.Fatal("missing row 3 not detected")
+	}
+	got, err := q.getRange(7, 2, 2)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("getRange = %v, %v", got, err)
+	}
+	if got, err := q.getRange(7, 5, 4); err != nil || got != nil {
+		t.Fatalf("empty range = %v, %v", got, err)
+	}
+}
+
+func TestPTableParentIndexConsistency(t *testing.T) {
+	for _, indexed := range []bool{true, false} {
+		p := newPTable(indexed)
+		p.put(&pEntry{anch: 1, parent: 0, ppart: hs("r")})
+		p.put(&pEntry{anch: 2, parent: 1, sibPos: 1, ppart: hs("a")})
+		p.put(&pEntry{anch: 3, parent: 1, sibPos: 2, ppart: hs("b")})
+		p.put(&pEntry{anch: 4, parent: 2, sibPos: 1, ppart: hs("c")})
+
+		kids := p.childrenOf(1)
+		if len(kids) != 2 || kids[0].anch != 2 || kids[1].anch != 3 {
+			t.Fatalf("indexed=%v: childrenOf(1) = %v", indexed, kids)
+		}
+		if got := p.childrenInRange(1, 2, 2); len(got) != 1 || got[0].anch != 3 {
+			t.Fatalf("indexed=%v: childrenInRange = %v", indexed, got)
+		}
+
+		// Reparent 4 under 1 at position 3.
+		p.setParent(p.get(4), 1, 3)
+		if len(p.childrenOf(2)) != 0 {
+			t.Fatalf("indexed=%v: stale child under 2", indexed)
+		}
+		if len(p.childrenOf(1)) != 3 {
+			t.Fatalf("indexed=%v: reparent lost", indexed)
+		}
+
+		// Shift siblings after position 1 by +5.
+		p.shiftSiblings(1, 1, 5)
+		if p.get(3).sibPos != 7 || p.get(4).sibPos != 8 || p.get(2).sibPos != 1 {
+			t.Fatalf("indexed=%v: shift wrong: %d %d %d", indexed,
+				p.get(2).sibPos, p.get(3).sibPos, p.get(4).sibPos)
+		}
+
+		p.delete(3)
+		if p.get(3) != nil || len(p.childrenOf(1)) != 2 {
+			t.Fatalf("indexed=%v: delete incomplete", indexed)
+		}
+		// Duplicate put is refused.
+		if p.put(&pEntry{anch: 2}) {
+			t.Fatalf("indexed=%v: duplicate put accepted", indexed)
+		}
+	}
+}
+
+func TestChangePPartsLevels(t *testing.T) {
+	// Chain 1 -> 2 -> 3 -> 4, p=3. Rename node 2's label from b to B.
+	tb := NewTables(p33())
+	tb.p.put(&pEntry{anch: 2, parent: 1, sibPos: 1, ppart: hs("*", "a", "b")})
+	tb.p.put(&pEntry{anch: 3, parent: 2, sibPos: 1, ppart: hs("a", "b", "c")})
+	tb.p.put(&pEntry{anch: 4, parent: 3, sibPos: 1, ppart: hs("b", "c", "d")})
+
+	s := hs("*", "a", "B")
+	tb.changePParts(2, s, 2, false)
+
+	check := func(anch int, want []fingerprint.Hash) {
+		t.Helper()
+		got := tb.p.get(int64ToNodeID(anch)).ppart
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("anchor %d ppart = %v, want %v", anch, got, want)
+			}
+		}
+	}
+	check(2, hs("*", "a", "B"))
+	check(3, hs("a", "B", "c"))
+	check(4, hs("B", "c", "d"))
+}
+
+func TestChangePPartsSkipSelf(t *testing.T) {
+	tb := NewTables(p33())
+	tb.p.put(&pEntry{anch: 2, parent: 1, sibPos: 1, ppart: hs("*", "a", "b")})
+	tb.p.put(&pEntry{anch: 3, parent: 2, sibPos: 1, ppart: hs("a", "b", "c")})
+	s := hs("*", "*", "a") // node 2 deleted: its descendants lose it
+	tb.changePParts(2, s, 2, true)
+	if got := tb.p.get(2).ppart; got[2] != h("b") {
+		t.Fatalf("self was modified: %v", got)
+	}
+	// Child at distance 1: new ppart = s[1:] ++ old tail = (•, •, c)... with
+	// s = (•,•,a): (•, a, c).
+	want := hs("*", "a", "c")
+	got := tb.p.get(3).ppart
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("child ppart = %v, want %v", got, want)
+		}
+	}
+}
+
+func p33() profile.Params { return profile.Params{P: 3, Q: 3} }
+
+func int64ToNodeID(v int) tree.NodeID { return tree.NodeID(v) }

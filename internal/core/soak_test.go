@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pqgram/internal/core"
+	"pqgram/internal/edit"
+	"pqgram/internal/gen"
+	"pqgram/internal/profile"
+)
+
+// TestSoakIncrementalMaintenance stresses the full maintenance pipeline at
+// realistic scales: document-shaped trees (XMark and DBLP generators, up
+// to several thousand nodes), long mixed logs (up to 500 operations),
+// optimizer preprocessing, and a spread of (p,q) values. Skipped in -short
+// mode; it is the heavyweight companion of TestIncrementalMatchesRebuild.
+func TestSoakIncrementalMaintenance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := rand.New(rand.NewSource(2025))
+	params := []profile.Params{{P: 1, Q: 2}, {P: 2, Q: 2}, {P: 3, Q: 3}, {P: 5, Q: 2}, {P: 2, Q: 5}, {P: 5, Q: 5}}
+	mixes := []gen.OpMix{
+		gen.DefaultMix,
+		{Insert: 3, Delete: 1, Rename: 1},
+		{Insert: 1, Delete: 3, Rename: 1},
+		{Insert: 0, Delete: 0, Rename: 1},
+		{Insert: 1, Delete: 1, Rename: 0},
+	}
+	for iter := 0; iter < 30; iter++ {
+		pr := params[iter%len(params)]
+		mix := mixes[iter%len(mixes)]
+		var t0size = 500 + rng.Intn(4500)
+		var doc = gen.XMark(int64(iter), t0size)
+		if iter%2 == 1 {
+			doc = gen.DBLP(int64(iter), t0size)
+		}
+		i0 := profile.BuildIndex(doc, pr)
+
+		nOps := 50 + rng.Intn(451)
+		_, log, err := gen.RandomScript(rng, doc, nOps, mix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Half the iterations preprocess the log first (§10 future work).
+		used := log
+		if iter%2 == 0 {
+			used = edit.OptimizeLog(doc, log)
+		}
+		in, st, err := core.UpdateIndexStats(i0, doc, used, pr)
+		if err != nil {
+			t.Fatalf("iter %d (params %v, %d ops): %v", iter, pr, nOps, err)
+		}
+		want := profile.BuildIndex(doc, pr)
+		if !in.Equal(want) {
+			t.Fatalf("iter %d (params %v, %d ops, optimized=%v): index mismatch",
+				iter, pr, nOps, iter%2 == 0)
+		}
+		if st.PlusGrams == 0 && nOps > 0 && st.SkippedOps < len(used) {
+			t.Fatalf("iter %d: no new pq-grams for a %d-op log", iter, nOps)
+		}
+	}
+}

@@ -1,0 +1,363 @@
+// Package core implements the incremental maintenance of the pq-gram index
+// (Augsten, Böhlen and Gamper, VLDB 2006, §4–§8): given the old index I₀,
+// the resulting tree Tₙ, and the log of inverse edit operations
+// (ē₁, ..., ēₙ), it computes the new index Iₙ without reconstructing any
+// intermediate tree version.
+//
+// The pq-grams touched by the log are held in the temporary table pair
+// (P, Q) of §8.1: P stores one tuple (anchId, sibPos, parId, ppart) per
+// anchor node, Q stores the rows (anchId, row, qpart) of each anchor's
+// q-matrix. The delta function (Algorithm 2) fills the tables from Tₙ; the
+// profile update function (Algorithm 3) rewinds them, one log entry at a
+// time, into the old pq-grams.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"pqgram/internal/fingerprint"
+	"pqgram/internal/profile"
+	"pqgram/internal/tree"
+)
+
+// pEntry is one P tuple: the p-part of all pq-grams anchored at a node,
+// together with the structural bookkeeping the update function needs
+// (sibling position and parent, Figure 12).
+type pEntry struct {
+	anch   tree.NodeID
+	sibPos int                // 1-based position among the parent's children; 0 for the root
+	parent tree.NodeID        // NilID for the root
+	ppart  []fingerprint.Hash // length p: (a_{p-1}, ..., a_1, anch) label hashes
+	fanout int                // number of children in the current tree version
+}
+
+// pTable is the P relation, keyed by anchor ID with a secondary index on
+// parId (the paper reports that an index on the anchor IDs gives a
+// substantial performance advantage; the parId index serves the
+// σ_{parId=v} selections of Algorithm 3).
+type pTable struct {
+	byAnchor map[tree.NodeID]*pEntry
+	byParent map[tree.NodeID]map[tree.NodeID]*pEntry
+	indexed  bool // maintain byParent (ablation knob; on by default)
+}
+
+func newPTable(indexed bool) *pTable {
+	return &pTable{
+		byAnchor: make(map[tree.NodeID]*pEntry),
+		byParent: make(map[tree.NodeID]map[tree.NodeID]*pEntry),
+		indexed:  indexed,
+	}
+}
+
+func (p *pTable) get(anch tree.NodeID) *pEntry { return p.byAnchor[anch] }
+
+// put inserts the entry if its anchor is not yet present (the duplicate
+// prevention of §8.1). It reports whether the entry was inserted.
+func (p *pTable) put(e *pEntry) bool {
+	if _, ok := p.byAnchor[e.anch]; ok {
+		return false
+	}
+	p.byAnchor[e.anch] = e
+	p.indexAdd(e)
+	return true
+}
+
+func (p *pTable) indexAdd(e *pEntry) {
+	if !p.indexed {
+		return
+	}
+	m := p.byParent[e.parent]
+	if m == nil {
+		m = make(map[tree.NodeID]*pEntry)
+		p.byParent[e.parent] = m
+	}
+	m[e.anch] = e
+}
+
+func (p *pTable) indexRemove(e *pEntry) {
+	if !p.indexed {
+		return
+	}
+	if m := p.byParent[e.parent]; m != nil {
+		delete(m, e.anch)
+		if len(m) == 0 {
+			delete(p.byParent, e.parent)
+		}
+	}
+}
+
+func (p *pTable) delete(anch tree.NodeID) {
+	if e, ok := p.byAnchor[anch]; ok {
+		p.indexRemove(e)
+		delete(p.byAnchor, anch)
+	}
+}
+
+// setParent rewires the parent/sibPos of an existing entry, keeping the
+// secondary index consistent.
+func (p *pTable) setParent(e *pEntry, parent tree.NodeID, sibPos int) {
+	p.indexRemove(e)
+	e.parent = parent
+	e.sibPos = sibPos
+	p.indexAdd(e)
+}
+
+// childrenOf returns the entries with parId = v, i.e. σ_{parId=v}(P).
+func (p *pTable) childrenOf(v tree.NodeID) []*pEntry {
+	var out []*pEntry
+	if p.indexed {
+		for _, e := range p.byParent[v] {
+			out = append(out, e)
+		}
+	} else {
+		for _, e := range p.byAnchor {
+			if e.parent == v {
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].sibPos < out[j].sibPos })
+	return out
+}
+
+// childrenInRange returns σ_{parId=v, k<=sibPos<=m}(P), ordered by sibPos.
+func (p *pTable) childrenInRange(v tree.NodeID, k, m int) []*pEntry {
+	all := p.childrenOf(v)
+	out := all[:0:0]
+	for _, e := range all {
+		if e.sibPos >= k && e.sibPos <= m {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// shiftSiblings adds delta to the sibPos of every entry with parId = v and
+// sibPos > after.
+func (p *pTable) shiftSiblings(v tree.NodeID, after, delta int) {
+	if delta == 0 {
+		return
+	}
+	for _, e := range p.childrenOf(v) {
+		if e.sibPos > after {
+			e.sibPos += delta
+		}
+	}
+}
+
+func (p *pTable) len() int { return len(p.byAnchor) }
+
+// qRow is one Q tuple: row `row` of the anchor's q-matrix.
+type qRow struct {
+	row  int
+	part []fingerprint.Hash // length q
+}
+
+// qTable is the Q relation: per anchor, the stored rows of its q-matrix
+// ordered by row number. A leaf anchor is represented by a single all-null
+// row with row number 1, exactly as the paper's Q-matrix of a leaf.
+type qTable struct {
+	rows map[tree.NodeID][]qRow
+}
+
+func newQTable() *qTable { return &qTable{rows: make(map[tree.NodeID][]qRow)} }
+
+// put inserts the row if (anchor, row) is not yet present (duplicate
+// prevention). It reports whether it was inserted.
+func (q *qTable) put(anch tree.NodeID, r qRow) bool {
+	rows := q.rows[anch]
+	i := sort.Search(len(rows), func(i int) bool { return rows[i].row >= r.row })
+	if i < len(rows) && rows[i].row == r.row {
+		return false
+	}
+	rows = append(rows, qRow{})
+	copy(rows[i+1:], rows[i:])
+	rows[i] = r
+	q.rows[anch] = rows
+	return true
+}
+
+// all returns every stored row of the anchor, ordered by row number.
+func (q *qTable) all(anch tree.NodeID) []qRow { return q.rows[anch] }
+
+// getRange returns the stored rows with lo <= row <= hi, ordered. It
+// reports an error if any row in the range is missing: the maintenance
+// invariants (Lemma 7) guarantee presence, so a gap indicates a corrupted
+// log or a bug.
+func (q *qTable) getRange(anch tree.NodeID, lo, hi int) ([]qRow, error) {
+	if hi < lo {
+		return nil, nil
+	}
+	rows := q.rows[anch]
+	i := sort.Search(len(rows), func(i int) bool { return rows[i].row >= lo })
+	want := hi - lo + 1
+	if i+want > len(rows) {
+		return nil, fmt.Errorf("core: anchor %d rows %d..%d not all present", anch, lo, hi)
+	}
+	out := rows[i : i+want]
+	for j, r := range out {
+		if r.row != lo+j {
+			return nil, fmt.Errorf("core: anchor %d missing row %d in range %d..%d", anch, lo+j, lo, hi)
+		}
+	}
+	return out, nil
+}
+
+// replaceRange removes rows lo..hi of the anchor, inserts the replacement
+// rows (already numbered starting at lo), and shifts every subsequent row
+// number by len(repl) - (hi-lo+1). Rows below lo are untouched. Callers are
+// responsible for storing the (•…•) leaf row when the anchor becomes a true
+// leaf — the tables alone cannot tell a leaf from an anchor with no stored
+// rows (for q = 1 there is no context), so the fanout bookkeeping in P
+// decides.
+func (q *qTable) replaceRange(anch tree.NodeID, lo, hi int, repl []qRow) {
+	rows := q.rows[anch]
+	i := sort.Search(len(rows), func(i int) bool { return rows[i].row >= lo })
+	j := sort.Search(len(rows), func(i int) bool { return rows[i].row > hi })
+	shift := len(repl) - (hi - lo + 1)
+	out := make([]qRow, 0, i+len(repl)+len(rows)-j)
+	out = append(out, rows[:i]...)
+	out = append(out, repl...)
+	for _, r := range rows[j:] {
+		r.row += shift
+		out = append(out, r)
+	}
+	q.setAll(anch, out)
+}
+
+// deleteAnchor removes every row of the anchor.
+func (q *qTable) deleteAnchor(anch tree.NodeID) { delete(q.rows, anch) }
+
+// setAll replaces the anchor's rows wholesale.
+func (q *qTable) setAll(anch tree.NodeID, rows []qRow) {
+	if len(rows) == 0 {
+		delete(q.rows, anch)
+		return
+	}
+	q.rows[anch] = rows
+}
+
+func (q *qTable) rowCount() int {
+	n := 0
+	for _, rs := range q.rows {
+		n += len(rs)
+	}
+	return n
+}
+
+// leafRow is the single all-null row representing the q-matrix of a leaf.
+func leafRow(qlen int) qRow {
+	return qRow{row: 1, part: make([]fingerprint.Hash, qlen)}
+}
+
+func allNull(part []fingerprint.Hash) bool {
+	for _, h := range part {
+		if h != fingerprint.Null {
+			return false
+		}
+	}
+	return true
+}
+
+// isLeafMatrix reports whether the stored rows represent a leaf anchor.
+func isLeafMatrix(rows []qRow) bool {
+	return len(rows) == 1 && rows[0].row == 1 && allNull(rows[0].part)
+}
+
+// Tables is the temporary (P, Q) table pair holding a set of pq-grams
+// during index maintenance.
+type Tables struct {
+	pr profile.Params
+	p  *pTable
+	q  *qTable
+}
+
+// NewTables creates an empty table pair for the given parameters.
+func NewTables(pr profile.Params) *Tables {
+	return NewTablesIndexed(pr, true)
+}
+
+// NewTablesIndexed creates an empty table pair, optionally without the
+// parId secondary index (for the ablation benchmark of §8.1's claim).
+func NewTablesIndexed(pr profile.Params, indexed bool) *Tables {
+	if err := pr.Validate(); err != nil {
+		panic(err)
+	}
+	return &Tables{pr: pr, p: newPTable(indexed), q: newQTable()}
+}
+
+// Params returns the pq-gram parameters of the table pair.
+func (t *Tables) Params() profile.Params { return t.pr }
+
+// Len returns the number of pq-grams currently represented: the number of
+// (P ⋈ Q) join results.
+func (t *Tables) Len() int {
+	n := 0
+	for anch := range t.p.byAnchor {
+		n += len(t.q.all(anch))
+	}
+	return n
+}
+
+// Anchors returns the anchor IDs present, in ascending order.
+func (t *Tables) Anchors() []tree.NodeID {
+	out := make([]tree.NodeID, 0, t.p.len())
+	for id := range t.p.byAnchor {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Lambda computes λ(P, Q) (equation 31): the bag of label-tuples obtained
+// by joining P and Q on the anchor ID and concatenating ppart with each
+// qpart. It reports an error if the join is lossy (an anchor present in one
+// table but not the other), which indicates a maintenance bug.
+func (t *Tables) Lambda() (profile.Index, error) {
+	idx := make(profile.Index, t.p.len()*2)
+	for anch, e := range t.p.byAnchor {
+		// A p-part without q-parts represents no pq-grams: it is retained
+		// metadata (see AddDelta on degenerate q=1 leaf inserts).
+		for _, r := range t.q.all(anch) {
+			tuple := make([]fingerprint.Hash, 0, t.pr.Len())
+			tuple = append(tuple, e.ppart...)
+			tuple = append(tuple, r.part...)
+			idx.Add(profile.TupleOf(tuple...))
+		}
+	}
+	for anch := range t.q.rows {
+		if t.p.get(anch) == nil {
+			return nil, fmt.Errorf("core: anchor %d has q-parts but no p-part", anch)
+		}
+	}
+	return idx, nil
+}
+
+// Snapshot returns the represented pq-grams as (anchor, label-tuple) pairs
+// for inspection in tests: node identity of the anchor plus the full label
+// tuple. The slice is sorted for stable comparison.
+func (t *Tables) Snapshot() []AnchoredTuple {
+	var out []AnchoredTuple
+	for anch, e := range t.p.byAnchor {
+		for _, r := range t.q.all(anch) {
+			tuple := make([]fingerprint.Hash, 0, t.pr.Len())
+			tuple = append(tuple, e.ppart...)
+			tuple = append(tuple, r.part...)
+			out = append(out, AnchoredTuple{Anchor: anch, Tuple: profile.TupleOf(tuple...)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Anchor != out[j].Anchor {
+			return out[i].Anchor < out[j].Anchor
+		}
+		return out[i].Tuple < out[j].Tuple
+	})
+	return out
+}
+
+// AnchoredTuple pairs a pq-gram's anchor node ID with its label tuple.
+type AnchoredTuple struct {
+	Anchor tree.NodeID
+	Tuple  profile.LabelTuple
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+
+	"pqgram/internal/edit"
+	"pqgram/internal/fingerprint"
+	"pqgram/internal/tree"
+)
+
+// Update applies the profile update function 𝒰(P, Q, ē) of Definition 5 /
+// Algorithm 3 to the table pair: the pq-grams of δ(T, ē) currently in the
+// tables are replaced in place by the pq-grams 𝒰(δ(T, ē), ē) of the
+// previous tree version; all other pq-grams pass through untouched (modulo
+// the row-number and sibling-position renumbering of §8.4).
+//
+// Update must be called for the log entries in reverse order (ēₙ first);
+// Lemma 7 then guarantees that every pq-gram a step needs is present. A
+// missing tuple therefore indicates a log that does not belong to the tree,
+// and is reported as an error.
+func (t *Tables) Update(op edit.Op) error {
+	switch op.Kind {
+	case edit.Rename:
+		return t.updateRename(op)
+	case edit.Delete:
+		return t.updateDelete(op)
+	case edit.Insert:
+		return t.updateInsert(op)
+	}
+	return fmt.Errorf("core: unknown edit operation kind %d", op.Kind)
+}
+
+// updateRename handles ē = REN(n, l'): every stored pq-gram containing n
+// gets n's label replaced by l'.
+func (t *Tables) updateRename(op edit.Op) error {
+	p, q := t.pr.P, t.pr.Q
+	e := t.p.get(op.Node)
+	if e == nil {
+		return fmt.Errorf("core: REN %d: anchor not in delta tables", op.Node)
+	}
+	if e.parent == tree.NilID {
+		return fmt.Errorf("core: REN %d: cannot rename the root", op.Node)
+	}
+	v, k := e.parent, e.sibPos
+	newLabel := fingerprint.Of(op.Label)
+
+	// Q ← Q \ Q^{k..k}(v) ∪ [Q^{k..k}(v) // D((id(n), l'))].
+	rows, err := t.q.getRange(v, k, k+q-1)
+	if err != nil {
+		return fmt.Errorf("core: REN %d: %w", op.Node, err)
+	}
+	w, err := extractWindow(rows, k, k, q)
+	if err != nil {
+		return fmt.Errorf("core: REN %d: %w", op.Node, err)
+	}
+	repl := w.emitWindows(k, []fingerprint.Hash{newLabel}, q)
+	t.q.replaceRange(v, k, k+q-1, repl)
+
+	// P: changePParts(P, n, subStr(ppart, 1, p-1) ∘ l', p-1).
+	s := make([]fingerprint.Hash, p)
+	copy(s, e.ppart[:p-1])
+	s[p-1] = newLabel
+	t.changePParts(op.Node, s, p-1, false)
+	return nil
+}
+
+// updateDelete handles ē = DEL(n) (the forward operation inserted n):
+// n disappears, its children are spliced into its position under v.
+func (t *Tables) updateDelete(op edit.Op) error {
+	p, q := t.pr.P, t.pr.Q
+	e := t.p.get(op.Node)
+	if e == nil {
+		return fmt.Errorf("core: DEL %d: anchor not in delta tables", op.Node)
+	}
+	if e.parent == tree.NilID {
+		return fmt.Errorf("core: DEL %d: cannot delete the root", op.Node)
+	}
+	v, k := e.parent, e.sibPos
+	eV := t.p.get(v)
+	if eV == nil {
+		return fmt.Errorf("core: DEL %d: parent %d not in delta tables", op.Node, v)
+	}
+
+	// Shape of n's own matrix: its children become v's.
+	nRows := t.q.all(op.Node)
+	fN, diagN, err := matrixShape(nRows, q)
+	if err != nil {
+		return fmt.Errorf("core: DEL %d: %w", op.Node, err)
+	}
+	if fN != e.fanout {
+		return fmt.Errorf("core: DEL %d: stored matrix fanout %d, bookkeeping %d", op.Node, fN, e.fanout)
+	}
+
+	// Q ← Q \ [Q^{k..k}(v) ∪ Q(n)] ∪ [Q^{k..k}(v) // Q(n)].
+	rows, err := t.q.getRange(v, k, k+q-1)
+	if err != nil {
+		return fmt.Errorf("core: DEL %d: %w", op.Node, err)
+	}
+	w, err := extractWindow(rows, k, k, q)
+	if err != nil {
+		return fmt.Errorf("core: DEL %d: %w", op.Node, err)
+	}
+	newFanV := eV.fanout - 1 + fN
+	repl := w.emitWindows(k, diagN, q)
+	if newFanV == 0 {
+		// v becomes a leaf in the older version: Q^{k..k}(v) was its whole
+		// matrix and the replacement is the (•…•) leaf row (§7.2).
+		repl = []qRow{leafRow(q)}
+	}
+	t.q.replaceRange(v, k, k+q-1, repl)
+	t.q.deleteAnchor(op.Node)
+
+	// P: new p-parts for n's descendants within p-1 (n itself is removed):
+	// s = λ(•) ∘ subStr(ppart(n), 1, p-1).
+	s := make([]fingerprint.Hash, p)
+	copy(s[1:], e.ppart[:p-1])
+	t.changePParts(op.Node, s, p-1, true)
+
+	// Structural bookkeeping (§8.4): siblings of n after position k shift
+	// right by fanout(n)-1, n's children move under v at positions k.. .
+	t.p.shiftSiblings(v, k, fN-1)
+	for _, c := range t.p.childrenOf(op.Node) {
+		t.p.setParent(c, v, c.sibPos+k-1)
+	}
+	t.p.delete(op.Node)
+	eV.fanout = newFanV
+	return nil
+}
+
+// updateInsert handles ē = INS(n, v, k, m) (the forward operation deleted
+// n): n reappears as the k-th child of v, adopting v's children c_k..c_m.
+func (t *Tables) updateInsert(op edit.Op) error {
+	p, q := t.pr.P, t.pr.Q
+	n, v, k, m := op.Node, op.Parent, op.K, op.M
+	nLabel := fingerprint.Of(op.Label)
+	eV := t.p.get(v)
+	if eV == nil {
+		return fmt.Errorf("core: INS %d: parent %d not in delta tables", n, v)
+	}
+	if k < 1 || m < k-1 || m > eV.fanout {
+		return fmt.Errorf("core: INS %d: positions k=%d m=%d invalid for fanout %d of %d",
+			n, k, m, eV.fanout, v)
+	}
+
+	// Q side. Read the affected sub-matrix of v (special-casing a leaf v,
+	// whose stored matrix is the single (•…•) row that the replacement
+	// consumes).
+	var w window
+	if eV.fanout == 0 {
+		w = leafWindow(q)
+		t.q.replaceRange(v, 1, 1, w.emitWindows(1, []fingerprint.Hash{nLabel}, q))
+	} else {
+		rows, err := t.q.getRange(v, k, m+q-1)
+		if err != nil {
+			return fmt.Errorf("core: INS %d: %w", n, err)
+		}
+		w, err = extractWindow(rows, k, m, q)
+		if err != nil {
+			return fmt.Errorf("core: INS %d: %w", n, err)
+		}
+		// Q^{k..m}(v) // D(n): v's side, children c_k..c_m replaced by n.
+		t.q.replaceRange(v, k, m+q-1, w.emitWindows(k, []fingerprint.Hash{nLabel}, q))
+	}
+	// D_n(•) // Q^{k..m}(v): n's new matrix with diagonals c_k..c_m.
+	nRows := leafWindow(q).emitWindows(1, w.diag, q)
+	if len(nRows) == 0 {
+		nRows = []qRow{leafRow(q)}
+	}
+	t.q.setAll(n, nRows)
+
+	// P side. s = subStr(ppart(v), 2, p) ∘ λ(n) is n's new p-part.
+	s := make([]fingerprint.Hash, p)
+	copy(s, eV.ppart[1:])
+	s[p-1] = nLabel
+
+	// For each adopted child c: s' = subStr(s, 2, p) ∘ λ(c), updating c and
+	// its descendants within p-2. Gather before mutating.
+	children := t.p.childrenInRange(v, k, m)
+	if p >= 2 {
+		for _, c := range children {
+			sc := make([]fingerprint.Hash, p)
+			copy(sc, s[1:])
+			sc[p-1] = c.ppart[p-1]
+			t.changePParts(c.anch, sc, p-2, false)
+		}
+	}
+
+	// Structural bookkeeping: adopted children move under n (positions
+	// 1..m-k+1), later siblings of v shift left by m-k, and n's own tuple
+	// (n, k, v, s) is added.
+	for _, c := range children {
+		t.p.setParent(c, n, c.sibPos-k+1)
+	}
+	t.p.shiftSiblings(v, m, -(m - k))
+	if !t.p.put(&pEntry{anch: n, sibPos: k, parent: v, ppart: s, fanout: m - k + 1}) {
+		return fmt.Errorf("core: INS %d: anchor already present (node ID reused? see package doc)", n)
+	}
+	eV.fanout -= m - k
+	return nil
+}
+
+// changePParts implements Algorithm 4: it rewrites the p-part of anchor n
+// and of every anchor in the tables that is a descendant of n within
+// distance d. s is the new p-part of n; for an anchor x at distance i the
+// new p-part is the last p-i labels of s followed by the last i labels of
+// x's old p-part (the invariant part below n). When skipSelf is set, n's
+// own tuple is left alone (the caller is about to remove it).
+func (t *Tables) changePParts(n tree.NodeID, s []fingerprint.Hash, d int, skipSelf bool) {
+	if d < 0 {
+		return
+	}
+	p := t.pr.P
+	level := []*pEntry{}
+	if e := t.p.get(n); e != nil {
+		level = append(level, e)
+	}
+	for i := 0; i <= d && len(level) > 0; i++ {
+		for _, e := range level {
+			if i == 0 && skipSelf {
+				continue
+			}
+			np := make([]fingerprint.Hash, p)
+			copy(np, s[i:])
+			copy(np[p-i:], e.ppart[p-i:])
+			e.ppart = np
+		}
+		if i == d {
+			break
+		}
+		var next []*pEntry
+		for _, e := range level {
+			next = append(next, t.p.childrenOf(e.anch)...)
+		}
+		level = next
+	}
+}

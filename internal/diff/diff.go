@@ -1,0 +1,176 @@
+// Package diff computes minimal edit scripts between trees: the missing
+// producer side of the paper's pipeline. The paper consumes logs of edit
+// operations from a change feed; diff generates such a script when only
+// the two document versions are available (the "change detection" scenario
+// of the paper's related work), by extracting a minimum-cost Zhang–Shasha
+// edit mapping and converting it into an applicable sequence of the
+// standard node operations INS, DEL, REN.
+//
+// The generated script has exactly TreeEditDistance(a, b) operations,
+// transforms a into b (up to node identities: inserted nodes get fresh
+// IDs), and its inverse log drives incremental index maintenance.
+package diff
+
+import (
+	"fmt"
+	"sort"
+
+	"pqgram/internal/edit"
+	"pqgram/internal/ted"
+	"pqgram/internal/tree"
+)
+
+// Script computes a minimal edit script that transforms a into b, applying
+// it to a in place (a becomes label-equal to b). It returns the script and
+// the log of inverse operations — the exact inputs the incremental index
+// maintenance needs.
+//
+// Restrictions inherited from the paper's operation model (the root is
+// never changed): the minimum-cost mapping must pair the two roots and
+// keep the root label. Document versions share their root element in
+// practice; Script reports an error otherwise.
+func Script(a, b *tree.Tree) (edit.Script, edit.Log, error) {
+	pairs, _ := ted.Mapping(a, b)
+
+	aToB := make(map[tree.NodeID]tree.NodeID, len(pairs))
+	bToA := make(map[tree.NodeID]tree.NodeID, len(pairs))
+	for _, p := range pairs {
+		aToB[p.A] = p.B
+		bToA[p.B] = p.A
+	}
+	rootA, rootB := a.Root(), b.Root()
+	if aToB[rootA.ID()] != rootB.ID() {
+		return nil, nil, fmt.Errorf("diff: the minimal mapping does not pair the roots; the paper's operation model cannot change the root")
+	}
+	if rootA.Label() != rootB.Label() {
+		return nil, nil, fmt.Errorf("diff: root label changes from %q to %q; the paper's operation model cannot rename the root", rootA.Label(), rootB.Label())
+	}
+
+	// Preorder index of every b node, and the end of each subtree's
+	// preorder interval, to decide adoption ranges for inserts.
+	bPre := make(map[tree.NodeID]int, b.Size())
+	bEnd := make(map[tree.NodeID]int, b.Size())
+	i := 0
+	var walk func(n *tree.Node)
+	walk = func(n *tree.Node) {
+		bPre[n.ID()] = i
+		i++
+		for _, c := range n.Children() {
+			walk(c)
+		}
+		bEnd[n.ID()] = i - 1
+	}
+	walk(rootB)
+
+	var script edit.Script
+	var log edit.Log
+	apply := func(op edit.Op) error {
+		inv, err := op.Apply(a)
+		if err != nil {
+			return fmt.Errorf("diff: generated operation %v not applicable: %w", op, err)
+		}
+		script = append(script, op)
+		log = append(log, inv)
+		return nil
+	}
+
+	// 1. Renames: mapped pairs whose labels differ.
+	for _, p := range pairs {
+		an, bn := a.Node(p.A), b.Node(p.B)
+		if an == nil || bn == nil {
+			return nil, nil, fmt.Errorf("diff: mapping references unknown node")
+		}
+		if an.Label() != bn.Label() {
+			if err := apply(edit.Ren(p.A, bn.Label())); err != nil {
+				return script, log, err
+			}
+		}
+	}
+
+	// 2. Deletes: unmapped nodes of a, children before parents so every
+	// DEL splices its current children upward (the mapping's semantics).
+	var unmappedA []*tree.Node
+	a.PostOrder(func(n *tree.Node) bool {
+		if _, ok := aToB[n.ID()]; !ok {
+			unmappedA = append(unmappedA, n)
+		}
+		return true
+	})
+	for _, n := range unmappedA {
+		if err := apply(edit.Del(n.ID())); err != nil {
+			return script, log, err
+		}
+	}
+
+	// corr maps nodes of the working tree to their b counterparts.
+	corr := make(map[tree.NodeID]tree.NodeID, b.Size())
+	for aid, bid := range aToB {
+		corr[aid] = bid
+	}
+	image := make(map[tree.NodeID]tree.NodeID, b.Size()) // b node -> working-tree node
+	for bid, aid := range bToA {
+		image[bid] = aid
+	}
+
+	// 3. Inserts: unmapped nodes of b in preorder, each as INS(n, v, k, m)
+	// adopting the current children of v that belong under it.
+	nextID := a.MaxID() + 1
+	var unmappedB []*tree.Node
+	b.PreOrder(func(n *tree.Node) bool {
+		if _, ok := bToA[n.ID()]; !ok {
+			unmappedB = append(unmappedB, n)
+		}
+		return true
+	})
+	sort.SliceStable(unmappedB, func(i, j int) bool {
+		return bPre[unmappedB[i].ID()] < bPre[unmappedB[j].ID()]
+	})
+	for _, vb := range unmappedB {
+		pb := vb.Parent() // non-nil: b's root is mapped
+		pa, ok := image[pb.ID()]
+		if !ok {
+			return script, log, fmt.Errorf("diff: parent of b-node %d not materialized", vb.ID())
+		}
+		paNode := a.Node(pa)
+		lo, hi := bPre[vb.ID()], bEnd[vb.ID()]
+		k, m := 0, 0
+		adopting := false
+		for idx, c := range paNode.Children() {
+			cb, ok := corr[c.ID()]
+			if !ok {
+				return script, log, fmt.Errorf("diff: working-tree node %d has no b counterpart", c.ID())
+			}
+			switch pre := bPre[cb]; {
+			case pre < lo:
+				if adopting {
+					return script, log, fmt.Errorf("diff: adoption range for b-node %d not contiguous", vb.ID())
+				}
+				k = idx + 2 // insert after this child
+			case pre > hi:
+				// after the subtree; nothing to do
+			default:
+				if !adopting {
+					adopting = true
+					k = idx + 1
+				} else if m != idx { // previous adopted child must be adjacent
+					return script, log, fmt.Errorf("diff: adoption range for b-node %d not contiguous", vb.ID())
+				}
+				m = idx + 1
+			}
+		}
+		if !adopting {
+			if k == 0 {
+				k = 1
+			}
+			m = k - 1
+		}
+		id := nextID
+		nextID++
+		if err := apply(edit.Ins(id, vb.Label(), pa, k, m)); err != nil {
+			return script, log, err
+		}
+		corr[id] = vb.ID()
+		image[vb.ID()] = id
+	}
+	return script, log, nil
+}

@@ -1,0 +1,163 @@
+package diff
+
+import (
+	"math/rand"
+	"testing"
+
+	"pqgram/internal/core"
+	"pqgram/internal/gen"
+	"pqgram/internal/profile"
+	"pqgram/internal/ted"
+	"pqgram/internal/tree"
+)
+
+func mustScript(t *testing.T, aStr, bStr string) (edited *tree.Tree, n int) {
+	t.Helper()
+	a, b := tree.MustParse(aStr), tree.MustParse(bStr)
+	want := ted.Distance(a, b)
+	script, log, err := Script(a, b)
+	if err != nil {
+		t.Fatalf("Script(%s, %s): %v", aStr, bStr, err)
+	}
+	if len(script) != want {
+		t.Fatalf("Script(%s, %s) has %d ops, TED is %d\nscript: %v", aStr, bStr, len(script), want, script)
+	}
+	if len(log) != len(script) {
+		t.Fatalf("log length mismatch")
+	}
+	if !tree.EqualLabels(a, b) {
+		t.Fatalf("Script(%s, %s) result %s != target", aStr, bStr, a.Format())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return a, len(script)
+}
+
+func TestScriptIdentity(t *testing.T) {
+	if _, n := mustScript(t, "a(b c)", "a(b c)"); n != 0 {
+		t.Fatalf("identity diff has %d ops", n)
+	}
+}
+
+func TestScriptSingleOps(t *testing.T) {
+	cases := [][2]string{
+		{"a(b)", "a(c)"},        // rename
+		{"a(b c)", "a(c)"},      // delete leaf
+		{"a(b(c d))", "a(c d)"}, // delete inner (children splice)
+		{"a(b)", "a(b c)"},      // insert leaf
+		{"a(b c)", "a(x(b c))"}, // insert inner adopting both
+		{"a(b c d)", "a(b x(c) d)"},
+	}
+	for _, c := range cases {
+		mustScript(t, c[0], c[1])
+	}
+}
+
+func TestScriptCombined(t *testing.T) {
+	cases := [][2]string{
+		{"a(b(c d) e)", "a(x(c) e f)"},
+		{"r(a b c d e)", "r(e d c b a)"},
+		{"r(a(b(c(d))))", "r(d(c(b(a))))"},
+		{"site(regions(item item) people)", "site(regions(item) people(person))"},
+	}
+	for _, c := range cases {
+		mustScript(t, c[0], c[1])
+	}
+}
+
+func TestScriptRootRestrictions(t *testing.T) {
+	a, b := tree.MustParse("a(b)"), tree.MustParse("z(b)")
+	if _, _, err := Script(a, b); err == nil {
+		t.Fatal("root label change accepted")
+	}
+}
+
+func TestScriptRandomPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 120; iter++ {
+		base := gen.RandomTree(rng, 2+rng.Intn(25))
+		mutant, _, err := gen.Perturb(rng, base, 1+rng.Intn(10), gen.DefaultMix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ted.Distance(base, mutant)
+		work := base.Clone()
+		script, log, err := Script(work, mutant)
+		if err != nil {
+			// The only legitimate failure: the optimal mapping cannot keep
+			// the root fixed (possible when perturbation renamed near the
+			// root in a tiny tree). Skip those.
+			continue
+		}
+		if len(script) != want {
+			t.Fatalf("iter %d: %d ops, TED %d\nbase: %s\nmutant: %s",
+				iter, len(script), want, base.Format(), mutant.Format())
+		}
+		if !tree.EqualLabels(work, mutant) {
+			t.Fatalf("iter %d: diff result differs from target", iter)
+		}
+		// The inverse log must restore the original.
+		if err := log.Undo(work); err != nil {
+			t.Fatalf("iter %d: undo: %v", iter, err)
+		}
+		if !tree.Equal(work, base) {
+			t.Fatalf("iter %d: undo did not restore the base", iter)
+		}
+	}
+}
+
+// TestDiffDrivesIndexMaintenance is the full change-detection pipeline:
+// two document versions, no edit feed — diff them, and use the recovered
+// log for incremental index maintenance.
+func TestDiffDrivesIndexMaintenance(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	p33 := profile.Params{P: 3, Q: 3}
+	for iter := 0; iter < 40; iter++ {
+		v1 := gen.XMark(int64(iter), 150)
+		v2, _, err := gen.Perturb(rng, v1, 1+rng.Intn(15), gen.DefaultMix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i0 := profile.BuildIndex(v1, p33)
+
+		work := v1.Clone()
+		_, log, err := Script(work, v2)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		in, err := core.UpdateIndex(i0, work, log, p33)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if !in.Equal(profile.BuildIndex(work, p33)) {
+			t.Fatalf("iter %d: diff-driven update differs from rebuild", iter)
+		}
+		// And the maintained document really is version 2 (by labels).
+		if !tree.EqualLabels(work, v2) {
+			t.Fatalf("iter %d: diff did not reach v2", iter)
+		}
+	}
+}
+
+func TestScriptCheapterThanPerturbation(t *testing.T) {
+	// The recovered script is minimal: never longer than the perturbation
+	// that produced the mutant.
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 40; iter++ {
+		base := gen.RandomTree(rng, 10+rng.Intn(30))
+		k := 1 + rng.Intn(8)
+		mutant, _, err := gen.Perturb(rng, base, k, gen.DefaultMix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		work := base.Clone()
+		script, _, err := Script(work, mutant)
+		if err != nil {
+			continue
+		}
+		if len(script) > k {
+			t.Fatalf("iter %d: recovered %d ops for a %d-op perturbation", iter, len(script), k)
+		}
+	}
+}

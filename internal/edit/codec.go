@@ -1,0 +1,171 @@
+package edit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pqgram/internal/tree"
+)
+
+// WriteLog writes ops in the line-oriented text format, one operation per
+// line (see Op.String). The format is stable and round-trips through
+// ReadLog.
+func WriteLog(w io.Writer, ops []Op) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range ops {
+		if _, err := bw.WriteString(op.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLog parses a log written by WriteLog. Blank lines and lines starting
+// with '#' are ignored.
+func ReadLog(r io.Reader) ([]Op, error) {
+	var ops []Op
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		op, err := ParseOp(line)
+		if err != nil {
+			return nil, fmt.Errorf("edit: line %d: %w", lineNo, err)
+		}
+		ops = append(ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+// ParseOp parses a single operation in the text format of Op.String.
+func ParseOp(line string) (Op, error) {
+	fields, err := splitFields(line)
+	if err != nil {
+		return Op{}, err
+	}
+	if len(fields) == 0 {
+		return Op{}, fmt.Errorf("empty operation")
+	}
+	switch fields[0] {
+	case "INS":
+		if len(fields) < 6 {
+			return Op{}, fmt.Errorf("INS wants at least 5 arguments, got %d", len(fields)-1)
+		}
+		n, err1 := parseID(fields[1])
+		v, err2 := parseID(fields[3])
+		k, err3 := strconv.Atoi(fields[4])
+		m, err4 := strconv.Atoi(fields[5])
+		if err := firstErr(err1, err2, err3, err4); err != nil {
+			return Op{}, fmt.Errorf("INS: %w", err)
+		}
+		op := Ins(n, fields[2], v, k, m)
+		for _, f := range fields[6:] {
+			switch {
+			case strings.HasPrefix(f, "L="):
+				op.NbrLeft, err = parseID(f[2:])
+			case strings.HasPrefix(f, "R="):
+				op.NbrRight, err = parseID(f[2:])
+			default:
+				var c tree.NodeID
+				c, err = parseID(f)
+				op.Adopted = append(op.Adopted, c)
+			}
+			if err != nil {
+				return Op{}, fmt.Errorf("INS context field %q: %w", f, err)
+			}
+		}
+		return op, nil
+	case "DEL":
+		if len(fields) != 2 {
+			return Op{}, fmt.Errorf("DEL wants 1 argument, got %d", len(fields)-1)
+		}
+		n, err := parseID(fields[1])
+		if err != nil {
+			return Op{}, fmt.Errorf("DEL: %w", err)
+		}
+		return Del(n), nil
+	case "REN":
+		if len(fields) != 3 {
+			return Op{}, fmt.Errorf("REN wants 2 arguments, got %d", len(fields)-1)
+		}
+		n, err := parseID(fields[1])
+		if err != nil {
+			return Op{}, fmt.Errorf("REN: %w", err)
+		}
+		return Ren(n, fields[2]), nil
+	}
+	return Op{}, fmt.Errorf("unknown operation %q", fields[0])
+}
+
+func parseID(s string) (tree.NodeID, error) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	return tree.NodeID(v), err
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// splitFields splits on spaces but honors double-quoted Go string literals,
+// so labels containing spaces round-trip.
+func splitFields(line string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		if line[i] == '"' {
+			j := i + 1
+			for j < len(line) {
+				if line[j] == '\\' {
+					j += 2
+					continue
+				}
+				if line[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(line) {
+				return nil, fmt.Errorf("unterminated quote")
+			}
+			s, err := strconv.Unquote(line[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted field %s: %v", line[i:j+1], err)
+			}
+			out = append(out, s)
+			i = j + 1
+			continue
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' {
+			j++
+		}
+		out = append(out, line[i:j])
+		i = j
+	}
+	return out, nil
+}

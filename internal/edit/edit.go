@@ -1,0 +1,274 @@
+// Package edit implements the standard tree edit operations of Zhang and
+// Shasha as used by Augsten, Böhlen and Gamper (VLDB 2006), §3.1:
+//
+//	INS(n, v, k, m) — insert node n as the k-th child of v, substituting
+//	    v's children c_k..c_m with n and re-attaching them as n's children.
+//	DEL(n)          — delete n, splicing its children into its position.
+//	REN(n, l')      — change the label of n to l'.
+//
+// Every operation has an inverse; applying a sequence of operations yields
+// the log of inverse operations that the incremental index maintenance of
+// package core consumes.
+package edit
+
+import (
+	"fmt"
+	"strconv"
+
+	"pqgram/internal/tree"
+)
+
+// Kind distinguishes the three edit operations.
+type Kind uint8
+
+const (
+	// Insert is INS(n, v, k, m).
+	Insert Kind = iota + 1
+	// Delete is DEL(n).
+	Delete
+	// Rename is REN(n, l').
+	Rename
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Insert:
+		return "INS"
+	case Delete:
+		return "DEL"
+	case Rename:
+		return "REN"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Op is a single tree edit operation.
+type Op struct {
+	Kind Kind
+	// Node is the operated node: the inserted node for Insert, the deleted
+	// node for Delete, the renamed node for Rename.
+	Node tree.NodeID
+	// Label is the label of the inserted node (Insert) or the new label
+	// (Rename). Unused for Delete.
+	Label string
+	// Parent is v, the parent under which Node is inserted. Insert only.
+	Parent tree.NodeID
+	// K and M delimit the children c_K..c_M of Parent that the inserted
+	// node adopts. M = K-1 denotes a leaf insert. Insert only.
+	K, M int
+	// Adopted records the identities of the children c_K..c_M at the time
+	// the operation was constructed. It is filled in by Apply when building
+	// the inverse of a Delete and is carried in logs: the incremental index
+	// maintenance needs the identities (not just the positions) to locate
+	// an operation's region on the resulting tree Tn after later operations
+	// have shifted sibling positions. Optional for forward scripts.
+	Adopted []tree.NodeID
+	// NbrLeft and NbrRight record the identities of the siblings bordering
+	// the splice region (the children of Parent at positions K-1 and M+1 at
+	// construction time; NilID if the region touches the child-list
+	// boundary). Like Adopted they are filled in for inverse inserts and
+	// anchor the operation's context windows on Tn when sibling positions
+	// shifted — essential for inverse leaf inserts, whose Adopted list is
+	// empty. Optional for forward scripts.
+	NbrLeft, NbrRight tree.NodeID
+}
+
+// Ins constructs an INS(n, v, k, m) operation.
+func Ins(n tree.NodeID, label string, v tree.NodeID, k, m int) Op {
+	return Op{Kind: Insert, Node: n, Label: label, Parent: v, K: k, M: m}
+}
+
+// Del constructs a DEL(n) operation.
+func Del(n tree.NodeID) Op { return Op{Kind: Delete, Node: n} }
+
+// Ren constructs a REN(n, l') operation.
+func Ren(n tree.NodeID, label string) Op { return Op{Kind: Rename, Node: n, Label: label} }
+
+// String renders the operation in the log text format, e.g.
+// `INS 7 g 6 1 0`, `DEL 3`, `REN 5 s`.
+func (op Op) String() string {
+	switch op.Kind {
+	case Insert:
+		s := fmt.Sprintf("INS %d %s %d %d %d", op.Node, quote(op.Label), op.Parent, op.K, op.M)
+		if op.NbrLeft != 0 {
+			s += fmt.Sprintf(" L=%d", op.NbrLeft)
+		}
+		if op.NbrRight != 0 {
+			s += fmt.Sprintf(" R=%d", op.NbrRight)
+		}
+		for _, c := range op.Adopted {
+			s += fmt.Sprintf(" %d", c)
+		}
+		return s
+	case Delete:
+		return fmt.Sprintf("DEL %d", op.Node)
+	case Rename:
+		return fmt.Sprintf("REN %d %s", op.Node, quote(op.Label))
+	}
+	return fmt.Sprintf("?%d", op.Kind)
+}
+
+func quote(s string) string {
+	if s == "" {
+		return `""`
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\n', '\r', '"':
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}
+
+// Check reports whether op is applicable to t, i.e. whether a tree T_i with
+// T_j = op(T_i) ... more precisely whether op(t) is defined (Definition 4 of
+// the paper needs this to decide whether the delta function is empty). It
+// returns nil if applicable, otherwise a descriptive error.
+//
+// The paper assumes the root node is never changed: deleting or renaming the
+// root is not applicable.
+func (op Op) Check(t *tree.Tree) error {
+	switch op.Kind {
+	case Insert:
+		v := t.Node(op.Parent)
+		if v == nil {
+			return fmt.Errorf("edit: INS parent %d not in tree", op.Parent)
+		}
+		if op.Node <= 0 {
+			return fmt.Errorf("edit: INS node ID %d must be positive", op.Node)
+		}
+		if t.Contains(op.Node) {
+			return fmt.Errorf("edit: INS node %d already in tree", op.Node)
+		}
+		if op.K < 1 || op.M < op.K-1 || op.M > v.Fanout() {
+			return fmt.Errorf("edit: INS positions k=%d m=%d invalid for fanout %d of node %d",
+				op.K, op.M, v.Fanout(), op.Parent)
+		}
+		return nil
+	case Delete:
+		n := t.Node(op.Node)
+		if n == nil {
+			return fmt.Errorf("edit: DEL node %d not in tree", op.Node)
+		}
+		if n.IsRoot() {
+			return fmt.Errorf("edit: DEL of root node %d not allowed", op.Node)
+		}
+		return nil
+	case Rename:
+		n := t.Node(op.Node)
+		if n == nil {
+			return fmt.Errorf("edit: REN node %d not in tree", op.Node)
+		}
+		if n.IsRoot() {
+			return fmt.Errorf("edit: REN of root node %d not allowed", op.Node)
+		}
+		if n.Label() == op.Label {
+			return fmt.Errorf("edit: REN node %d already labeled %q", op.Node, op.Label)
+		}
+		return nil
+	}
+	return fmt.Errorf("edit: unknown operation kind %d", op.Kind)
+}
+
+// Applicable reports whether op can be applied to t.
+func (op Op) Applicable(t *tree.Tree) bool { return op.Check(t) == nil }
+
+// Apply applies op to t in place and returns the inverse operation ē such
+// that ē(op(t)) = t. It returns an error (leaving t unchanged) if op is not
+// applicable.
+func (op Op) Apply(t *tree.Tree) (inverse Op, err error) {
+	if err := op.Check(t); err != nil {
+		return Op{}, err
+	}
+	switch op.Kind {
+	case Insert:
+		v := t.Node(op.Parent)
+		t.Insert(op.Node, op.Label, v, op.K, op.M)
+		return Del(op.Node), nil
+	case Delete:
+		n := t.Node(op.Node)
+		v := n.Parent()
+		k := n.SiblingPos()
+		f := n.Fanout()
+		label := n.Label()
+		adopted := make([]tree.NodeID, f)
+		for i, c := range n.Children() {
+			adopted[i] = c.ID()
+		}
+		inv := Ins(op.Node, label, v.ID(), k, k+f-1)
+		inv.Adopted = adopted
+		if k > 1 {
+			inv.NbrLeft = v.Child(k - 1).ID()
+		}
+		if k < v.Fanout() {
+			inv.NbrRight = v.Child(k + 1).ID()
+		}
+		t.Delete(n)
+		return inv, nil
+	case Rename:
+		n := t.Node(op.Node)
+		old := n.Label()
+		t.Rename(n, op.Label)
+		return Ren(op.Node, old), nil
+	}
+	return Op{}, fmt.Errorf("edit: unknown operation kind %d", op.Kind)
+}
+
+// Script is a sequence of edit operations (e_1, ..., e_n), applied in order.
+type Script []Op
+
+// Log is the sequence of inverse edit operations (ē_1, ..., ē_n): entry i
+// undoes e_i. Applying ē_n, ..., ē_1 in that (reverse) order transforms T_n
+// back to T_0.
+type Log []Op
+
+// Apply applies the script to t in place and returns the log of inverse
+// operations. If an operation fails, t is left in the state produced by the
+// preceding operations and the partial log is returned with the error.
+func (s Script) Apply(t *tree.Tree) (Log, error) {
+	log := make(Log, 0, len(s))
+	for i, op := range s {
+		inv, err := op.Apply(t)
+		if err != nil {
+			return log, fmt.Errorf("edit: op %d (%s): %w", i+1, op, err)
+		}
+		log = append(log, inv)
+	}
+	return log, nil
+}
+
+// Undo applies the inverse operations ē_n, ..., ē_1 to t in place,
+// transforming T_n back to T_0.
+func (l Log) Undo(t *tree.Tree) error {
+	for i := len(l) - 1; i >= 0; i-- {
+		if _, err := l[i].Apply(t); err != nil {
+			return fmt.Errorf("edit: log entry %d (%s): %w", i+1, l[i], err)
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two operations are identical, including the
+// adopted-children identities of inverse inserts.
+func (op Op) Equal(other Op) bool {
+	if op.Kind != other.Kind || op.Node != other.Node || op.Label != other.Label ||
+		op.Parent != other.Parent || op.K != other.K || op.M != other.M ||
+		op.NbrLeft != other.NbrLeft || op.NbrRight != other.NbrRight ||
+		len(op.Adopted) != len(other.Adopted) {
+		return false
+	}
+	for i := range op.Adopted {
+		if op.Adopted[i] != other.Adopted[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the log.
+func (l Log) Clone() Log {
+	out := make(Log, len(l))
+	copy(out, l)
+	return out
+}

@@ -1,0 +1,339 @@
+package edit
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pqgram/internal/tree"
+)
+
+func sample() *tree.Tree { return tree.MustParse("a(c b(e f) c)") }
+
+func TestInsertApply(t *testing.T) {
+	tr := sample()
+	// Insert node with fresh ID 7 labeled g under node 4 (=e? preorder ids:
+	// 1:a 2:c 3:b 4:e 5:f 6:c). Insert under b (id 3) adopting e,f.
+	op := Ins(10, "n", 3, 1, 2)
+	inv, err := op.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Format(); got != "a(c b(n(e f)) c)" {
+		t.Fatalf("tree = %q", got)
+	}
+	if !inv.Equal(Del(10)) {
+		t.Fatalf("inverse = %v, want DEL 10", inv)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteApply(t *testing.T) {
+	tr := sample()
+	op := Del(3) // delete b, splicing e,f under root
+	inv, err := op.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Format(); got != "a(c e f c)" {
+		t.Fatalf("tree = %q", got)
+	}
+	want := Ins(3, "b", 1, 2, 3)
+	want.Adopted = []tree.NodeID{4, 5} // e, f move back under b
+	want.NbrLeft, want.NbrRight = 2, 6 // c on either side of the region
+	if !inv.Equal(want) {
+		t.Fatalf("inverse = %v, want %v", inv, want)
+	}
+}
+
+func TestDeleteLeafInverseIsLeafInsert(t *testing.T) {
+	tr := sample()
+	inv, err := Del(4).Apply(tr) // delete leaf e (k=1 under b, fanout 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Ins(4, "e", 3, 1, 0) // m = k-1: leaf insert
+	want.Adopted = []tree.NodeID{}
+	want.NbrRight = 5 // f follows the gap; nothing precedes it
+	if !inv.Equal(want) {
+		t.Fatalf("inverse = %v, want %v", inv, want)
+	}
+}
+
+func TestRenameApply(t *testing.T) {
+	tr := sample()
+	inv, err := Ren(3, "z").Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Format(); got != "a(c z(e f) c)" {
+		t.Fatalf("tree = %q", got)
+	}
+	if !inv.Equal(Ren(3, "b")) {
+		t.Fatalf("inverse = %v", inv)
+	}
+}
+
+func TestCheckRejections(t *testing.T) {
+	tr := sample()
+	cases := []struct {
+		name string
+		op   Op
+	}{
+		{"ins parent missing", Ins(10, "x", 99, 1, 0)},
+		{"ins id exists", Ins(3, "x", 1, 1, 0)},
+		{"ins id non-positive", Ins(0, "x", 1, 1, 0)},
+		{"ins k too small", Ins(10, "x", 1, 0, 0)},
+		{"ins m too large", Ins(10, "x", 1, 1, 4)},
+		{"ins m below k-1", Ins(10, "x", 1, 3, 1)},
+		{"del missing", Del(99)},
+		{"del root", Del(1)},
+		{"ren missing", Ren(99, "x")},
+		{"ren root", Ren(1, "x")},
+		{"ren same label", Ren(3, "b")},
+		{"unknown kind", Op{Kind: 0}},
+	}
+	for _, c := range cases {
+		if c.op.Check(tr) == nil {
+			t.Errorf("%s: Check succeeded, want error", c.name)
+		}
+		if c.op.Applicable(tr) {
+			t.Errorf("%s: Applicable true", c.name)
+		}
+		if _, err := c.op.Apply(tr); err == nil {
+			t.Errorf("%s: Apply succeeded", c.name)
+		}
+	}
+	// Tree must be unchanged after failed applies.
+	if got := tr.Format(); got != "a(c b(e f) c)" {
+		t.Fatalf("tree mutated by failed ops: %q", got)
+	}
+}
+
+func TestApplyInverseRoundTrip(t *testing.T) {
+	ops := []Op{
+		Ins(10, "n", 3, 1, 2),
+		Ins(11, "m", 1, 2, 1), // leaf insert at position 2
+		Del(3),
+		Del(4),
+		Ren(3, "zz"),
+	}
+	for _, op := range ops {
+		tr := sample()
+		before := tr.Format()
+		inv, err := op.Apply(tr)
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		if _, err := inv.Apply(tr); err != nil {
+			t.Fatalf("inverse of %v: %v", op, err)
+		}
+		if got := tr.Format(); got != before {
+			t.Fatalf("%v round trip: %q != %q", op, got, before)
+		}
+	}
+}
+
+func TestScriptApplyAndUndo(t *testing.T) {
+	tr := sample()
+	orig := tr.Clone()
+	s := Script{
+		Ins(10, "x", 1, 1, 2),
+		Ren(10, "y"),
+		Del(2),
+		Ins(11, "z", 10, 1, 0),
+	}
+	log, err := s.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != len(s) {
+		t.Fatalf("log length %d, want %d", len(log), len(s))
+	}
+	if err := log.Undo(tr); err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Equal(tr, orig) {
+		t.Fatalf("undo did not restore tree:\n%s\nwant\n%s", tr, orig)
+	}
+}
+
+func TestScriptApplyPartialFailure(t *testing.T) {
+	tr := sample()
+	s := Script{Ren(3, "x"), Del(999), Ren(3, "y")}
+	log, err := s.Apply(tr)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if len(log) != 1 {
+		t.Fatalf("partial log length %d, want 1", len(log))
+	}
+	// The first op was applied.
+	if tr.Node(3).Label() != "x" {
+		t.Fatal("first op not applied")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := map[string]Op{
+		"INS 7 g 6 1 0":     Ins(7, "g", 6, 1, 0),
+		"DEL 3":             Del(3),
+		"REN 5 s":           Ren(5, "s"),
+		`REN 5 "two words"`: Ren(5, "two words"),
+		`INS 7 "" 6 1 0`:    Ins(7, "", 6, 1, 0),
+		`REN 5 "a\"b"`:      Ren(5, `a"b`),
+	}
+	for want, op := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestLogCodecRoundTrip(t *testing.T) {
+	ops := []Op{
+		Ins(7, "g", 6, 1, 0),
+		Del(3),
+		Ren(5, "s"),
+		Ren(5, "two words"),
+		Ins(9, `quote"inside`, 1, 2, 4),
+		Ins(8, "", 1, 1, 0),
+	}
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("read %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if !got[i].Equal(ops[i]) {
+			t.Errorf("op %d: %v != %v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestReadLogSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\nDEL 3\n  \n# trailer\nREN 5 s\n"
+	ops, err := ReadLog(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 || !ops[0].Equal(Del(3)) || !ops[1].Equal(Ren(5, "s")) {
+		t.Fatalf("ops = %v", ops)
+	}
+}
+
+func TestParseOpErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"XYZ 1",
+		"DEL",
+		"DEL x",
+		"DEL 1 2",
+		"REN 1",
+		"REN x y",
+		"INS 1 l 2 3",
+		"INS a l 2 3 4",
+		"INS 1 l 2 x 4",
+		`REN 1 "unterminated`,
+	}
+	for _, s := range bad {
+		if _, err := ParseOp(s); err == nil {
+			t.Errorf("ParseOp(%q) succeeded", s)
+		}
+	}
+}
+
+// randomOp picks a random applicable operation for tr.
+func randomOp(rng *rand.Rand, tr *tree.Tree, nextID *tree.NodeID) Op {
+	nodes := tr.Nodes()
+	for {
+		switch rng.Intn(3) {
+		case 0: // insert
+			v := nodes[rng.Intn(len(nodes))]
+			k := 1
+			if v.Fanout() > 0 {
+				k = rng.Intn(v.Fanout()) + 1
+			}
+			m := k - 1 + rng.Intn(v.Fanout()-k+2)
+			*nextID++
+			return Ins(*nextID, "n"+string(rune('a'+rng.Intn(6))), v.ID(), k, m)
+		case 1: // delete
+			n := nodes[rng.Intn(len(nodes))]
+			if n.IsRoot() {
+				continue
+			}
+			return Del(n.ID())
+		default: // rename
+			n := nodes[rng.Intn(len(nodes))]
+			if n.IsRoot() {
+				continue
+			}
+			l := "r" + string(rune('a'+rng.Intn(6)))
+			if n.Label() == l {
+				continue
+			}
+			return Ren(n.ID(), l)
+		}
+	}
+}
+
+func TestQuickScriptUndoRestores(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := sample()
+		orig := tr.Clone()
+		nextID := tr.MaxID() + 100
+		var s Script
+		for i := 0; i < int(nOps%24)+1; i++ {
+			op := randomOp(rng, tr, &nextID)
+			if _, err := op.Apply(tr); err != nil {
+				return false
+			}
+			s = append(s, op)
+		}
+		// Re-derive log on a fresh copy and undo.
+		tr2 := orig.Clone()
+		log, err := s.Apply(tr2)
+		if err != nil {
+			return false
+		}
+		if !tree.Equal(tr, tr2) {
+			return false
+		}
+		if err := log.Undo(tr2); err != nil {
+			return false
+		}
+		return tree.Equal(tr2, orig) && tr2.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogClone(t *testing.T) {
+	l := Log{Del(3), Ren(5, "x")}
+	c := l.Clone()
+	c[0] = Del(9)
+	if !l[0].Equal(Del(3)) {
+		t.Fatal("Clone aliases underlying array")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Insert.String() != "INS" || Delete.String() != "DEL" || Rename.String() != "REN" {
+		t.Fatal("Kind.String wrong")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Fatal("unknown kind string")
+	}
+}

@@ -1,0 +1,49 @@
+package edit
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseOp checks that the log line parser never panics and that
+// accepted operations round-trip through String.
+func FuzzParseOp(f *testing.F) {
+	seeds := []string{
+		"DEL 3", "REN 5 s", "INS 7 g 6 1 0", "INS 3 b 1 2 3 L=2 R=6 4 5",
+		`REN 5 "two words"`, "INS", "DEL x y", "XXX 1 2", `REN 1 "unterminated`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		op, err := ParseOp(line)
+		if err != nil {
+			return
+		}
+		re, err := ParseOp(op.String())
+		if err != nil {
+			t.Fatalf("String output %q does not reparse: %v", op.String(), err)
+		}
+		if !re.Equal(op) {
+			t.Fatalf("round trip changed op: %v -> %v", op, re)
+		}
+	})
+}
+
+// FuzzReadLog checks the multi-line log reader on arbitrary inputs.
+func FuzzReadLog(f *testing.F) {
+	f.Add("DEL 3\nREN 5 s\n")
+	f.Add("# comment\n\nINS 7 g 6 1 0\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, in string) {
+		ops, err := ReadLog(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, op := range ops {
+			if _, err := ParseOp(op.String()); err != nil {
+				t.Fatalf("accepted op %v does not round-trip: %v", op, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package edit
+
+import "pqgram/internal/tree"
+
+// Log preprocessing. The paper's §10 proposes eliminating redundant edit
+// operations from the log before the index update ("Later edit operations
+// in the log might undo earlier ones. In future we will investigate how
+// the log can be preprocessed..."). OptimizeLog implements two such
+// rewrites. Both produce a log that is again a valid sequence of inverse
+// operations from Tn with the same endpoint T0, so the correctness of the
+// incremental maintenance carries over unchanged — the update just
+// processes fewer operations.
+//
+// Rule 1 — rename collapsing. All renames of one node collapse into at
+// most one: the rewind only ever needs to restore the node's original
+// label (the label carried by the node's earliest log entry). If the node
+// was inserted by the forward script (the log deletes it), its renames are
+// dropped entirely — the rewind removes the node anyway. If the original
+// label equals the node's label on Tn (a rename chain that returned to its
+// start), all renames for the node disappear.
+//
+// Rule 2 — insert/delete annihilation. A node that the forward script
+// leaf-inserted and immediately deleted again (adjacent log entries
+// DEL(x), INS(x, v, k, k-1)) never affected any other node; the pair is
+// dropped.
+
+// OptimizeLog returns an equivalent, possibly shorter log. tn is the
+// resulting tree the log belongs to (needed to resolve current labels);
+// it is not modified. The input log is not modified either.
+func OptimizeLog(tn *tree.Tree, log Log) Log {
+	keep := make([]bool, len(log))
+	for i := range keep {
+		keep[i] = true
+	}
+	replace := make(map[int]Op)
+
+	// Gather per-node facts.
+	deleted := make(map[tree.NodeID]bool)    // node has a DEL entry (forward insert)
+	inserted := make(map[tree.NodeID]string) // node's INS entry label (forward delete)
+	renPositions := make(map[tree.NodeID][]int)
+	for i, op := range log {
+		switch op.Kind {
+		case Delete:
+			deleted[op.Node] = true
+		case Insert:
+			inserted[op.Node] = op.Label
+		case Rename:
+			renPositions[op.Node] = append(renPositions[op.Node], i)
+		}
+	}
+
+	// Rule 1: collapse rename chains.
+	for n, positions := range renPositions {
+		if deleted[n] {
+			// The rewind removes n; its renames have no effect on T0.
+			for _, i := range positions {
+				keep[i] = false
+			}
+			continue
+		}
+		target := log[positions[0]].Label // the original (T0) label
+		// The label the node carries when the first (in rewind order, the
+		// last remaining) rename applies: the label on Tn, or — if the
+		// forward script deleted the node — the label its log INS restores.
+		var current string
+		if lbl, ok := inserted[n]; ok {
+			current = lbl
+		} else if node := tn.Node(n); node != nil {
+			current = node.Label()
+		} else {
+			continue // node unknown; leave the entries alone
+		}
+		for _, i := range positions[1:] {
+			keep[i] = false
+		}
+		if current == target {
+			keep[positions[0]] = false // chain returned to the start
+		} else {
+			replace[positions[0]] = Ren(n, target)
+		}
+	}
+
+	// Rule 2: annihilate adjacent leaf insert/delete pairs.
+	for i := 0; i+1 < len(log); i++ {
+		if !keep[i] || !keep[i+1] {
+			continue
+		}
+		a, b := log[i], log[i+1]
+		if a.Kind == Delete && b.Kind == Insert && a.Node == b.Node && b.M == b.K-1 {
+			keep[i] = false
+			keep[i+1] = false
+		}
+	}
+
+	out := make(Log, 0, len(log))
+	for i, op := range log {
+		if !keep[i] {
+			continue
+		}
+		if r, ok := replace[i]; ok {
+			op = r
+		}
+		out = append(out, op)
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package edit
+
+import (
+	"math/rand"
+	"testing"
+
+	"pqgram/internal/tree"
+)
+
+// applyAll applies a forward script and returns the log.
+func applyAll(t *testing.T, tr *tree.Tree, ops ...Op) Log {
+	t.Helper()
+	log, err := Script(ops).Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// checkEquivalent verifies that the optimized log reaches the same T0.
+func checkEquivalent(t *testing.T, tn *tree.Tree, orig, opt Log) {
+	t.Helper()
+	a := tn.Clone()
+	if err := orig.Undo(a); err != nil {
+		t.Fatalf("original log invalid: %v", err)
+	}
+	b := tn.Clone()
+	if err := opt.Undo(b); err != nil {
+		t.Fatalf("optimized log invalid: %v", err)
+	}
+	if !tree.Equal(a, b) {
+		t.Fatalf("optimized log reaches a different T0:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestOptimizeRenameChainCollapses(t *testing.T) {
+	tr := tree.MustParse("a(b c)")
+	log := applyAll(t, tr, Ren(2, "x"), Ren(2, "y"), Ren(2, "z"))
+	opt := OptimizeLog(tr, log)
+	if len(opt) != 1 {
+		t.Fatalf("optimized length %d, want 1 (%v)", len(opt), opt)
+	}
+	if opt[0].Kind != Rename || opt[0].Label != "b" {
+		t.Fatalf("merged rename = %v, want REN 2 b", opt[0])
+	}
+	checkEquivalent(t, tr, log, opt)
+}
+
+func TestOptimizeRenameBackToStart(t *testing.T) {
+	tr := tree.MustParse("a(b c)")
+	log := applyAll(t, tr, Ren(2, "x"), Ren(2, "b"))
+	opt := OptimizeLog(tr, log)
+	if len(opt) != 0 {
+		t.Fatalf("optimized length %d, want 0 (%v)", len(opt), opt)
+	}
+	checkEquivalent(t, tr, log, opt)
+}
+
+func TestOptimizeRenameOfInsertedNodeDropped(t *testing.T) {
+	tr := tree.MustParse("a(b)")
+	log := applyAll(t, tr, Ins(50, "n", 1, 1, 0), Ren(50, "m"), Ren(50, "o"))
+	opt := OptimizeLog(tr, log)
+	if len(opt) != 1 || opt[0].Kind != Delete {
+		t.Fatalf("optimized = %v, want only DEL 50", opt)
+	}
+	checkEquivalent(t, tr, log, opt)
+}
+
+func TestOptimizeInsertDeletePairDropped(t *testing.T) {
+	tr := tree.MustParse("a(b c)")
+	log := applyAll(t, tr, Ins(50, "n", 1, 2, 1), Del(50))
+	opt := OptimizeLog(tr, log)
+	if len(opt) != 0 {
+		t.Fatalf("optimized = %v, want empty", opt)
+	}
+	checkEquivalent(t, tr, log, opt)
+}
+
+func TestOptimizeAdoptingInsertDeleteKept(t *testing.T) {
+	// The node adopted children; the pair is not a no-op for its log
+	// (the inverse INS has m > k-1), so it must be kept.
+	tr := tree.MustParse("a(b c)")
+	log := applyAll(t, tr, Ins(50, "n", 1, 1, 2), Del(50))
+	opt := OptimizeLog(tr, log)
+	if len(opt) != 2 {
+		t.Fatalf("optimized = %v, want both entries kept", opt)
+	}
+	checkEquivalent(t, tr, log, opt)
+}
+
+func TestOptimizeSeparatedPairKept(t *testing.T) {
+	// An operation between the insert and the delete: conservative rule
+	// keeps the pair.
+	tr := tree.MustParse("a(b c)")
+	log := applyAll(t, tr, Ins(50, "n", 1, 2, 1), Ren(2, "x"), Del(50))
+	opt := OptimizeLog(tr, log)
+	if len(opt) != 3 {
+		t.Fatalf("optimized = %v, want all three kept", opt)
+	}
+	checkEquivalent(t, tr, log, opt)
+}
+
+func TestOptimizeRenameOfDeletedNode(t *testing.T) {
+	// Rename then delete: the rename must survive (restoring the label is
+	// needed after the rewind re-inserts the node), merged to the original.
+	tr := tree.MustParse("a(b(x) c)")
+	log := applyAll(t, tr, Ren(2, "q"), Ren(2, "r"), Del(2))
+	opt := OptimizeLog(tr, log)
+	if len(opt) != 2 {
+		t.Fatalf("optimized = %v, want merged REN + INS", opt)
+	}
+	if opt[0].Kind != Rename || opt[0].Label != "b" {
+		t.Fatalf("first entry = %v, want REN 2 b", opt[0])
+	}
+	checkEquivalent(t, tr, log, opt)
+}
+
+func TestOptimizeMixedWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 100; iter++ {
+		tr := randomSubtreeTestTree(rng, 3+rng.Intn(25))
+		orig := tr.Clone()
+		nextID := tr.MaxID() + 100
+
+		// Random ops with deliberately injected redundancy.
+		var script Script
+		for i := 0; i < 2+rng.Intn(15); i++ {
+			nodes := tr.Nodes()
+			n := nodes[rng.Intn(len(nodes))]
+			switch rng.Intn(4) {
+			case 0: // rename chain
+				if n.IsRoot() {
+					continue
+				}
+				script = append(script, Ren(n.ID(), "r1-"+n.Label()), Ren(n.ID(), "r2-"+n.Label()))
+			case 1: // insert+delete churn
+				nextID++
+				script = append(script, Ins(nextID, "tmp", n.ID(), 1, 0), Del(nextID))
+			case 2:
+				if n.IsRoot() {
+					continue
+				}
+				script = append(script, Del(n.ID()))
+			default:
+				nextID++
+				k := 1
+				if n.Fanout() > 0 {
+					k = rng.Intn(n.Fanout()) + 1
+				}
+				script = append(script, Ins(nextID, "ins", n.ID(), k, k-1))
+			}
+		}
+		var log Log
+		ok := true
+		for _, op := range script {
+			inv, err := op.Apply(tr)
+			if err != nil {
+				ok = false
+				break
+			}
+			log = append(log, inv)
+		}
+		if !ok {
+			continue
+		}
+		opt := OptimizeLog(tr, log)
+		if len(opt) > len(log) {
+			t.Fatal("optimizer grew the log")
+		}
+		checkEquivalent(t, tr, log, opt)
+		_ = orig
+	}
+}
+
+func TestOptimizeEmptyAndUntouched(t *testing.T) {
+	tr := tree.MustParse("a(b)")
+	if got := OptimizeLog(tr, nil); len(got) != 0 {
+		t.Fatal("empty log not empty")
+	}
+	log := applyAll(t, tr, Del(2))
+	opt := OptimizeLog(tr, log)
+	if len(opt) != 1 || !opt[0].Equal(log[0]) {
+		t.Fatalf("irreducible log changed: %v vs %v", opt, log)
+	}
+	// Input must not be modified.
+	if len(log) != 1 {
+		t.Fatal("input log mutated")
+	}
+}

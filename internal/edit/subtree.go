@@ -1,0 +1,115 @@
+package edit
+
+import (
+	"fmt"
+
+	"pqgram/internal/tree"
+)
+
+// Subtree operations. The paper's §10 notes that operations on whole
+// subtrees — deletion, insertion, move — are simulated by sequences of
+// node edit operations, and names native support as future work. This file
+// implements the simulation: each subtree operation compiles into a
+// minimal node-operation script whose application (and whose inverse log)
+// composes with everything else in the package, including incremental
+// index maintenance.
+
+// SubtreeDelete compiles the removal of the entire subtree rooted at n
+// into a node-operation script: the subtree's nodes are deleted bottom-up
+// (children before parents), so every DEL removes a leaf-at-that-moment
+// and no node is ever spliced upward out of the subtree.
+func SubtreeDelete(t *tree.Tree, n tree.NodeID) (Script, error) {
+	root := t.Node(n)
+	if root == nil {
+		return nil, fmt.Errorf("edit: subtree root %d not in tree", n)
+	}
+	if root.IsRoot() {
+		return nil, fmt.Errorf("edit: cannot delete the subtree of the tree root")
+	}
+	var script Script
+	var walk func(x *tree.Node)
+	walk = func(x *tree.Node) {
+		for _, c := range x.Children() {
+			walk(c)
+		}
+		script = append(script, Del(x.ID()))
+	}
+	walk(root)
+	return script, nil
+}
+
+// SubtreeInsert compiles the insertion of a whole subtree (given as a
+// separate tree) as the k-th child of node v into a node-operation script.
+// Node IDs for the new nodes are allocated sequentially from firstID,
+// which must be fresh for the target tree (see CheckFreshIDs); the
+// function returns the script and the ID assigned to the subtree's root.
+// The subtree's internal node ids are not reused.
+//
+// The compilation inserts nodes top-down, each as a leaf at its final
+// position, so every INS is a plain leaf insert.
+func SubtreeInsert(sub *tree.Tree, v tree.NodeID, k int, firstID tree.NodeID) (Script, tree.NodeID, error) {
+	if firstID <= 0 {
+		return nil, 0, fmt.Errorf("edit: firstID must be positive")
+	}
+	var script Script
+	next := firstID
+	var walk func(x *tree.Node, parent tree.NodeID, pos int)
+	walk = func(x *tree.Node, parent tree.NodeID, pos int) {
+		id := next
+		next++
+		script = append(script, Ins(id, x.Label(), parent, pos, pos-1))
+		for i, c := range x.Children() {
+			walk(c, id, i+1)
+		}
+	}
+	walk(sub.Root(), v, k)
+	return script, firstID, nil
+}
+
+// SubtreeMove compiles moving the subtree rooted at n to become the k-th
+// child of node v into a node-operation script: the subtree is deleted
+// bottom-up and re-inserted top-down with fresh node IDs starting at
+// firstID (incremental index maintenance requires fresh identities; the
+// moved nodes get new ones). It returns the script and the new ID of the
+// moved subtree's root.
+//
+// v must not be inside the moved subtree. The position k refers to v's
+// child list after the subtree has been removed.
+func SubtreeMove(t *tree.Tree, n, v tree.NodeID, k int, firstID tree.NodeID) (Script, tree.NodeID, error) {
+	root := t.Node(n)
+	if root == nil {
+		return nil, 0, fmt.Errorf("edit: subtree root %d not in tree", n)
+	}
+	target := t.Node(v)
+	if target == nil {
+		return nil, 0, fmt.Errorf("edit: move target %d not in tree", v)
+	}
+	if target == root || root.IsAncestorOf(target) {
+		return nil, 0, fmt.Errorf("edit: move target %d is inside the moved subtree", v)
+	}
+	del, err := SubtreeDelete(t, n)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Snapshot the subtree shape before it is deleted.
+	snapshot := snapshotSubtree(root)
+	ins, newRoot, err := SubtreeInsert(snapshot, v, k, firstID)
+	if err != nil {
+		return nil, 0, err
+	}
+	return append(del, ins...), newRoot, nil
+}
+
+// snapshotSubtree copies the subtree rooted at n into a fresh tree
+// (labels and order only; IDs are renumbered).
+func snapshotSubtree(n *tree.Node) *tree.Tree {
+	t := tree.New(n.Label())
+	var walk func(src *tree.Node, dst *tree.Node)
+	walk = func(src *tree.Node, dst *tree.Node) {
+		for _, c := range src.Children() {
+			walk(c, t.AddChild(dst, c.Label()))
+		}
+	}
+	walk(n, t.Root())
+	return t
+}

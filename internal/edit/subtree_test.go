@@ -1,0 +1,163 @@
+package edit
+
+import (
+	"math/rand"
+	"testing"
+
+	"pqgram/internal/tree"
+)
+
+func TestSubtreeDelete(t *testing.T) {
+	tr := tree.MustParse("a(b(c d(e)) f)")
+	script, err := SubtreeDelete(tr, 2) // subtree b(c d(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(script) != 4 {
+		t.Fatalf("script length %d, want 4", len(script))
+	}
+	if _, err := script.Apply(tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Format(); got != "a(f)" {
+		t.Fatalf("tree = %q", got)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtreeDeleteLeaf(t *testing.T) {
+	tr := tree.MustParse("a(b c)")
+	script, err := SubtreeDelete(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(script) != 1 {
+		t.Fatalf("script length %d, want 1", len(script))
+	}
+	if _, err := script.Apply(tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Format(); got != "a(b)" {
+		t.Fatalf("tree = %q", got)
+	}
+}
+
+func TestSubtreeDeleteErrors(t *testing.T) {
+	tr := tree.MustParse("a(b)")
+	if _, err := SubtreeDelete(tr, 99); err == nil {
+		t.Error("missing node accepted")
+	}
+	if _, err := SubtreeDelete(tr, 1); err == nil {
+		t.Error("deleting the root subtree accepted")
+	}
+}
+
+func TestSubtreeInsert(t *testing.T) {
+	tr := tree.MustParse("a(x y)")
+	sub := tree.MustParse("b(c d(e))")
+	script, rootID, err := SubtreeInsert(sub, 1, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rootID != 100 {
+		t.Fatalf("root ID = %d", rootID)
+	}
+	if len(script) != sub.Size() {
+		t.Fatalf("script length %d, want %d", len(script), sub.Size())
+	}
+	if err := CheckFreshIDs(tr, script); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := script.Apply(tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Format(); got != "a(x b(c d(e)) y)" {
+		t.Fatalf("tree = %q", got)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The inserted root carries the requested ID.
+	if tr.Node(100) == nil || tr.Node(100).Label() != "b" {
+		t.Fatal("inserted root not at requested ID")
+	}
+}
+
+func TestSubtreeInsertBadFirstID(t *testing.T) {
+	if _, _, err := SubtreeInsert(tree.MustParse("b"), 1, 1, 0); err == nil {
+		t.Fatal("non-positive firstID accepted")
+	}
+}
+
+func TestSubtreeMove(t *testing.T) {
+	tr := tree.MustParse("a(b(c d) e(f))")
+	// Move subtree b(c d) under e at position 2 (after f).
+	script, newRoot, err := SubtreeMove(tr, 2, 5, 2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := script.Apply(tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Format(); got != "a(e(f b(c d)))" {
+		t.Fatalf("tree = %q", got)
+	}
+	if tr.Node(newRoot) == nil || tr.Node(newRoot).Label() != "b" {
+		t.Fatal("moved root not found under new ID")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtreeMoveIntoItselfRejected(t *testing.T) {
+	tr := tree.MustParse("a(b(c d) e)")
+	if _, _, err := SubtreeMove(tr, 2, 3, 1, 200); err == nil {
+		t.Fatal("move into own subtree accepted")
+	}
+	if _, _, err := SubtreeMove(tr, 2, 2, 1, 200); err == nil {
+		t.Fatal("move onto itself accepted")
+	}
+	if _, _, err := SubtreeMove(tr, 99, 1, 1, 200); err == nil {
+		t.Fatal("missing subtree accepted")
+	}
+	if _, _, err := SubtreeMove(tr, 2, 99, 1, 200); err == nil {
+		t.Fatal("missing target accepted")
+	}
+}
+
+func TestSubtreeOpsUndo(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 30; i++ {
+		tr := randomSubtreeTestTree(rng, 4+rng.Intn(30))
+		orig := tr.Clone()
+		nodes := tr.Nodes()
+		n := nodes[1+rng.Intn(len(nodes)-1)]
+		script, err := SubtreeDelete(tr, n.ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		log, err := script.Apply(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Undo(tr); err != nil {
+			t.Fatal(err)
+		}
+		if !tree.Equal(tr, orig) {
+			t.Fatal("subtree delete log does not undo")
+		}
+	}
+}
+
+func randomSubtreeTestTree(rng *rand.Rand, n int) *tree.Tree {
+	tr := tree.New("r")
+	nodes := []*tree.Node{tr.Root()}
+	for i := 1; i < n; i++ {
+		p := nodes[rng.Intn(len(nodes))]
+		nodes = append(nodes, tr.AddChildAt(p, string(rune('a'+rng.Intn(6))), rng.Intn(p.Fanout()+1)+1))
+	}
+	return tr
+}

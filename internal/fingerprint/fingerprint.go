@@ -1,0 +1,75 @@
+// Package fingerprint implements a Karp–Rabin style fingerprint function for
+// node labels (Karp and Rabin, IBM J. Res. Dev. 1987), as used by the
+// pq-gram index (Augsten et al., VLDB 2006, §3.2): labels of arbitrary
+// length are mapped to fixed-width hash values that are unique with high
+// probability, and the only operation ever performed on them is an equality
+// check.
+package fingerprint
+
+import "math/bits"
+
+// Hash is the fixed-width fingerprint of a label.
+type Hash uint64
+
+// Null is the fingerprint reserved for the null label "*" of dummy nodes in
+// the extended tree (the paper's λ(•) = *, hashed to 0 in Figure 4). Of
+// never returns Null for a real label.
+const Null Hash = 0
+
+// mersenne61 is the modulus 2^61-1 of the fingerprint field. A Mersenne
+// prime admits a cheap reduction after 128-bit multiplication.
+const mersenne61 = (1 << 61) - 1
+
+// base is the fixed radix of the polynomial fingerprint. Any value in
+// (256, mersenne61) works; this one is a large odd constant.
+const base = 0x1fffffffffffe7
+
+func mulmod(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// Reduce a 125-bit value modulo 2^61-1: fold the top bits down.
+	r := (lo & mersenne61) + (lo>>61 | hi<<3)
+	if r >= mersenne61 {
+		r -= mersenne61
+	}
+	return r
+}
+
+// Combine folds a sequence of fingerprints into a single fixed-width
+// fingerprint, Karp–Rabin style. It is used to fingerprint the label-tuple
+// of a pq-gram (the concatenation of p+q label hashes, Figure 4 of the
+// paper) so that the index stores one machine word per tuple. Combine is
+// order- and length-sensitive and deterministic across processes.
+func Combine(hs []Hash) Hash {
+	var h uint64
+	for _, x := range hs {
+		h = mulmod(h, base)
+		h += uint64(x) + 1
+		if h >= mersenne61 {
+			h -= mersenne61
+		}
+	}
+	return Hash(h)
+}
+
+// Of returns the fingerprint of a label. It is deterministic across
+// processes and never returns Null.
+func Of(label string) Hash {
+	var h uint64
+	for i := 0; i < len(label); i++ {
+		h = mulmod(h, base)
+		h += uint64(label[i]) + 1
+		if h >= mersenne61 {
+			h -= mersenne61
+		}
+	}
+	// Mix in the length so that, e.g., "a" and "a\x00" stay distinct even
+	// though byte values are offset, and lift the value out of Null.
+	h = mulmod(h, base) + uint64(len(label)) + 1
+	if h >= mersenne61 {
+		h -= mersenne61
+	}
+	if Hash(h) == Null {
+		h = 1
+	}
+	return Hash(h)
+}

@@ -1,0 +1,114 @@
+package fingerprint
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministic(t *testing.T) {
+	for _, s := range []string{"", "a", "dblp", "inproceedings", "日本語", "*"} {
+		if Of(s) != Of(s) {
+			t.Errorf("Of(%q) not deterministic", s)
+		}
+	}
+}
+
+func TestNeverNull(t *testing.T) {
+	inputs := []string{"", "a", "b", "*", "\x00", "\x00\x00"}
+	for _, s := range inputs {
+		if Of(s) == Null {
+			t.Errorf("Of(%q) = Null", s)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		b := make([]byte, rng.Intn(20))
+		rng.Read(b)
+		if Of(string(b)) == Null {
+			t.Fatalf("Of(%x) = Null", b)
+		}
+	}
+}
+
+func TestDistinctSmallLabels(t *testing.T) {
+	// All labels up to length 2 over a small alphabet must be collision-free;
+	// these are exactly the label shapes of XML element names and our
+	// generators, where a collision would silently corrupt test expectations.
+	seen := make(map[Hash]string)
+	alphabet := "abcdefghijklmnopqrstuvwxyz_0123456789"
+	var check func(s string, depth int)
+	check = func(s string, depth int) {
+		h := Of(s)
+		if prev, ok := seen[h]; ok && prev != s {
+			t.Fatalf("collision: %q and %q -> %d", prev, s, h)
+		}
+		seen[h] = s
+		if depth == 0 {
+			return
+		}
+		for i := 0; i < len(alphabet); i++ {
+			check(s+string(alphabet[i]), depth-1)
+		}
+	}
+	check("", 2)
+}
+
+func TestLengthSensitivity(t *testing.T) {
+	// Prefix-padding must change the hash: "a" vs "a\x00" etc.
+	pairs := [][2]string{
+		{"a", "a\x00"},
+		{"", "\x00"},
+		{"ab", "ab\x00"},
+	}
+	for _, p := range pairs {
+		if Of(p[0]) == Of(p[1]) {
+			t.Errorf("Of(%q) == Of(%q)", p[0], p[1])
+		}
+	}
+}
+
+func TestRandomCollisionFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	seen := make(map[Hash]string, 200000)
+	for i := 0; i < 200000; i++ {
+		s := fmt.Sprintf("label-%d-%d", i, rng.Int63())
+		h := Of(s)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision between %q and %q", prev, s)
+		}
+		seen[h] = s
+	}
+}
+
+func TestQuickInequality(t *testing.T) {
+	f := func(a, b string) bool {
+		if a == b {
+			return Of(a) == Of(b)
+		}
+		return Of(a) != Of(b) // collision over random strings: astronomically unlikely
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashBelowModulus(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		if h := uint64(Of(string(b))); h >= mersenne61 {
+			t.Fatalf("hash %d exceeds field modulus", h)
+		}
+	}
+}
+
+func BenchmarkOf(b *testing.B) {
+	label := "inproceedings"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Of(label)
+	}
+}

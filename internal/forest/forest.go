@@ -1,0 +1,380 @@
+// Package forest implements the persistent pq-gram index of a document
+// collection (Augsten, Böhlen and Gamper, VLDB 2006, §3.2 and §9.1): the
+// relation (treeId, pqg, cnt) of Figure 4, augmented with inverted postings
+// pqg → (treeId, cnt) so that an approximate lookup touches only the trees
+// that share at least one pq-gram with the query.
+//
+// The index supports incremental maintenance: Update applies the deltas of
+// Algorithm 1 to both the per-tree bag and the postings, so a document
+// change costs time proportional to the log, not to the forest.
+package forest
+
+import (
+	"fmt"
+	"sort"
+
+	"pqgram/internal/core"
+	"pqgram/internal/edit"
+	"pqgram/internal/profile"
+	"pqgram/internal/tree"
+)
+
+// Index is the pq-gram index of a forest of named trees.
+type Index struct {
+	pr       profile.Params
+	trees    map[string]profile.Index
+	postings map[profile.LabelTuple]map[string]int
+}
+
+// New creates an empty forest index with the given pq-gram parameters.
+func New(pr profile.Params) *Index {
+	if err := pr.Validate(); err != nil {
+		panic(err)
+	}
+	return &Index{
+		pr:       pr,
+		trees:    make(map[string]profile.Index),
+		postings: make(map[profile.LabelTuple]map[string]int),
+	}
+}
+
+// Params returns the pq-gram parameters of the index.
+func (f *Index) Params() profile.Params { return f.pr }
+
+// Len returns the number of indexed trees.
+func (f *Index) Len() int { return len(f.trees) }
+
+// Has reports whether a tree with the given ID is indexed.
+func (f *Index) Has(id string) bool { _, ok := f.trees[id]; return ok }
+
+// IDs returns the indexed tree IDs in ascending order.
+func (f *Index) IDs() []string {
+	out := make([]string, 0, len(f.trees))
+	for id := range f.trees {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Add indexes a tree under the given ID. It fails if the ID is taken.
+func (f *Index) Add(id string, t *tree.Tree) error {
+	return f.AddIndex(id, profile.BuildIndex(t, f.pr))
+}
+
+// AddIndex indexes a precomputed pq-gram index (e.g. one loaded from disk)
+// under the given ID. The index is owned by the forest afterwards and must
+// not be modified by the caller.
+func (f *Index) AddIndex(id string, idx profile.Index) error {
+	if _, ok := f.trees[id]; ok {
+		return fmt.Errorf("forest: tree %q already indexed", id)
+	}
+	f.trees[id] = idx
+	for lt, c := range idx {
+		f.postingAdd(lt, id, c)
+	}
+	return nil
+}
+
+// Remove drops a tree from the index.
+func (f *Index) Remove(id string) error {
+	idx, ok := f.trees[id]
+	if !ok {
+		return fmt.Errorf("forest: tree %q not indexed", id)
+	}
+	for lt := range idx {
+		f.postingRemove(lt, id)
+	}
+	delete(f.trees, id)
+	return nil
+}
+
+// TreeIndex returns the pq-gram index of one tree, or nil if the ID is
+// unknown. The returned bag is owned by the forest; callers must not
+// modify it (Clone it first).
+func (f *Index) TreeIndex(id string) profile.Index { return f.trees[id] }
+
+// Size returns the total bag cardinality over all trees (the number of
+// rows a (treeId, pqg, 1)-normalized relation would have).
+func (f *Index) Size() int {
+	n := 0
+	for _, idx := range f.trees {
+		n += idx.Size()
+	}
+	return n
+}
+
+func (f *Index) postingAdd(lt profile.LabelTuple, id string, c int) {
+	m := f.postings[lt]
+	if m == nil {
+		m = make(map[string]int)
+		f.postings[lt] = m
+	}
+	m[id] += c
+}
+
+func (f *Index) postingRemove(lt profile.LabelTuple, id string) {
+	if m := f.postings[lt]; m != nil {
+		delete(m, id)
+		if len(m) == 0 {
+			delete(f.postings, lt)
+		}
+	}
+}
+
+// Update incrementally maintains the index of one tree after it has been
+// edited, given the resulting tree and the log of inverse edit operations
+// (Algorithm 1 applied to both the per-tree bag and the postings). It
+// returns the per-step statistics of the underlying maintenance run.
+func (f *Index) Update(id string, tn *tree.Tree, log edit.Log) (core.Stats, error) {
+	if _, ok := f.trees[id]; !ok {
+		return core.Stats{}, fmt.Errorf("forest: tree %q not indexed", id)
+	}
+	iPlus, iMinus, st, err := core.Deltas(tn, log, f.pr)
+	if err != nil {
+		return st, err
+	}
+	return st, f.ApplyDeltas(id, iPlus, iMinus)
+}
+
+// ApplyDeltas applies precomputed index deltas (I⁺, I⁻ from core.Deltas)
+// to one tree's bag and the postings. Callers that persist deltas (e.g.
+// the journaled store) use this to replay them.
+func (f *Index) ApplyDeltas(id string, iPlus, iMinus profile.Index) error {
+	idx, ok := f.trees[id]
+	if !ok {
+		return fmt.Errorf("forest: tree %q not indexed", id)
+	}
+	if err := core.ApplyDeltas(idx, iPlus, iMinus); err != nil {
+		return fmt.Errorf("forest: tree %q: %w", id, err)
+	}
+	for lt, c := range iMinus {
+		m := f.postings[lt]
+		if m == nil || m[id] < c {
+			return fmt.Errorf("forest: postings for tree %q underflow", id)
+		}
+		m[id] -= c
+		if m[id] == 0 {
+			f.postingRemove(lt, id)
+		}
+	}
+	for lt, c := range iPlus {
+		f.postingAdd(lt, id, c)
+	}
+	return nil
+}
+
+// SelfCheck verifies the internal consistency of the index: the inverted
+// postings must be exactly the transposition of the per-tree bags. It is
+// O(index) and intended for tests and integrity audits after crashes.
+func (f *Index) SelfCheck() error {
+	want := make(map[profile.LabelTuple]map[string]int)
+	for id, idx := range f.trees {
+		for lt, c := range idx {
+			m := want[lt]
+			if m == nil {
+				m = make(map[string]int)
+				want[lt] = m
+			}
+			m[id] = c
+		}
+	}
+	if len(want) != len(f.postings) {
+		return fmt.Errorf("forest: %d posting keys, want %d", len(f.postings), len(want))
+	}
+	for lt, m := range want {
+		got := f.postings[lt]
+		if len(got) != len(m) {
+			return fmt.Errorf("forest: posting list size mismatch for one tuple")
+		}
+		for id, c := range m {
+			if got[id] != c {
+				return fmt.Errorf("forest: posting count for tree %q is %d, want %d", id, got[id], c)
+			}
+		}
+	}
+	return nil
+}
+
+// Match is one approximate-lookup result.
+type Match struct {
+	TreeID   string
+	Distance float64
+}
+
+// Lookup returns every indexed tree whose pq-gram distance to the query
+// tree is strictly below tau, sorted by ascending distance (ties by ID).
+// This is the approximate lookup of §3.2: {T ∈ F | dist(X, T) < τ}.
+func (f *Index) Lookup(query *tree.Tree, tau float64) []Match {
+	return f.LookupIndex(profile.BuildIndex(query, f.pr), tau)
+}
+
+// LookupIndex is Lookup for a precomputed query index.
+func (f *Index) LookupIndex(q profile.Index, tau float64) []Match {
+	overlaps := f.overlaps(q)
+	qSize := q.Size()
+	var out []Match
+	if tau > 1 {
+		// Trees sharing no pq-gram (distance exactly 1) can qualify only
+		// for thresholds above 1; scan the whole forest then.
+		for id, idx := range f.trees {
+			if d := distanceFrom(qSize, idx.Size(), overlaps[id]); d < tau {
+				out = append(out, Match{TreeID: id, Distance: d})
+			}
+		}
+	} else {
+		for id, ov := range overlaps {
+			if d := distanceFrom(qSize, f.trees[id].Size(), ov); d < tau {
+				out = append(out, Match{TreeID: id, Distance: d})
+			}
+		}
+	}
+	sortMatches(out)
+	return out
+}
+
+// LookupTop returns the k nearest trees by pq-gram distance (fewer if the
+// forest is smaller), sorted by ascending distance.
+func (f *Index) LookupTop(query *tree.Tree, k int) []Match {
+	q := profile.BuildIndex(query, f.pr)
+	overlaps := f.overlaps(q)
+	qSize := q.Size()
+	out := make([]Match, 0, len(f.trees))
+	for id, idx := range f.trees {
+		out = append(out, Match{TreeID: id, Distance: distanceFrom(qSize, idx.Size(), overlaps[id])})
+	}
+	sortMatches(out)
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// overlaps accumulates |I(query) ∩ I(T)| per tree via the postings.
+func (f *Index) overlaps(q profile.Index) map[string]int {
+	ov := make(map[string]int)
+	for lt, qc := range q {
+		for id, tc := range f.postings[lt] {
+			if tc < qc {
+				ov[id] += tc
+			} else {
+				ov[id] += qc
+			}
+		}
+	}
+	return ov
+}
+
+// Pair is one result of a similarity join: two indexed trees and their
+// pq-gram distance, with A < B lexicographically.
+type Pair struct {
+	A, B     string
+	Distance float64
+}
+
+// SimilarityJoin returns every unordered pair of indexed trees whose
+// pq-gram distance is strictly below tau — the approximate join of the
+// paper's related work (Guha et al.), powered by the index: candidate
+// pairs are generated from the inverted postings (only trees sharing at
+// least one pq-gram can have distance < 1), so disjoint pairs are never
+// scored. Results are sorted by distance, then IDs.
+//
+// For tau > 1 every pair qualifies and the join degenerates to all pairs.
+func (f *Index) SimilarityJoin(tau float64) []Pair {
+	var out []Pair
+	if tau > 1 {
+		ids := f.IDs()
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				d := f.trees[ids[i]].Distance(f.trees[ids[j]])
+				if d < tau {
+					out = append(out, Pair{A: ids[i], B: ids[j], Distance: d})
+				}
+			}
+		}
+		sortPairs(out)
+		return out
+	}
+	// Accumulate bag-intersection sizes for co-occurring pairs.
+	type key struct{ a, b string }
+	overlap := make(map[key]int)
+	for _, m := range f.postings {
+		if len(m) < 2 {
+			continue
+		}
+		ids := make([]string, 0, len(m))
+		for id := range m {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				ca, cb := m[ids[i]], m[ids[j]]
+				if cb < ca {
+					ca = cb
+				}
+				overlap[key{ids[i], ids[j]}] += ca
+			}
+		}
+	}
+	for k, ov := range overlap {
+		d := distanceFrom(f.trees[k.a].Size(), f.trees[k.b].Size(), ov)
+		if d < tau {
+			out = append(out, Pair{A: k.a, B: k.b, Distance: d})
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Distance != ps[j].Distance {
+			return ps[i].Distance < ps[j].Distance
+		}
+		if ps[i].A != ps[j].A {
+			return ps[i].A < ps[j].A
+		}
+		return ps[i].B < ps[j].B
+	})
+}
+
+// Distance returns the pq-gram distance between two indexed trees.
+func (f *Index) Distance(id1, id2 string) (float64, error) {
+	a, ok := f.trees[id1]
+	if !ok {
+		return 0, fmt.Errorf("forest: tree %q not indexed", id1)
+	}
+	b, ok := f.trees[id2]
+	if !ok {
+		return 0, fmt.Errorf("forest: tree %q not indexed", id2)
+	}
+	return a.Distance(b), nil
+}
+
+// DistanceTo returns the pq-gram distance between a query tree and one
+// indexed tree.
+func (f *Index) DistanceTo(query *tree.Tree, id string) (float64, error) {
+	idx, ok := f.trees[id]
+	if !ok {
+		return 0, fmt.Errorf("forest: tree %q not indexed", id)
+	}
+	return profile.BuildIndex(query, f.pr).Distance(idx), nil
+}
+
+func distanceFrom(qSize, tSize, overlap int) float64 {
+	u := qSize + tSize
+	if u == 0 {
+		return 0
+	}
+	return 1 - 2*float64(overlap)/float64(u)
+}
+
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Distance != ms[j].Distance {
+			return ms[i].Distance < ms[j].Distance
+		}
+		return ms[i].TreeID < ms[j].TreeID
+	})
+}

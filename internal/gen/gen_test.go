@@ -1,0 +1,243 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"pqgram/internal/edit"
+	"pqgram/internal/tree"
+)
+
+func TestXMarkDeterministic(t *testing.T) {
+	a := XMark(42, 500)
+	b := XMark(42, 500)
+	if !tree.Equal(a, b) {
+		t.Fatal("XMark not deterministic for equal seeds")
+	}
+	c := XMark(43, 500)
+	if tree.EqualLabels(a, c) {
+		t.Fatal("different seeds produced identical documents")
+	}
+}
+
+func TestXMarkSizeAndShape(t *testing.T) {
+	for _, n := range []int{100, 1000, 10000} {
+		tr := XMark(7, n)
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Size() < n {
+			t.Fatalf("size %d below budget %d", tr.Size(), n)
+		}
+		if tr.Size() > n+200 {
+			t.Fatalf("size %d overshoots budget %d", tr.Size(), n)
+		}
+		if tr.Root().Label() != "site" {
+			t.Fatal("root should be site")
+		}
+		if h := tr.Height(); h < 4 {
+			t.Fatalf("XMark height = %d, want nested structure", h)
+		}
+	}
+}
+
+func TestDBLPDeterministicAndShape(t *testing.T) {
+	a := DBLP(1, 2000)
+	b := DBLP(1, 2000)
+	if !tree.Equal(a, b) {
+		t.Fatal("DBLP not deterministic")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Root().Label() != "dblp" {
+		t.Fatal("root should be dblp")
+	}
+	// DBLP is wide and shallow: huge root fanout, small height.
+	if a.Root().Fanout() < 100 {
+		t.Fatalf("root fanout = %d, want wide root", a.Root().Fanout())
+	}
+	if h := a.Height(); h > 3 {
+		t.Fatalf("height = %d, want shallow (<= 3)", h)
+	}
+}
+
+func TestXMarkForest(t *testing.T) {
+	docs := XMarkForest(5, 8, 4000)
+	if len(docs) != 8 {
+		t.Fatalf("%d docs", len(docs))
+	}
+	total := 0
+	for i, d := range docs {
+		if err := d.Validate(); err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+		total += d.Size()
+	}
+	if total < 4000 || total > 4000*2 {
+		t.Fatalf("total nodes = %d, want around 4000", total)
+	}
+	if tree.EqualLabels(docs[0], docs[1]) {
+		t.Fatal("forest documents should differ")
+	}
+}
+
+func TestRandomScriptProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 30; i++ {
+		tr := RandomTree(rng, 5+rng.Intn(40))
+		orig := tr.Clone()
+		script, log, err := RandomScript(rng, tr, 1+rng.Intn(20), DefaultMix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(script) != len(log) {
+			t.Fatal("script/log length mismatch")
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := edit.CheckFreshIDs(orig, script); err != nil {
+			t.Fatalf("script reuses IDs: %v", err)
+		}
+		// The log must undo the script exactly.
+		if err := log.Undo(tr); err != nil {
+			t.Fatal(err)
+		}
+		if !tree.Equal(tr, orig) {
+			t.Fatal("log does not undo script")
+		}
+	}
+}
+
+func TestRandomScriptMixes(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	tr := RandomTree(rng, 50)
+	script, _, err := RandomScript(rng, tr, 40, OpMix{Rename: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range script {
+		if op.Kind != edit.Rename {
+			t.Fatalf("rename-only mix produced %v", op)
+		}
+	}
+	tr2 := RandomTree(rng, 50)
+	script2, _, err := RandomScript(rng, tr2, 40, OpMix{Insert: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range script2 {
+		if op.Kind != edit.Insert {
+			t.Fatalf("insert-only mix produced %v", op)
+		}
+	}
+}
+
+func TestRandomScriptZeroMixFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := RandomTree(rng, 20)
+	if _, _, err := RandomScript(rng, tr, 5, OpMix{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerturbLeavesOriginal(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tr := XMark(3, 300)
+	orig := tr.Format()
+	p, log, err := Perturb(rng, tr, 10, DefaultMix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Format() != orig {
+		t.Fatal("Perturb mutated the original")
+	}
+	if len(log) != 10 {
+		t.Fatalf("log length = %d", len(log))
+	}
+	if p.Format() == orig {
+		t.Fatal("Perturb returned an identical tree (10 ops should change something)")
+	}
+}
+
+func TestRandomTreeSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 2, 17, 100} {
+		tr := RandomTree(rng, n)
+		if tr.Size() != n {
+			t.Fatalf("size = %d, want %d", tr.Size(), n)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestXMLSafeScriptsRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		var doc *tree.Tree
+		if seed%2 == 0 {
+			doc = XMark(seed, 400)
+		} else {
+			doc = DBLP(seed, 400)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		if _, _, err := RandomScript(rng, doc, 40, XMLSafeMix); err != nil {
+			t.Fatal(err)
+		}
+		if err := doc.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// No adjacent text siblings, no attrs behind non-attrs, no
+		// children under data leaves.
+		doc.PreOrder(func(n *tree.Node) bool {
+			kids := n.Children()
+			seenNonAttr := false
+			for i, c := range kids {
+				l := c.Label()
+				if isText(n.Label()) || isAttr(n.Label()) {
+					t.Fatalf("seed %d: data leaf %q has children", seed, n.Label())
+				}
+				if isAttr(l) && seenNonAttr {
+					t.Fatalf("seed %d: attribute %q behind non-attribute child", seed, l)
+				}
+				if !isAttr(l) {
+					seenNonAttr = true
+				}
+				if i > 0 && isText(l) && isText(kids[i-1].Label()) {
+					t.Fatalf("seed %d: adjacent text siblings", seed)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestSetIDsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	tr := RandomTree(rng, 30)
+	ids := tr.PreorderIDs()
+	// Shift all IDs.
+	shifted := make([]tree.NodeID, len(ids))
+	for i, id := range ids {
+		shifted[i] = id + 1000
+	}
+	if err := tr.SetIDs(shifted); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.PreorderIDs()
+	for i := range got {
+		if got[i] != shifted[i] {
+			t.Fatalf("id %d = %d, want %d", i, got[i], shifted[i])
+		}
+	}
+	// New nodes must not collide after renumbering.
+	n := tr.AddChild(tr.Root(), "fresh")
+	if n.ID() <= 1000+tree.NodeID(len(ids)) {
+		t.Fatalf("fresh id %d collides with renumbered range", n.ID())
+	}
+}

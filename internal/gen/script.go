@@ -1,0 +1,195 @@
+package gen
+
+import (
+	"math/rand"
+
+	"pqgram/internal/edit"
+	"pqgram/internal/tree"
+)
+
+// OpMix weights the edit operation kinds of a random script. The zero
+// value is invalid; use DefaultMix for an even mix.
+type OpMix struct {
+	Insert, Delete, Rename int
+
+	// XMLSafe restricts the generated operations to ones that keep the
+	// tree faithful to the XML information set, so that the result
+	// round-trips through serialization and reparsing without change:
+	// no inserts under text/attribute leaves or inside the attribute
+	// prefix, no deletes that leave two text siblings adjacent (XML
+	// parsers merge adjacent character data) or that splice attribute
+	// leaves behind elements, and no renames of attribute leaves.
+	XMLSafe bool
+}
+
+// DefaultMix is an even mix of the three operation kinds.
+var DefaultMix = OpMix{Insert: 1, Delete: 1, Rename: 1}
+
+// XMLSafeMix is DefaultMix restricted to XML-faithful operations.
+var XMLSafeMix = OpMix{Insert: 1, Delete: 1, Rename: 1, XMLSafe: true}
+
+func isText(label string) bool { return len(label) > 0 && label[0] == '=' }
+func isAttr(label string) bool { return len(label) > 0 && label[0] == '@' }
+
+// leadingAttrs counts the attribute leaves at the front of v's child list.
+func leadingAttrs(v *tree.Node) int {
+	n := 0
+	for _, c := range v.Children() {
+		if !isAttr(c.Label()) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// xmlSafeInsert reports whether inserting at position k under v keeps the
+// tree XML-faithful.
+func xmlSafeInsert(v *tree.Node, k int) bool {
+	l := v.Label()
+	if isText(l) || isAttr(l) {
+		return false
+	}
+	return k > leadingAttrs(v)
+}
+
+// xmlSafeDelete reports whether deleting n keeps the tree XML-faithful.
+func xmlSafeDelete(n *tree.Node) bool {
+	if isAttr(n.Label()) {
+		return true // removing an attribute is always fine
+	}
+	for _, c := range n.Children() {
+		if isAttr(c.Label()) {
+			return false // attributes would splice behind elements
+		}
+	}
+	// The splice must not make two text siblings adjacent.
+	v := n.Parent()
+	k := n.SiblingPos()
+	var seq []string
+	if k > 1 {
+		seq = append(seq, v.Child(k-1).Label())
+	}
+	for _, c := range n.Children() {
+		seq = append(seq, c.Label())
+	}
+	if k < v.Fanout() {
+		seq = append(seq, v.Child(k+1).Label())
+	}
+	for i := 1; i < len(seq); i++ {
+		if isText(seq[i-1]) && isText(seq[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m OpMix) total() int { return m.Insert + m.Delete + m.Rename }
+
+// RandomScript generates nOps random edit operations, applies them to t in
+// place, and returns the forward script together with the log of inverse
+// operations (the input to incremental index maintenance). Inserted node
+// IDs are fresh (see edit.CheckFreshIDs); the root is never deleted or
+// renamed. Nodes are picked uniformly from the current tree.
+func RandomScript(rng *rand.Rand, t *tree.Tree, nOps int, mix OpMix) (edit.Script, edit.Log, error) {
+	if mix.total() <= 0 {
+		mix = DefaultMix
+	}
+	script := make(edit.Script, 0, nOps)
+	log := make(edit.Log, 0, nOps)
+	nextID := t.MaxID() + 1
+	for i := 0; i < nOps; i++ {
+		op := randomOp(rng, t, &nextID, mix)
+		inv, err := op.Apply(t)
+		if err != nil {
+			return script, log, err
+		}
+		script = append(script, op)
+		log = append(log, inv)
+	}
+	return script, log, nil
+}
+
+// randomOp picks a random operation applicable to t. The tree always has a
+// root, and labels come from the generator vocabulary, so the loop
+// terminates quickly.
+func randomOp(rng *rand.Rand, t *tree.Tree, nextID *tree.NodeID, mix OpMix) edit.Op {
+	nodes := t.Nodes()
+	for attempt := 0; ; attempt++ {
+		if attempt > 100000 {
+			panic("gen: no applicable operation found (degenerate tree for the requested mix)")
+		}
+		r := rng.Intn(mix.total())
+		switch {
+		case r < mix.Insert:
+			v := nodes[rng.Intn(len(nodes))]
+			k := 1
+			if v.Fanout() > 0 {
+				k = rng.Intn(v.Fanout()) + 1
+			}
+			if mix.XMLSafe {
+				if la := leadingAttrs(v); k <= la {
+					k = la + 1
+				}
+				if !xmlSafeInsert(v, k) {
+					continue
+				}
+			}
+			m := k - 1
+			if rng.Intn(2) == 0 { // half leaf inserts, half adopting inserts
+				m = k - 1 + rng.Intn(v.Fanout()-k+2)
+			}
+			id := *nextID
+			*nextID++
+			return edit.Ins(id, word(rng), v.ID(), k, m)
+		case r < mix.Insert+mix.Delete:
+			if t.Size() < 2 {
+				continue
+			}
+			n := nodes[rng.Intn(len(nodes))]
+			if n.IsRoot() {
+				continue
+			}
+			if mix.XMLSafe && !xmlSafeDelete(n) {
+				continue
+			}
+			return edit.Del(n.ID())
+		default:
+			n := nodes[rng.Intn(len(nodes))]
+			if n.IsRoot() {
+				continue
+			}
+			if mix.XMLSafe && isAttr(n.Label()) {
+				continue
+			}
+			l := word(rng)
+			if n.Label() == l {
+				l = l + "-x"
+			}
+			return edit.Ren(n.ID(), l)
+		}
+	}
+}
+
+// Perturb clones the tree and applies nOps random operations to the clone,
+// returning it together with the log. It is the standard way to build
+// "similar document" workloads for lookup and deduplication experiments.
+func Perturb(rng *rand.Rand, t *tree.Tree, nOps int, mix OpMix) (*tree.Tree, edit.Log, error) {
+	c := t.Clone()
+	_, log, err := RandomScript(rng, c, nOps, mix)
+	return c, log, err
+}
+
+// RandomTree builds a uniformly random tree with n nodes whose labels come
+// from the generator vocabulary.
+func RandomTree(rng *rand.Rand, n int) *tree.Tree {
+	t := tree.New(word(rng))
+	nodes := []*tree.Node{t.Root()}
+	for i := 1; i < n; i++ {
+		parent := nodes[rng.Intn(len(nodes))]
+		pos := rng.Intn(parent.Fanout()+1) + 1
+		c := t.AddChildAt(parent, word(rng), pos)
+		nodes = append(nodes, c)
+	}
+	return t
+}

@@ -1,0 +1,166 @@
+// Package gen produces the synthetic workloads of the paper's experiments
+// (§9): XMark-shaped auction documents (substituting the xmlgen tool of the
+// XML benchmark project), DBLP-shaped bibliographies (substituting the real
+// 211MB DBLP dataset), uniformly random trees, and random valid edit
+// scripts. All generators are deterministic in their seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pqgram/internal/tree"
+)
+
+// wordPool is a small vocabulary for synthetic text leaves. A bounded
+// vocabulary matters: it gives distinct documents overlapping pq-grams,
+// like real corpora, so distances spread over (0, 1) instead of clumping
+// at 1.
+var wordPool = []string{
+	"auction", "bid", "seller", "ship", "rare", "vintage", "lot", "mint",
+	"price", "open", "close", "item", "offer", "trade", "gold", "silver",
+	"paper", "index", "tree", "gram", "query", "match", "data", "node",
+}
+
+func word(rng *rand.Rand) string { return wordPool[rng.Intn(len(wordPool))] }
+
+func text(rng *rand.Rand, maxWords int) string {
+	n := 1 + rng.Intn(maxWords)
+	s := word(rng)
+	for i := 1; i < n; i++ {
+		s += " " + word(rng)
+	}
+	return s
+}
+
+// XMark generates an auction-site document in the structural style of the
+// XMark benchmark: a `site` root with regions, categories, people and
+// auctions; items with nested descriptions and mailboxes. The document has
+// approximately approxNodes nodes (it stops adding items once the budget
+// is reached; the result is never smaller than one item per region).
+func XMark(seed int64, approxNodes int) *tree.Tree {
+	rng := rand.New(rand.NewSource(seed))
+	t := tree.New("site")
+	root := t.Root()
+
+	regions := t.AddChild(root, "regions")
+	regionNames := []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+	regionNodes := make([]*tree.Node, len(regionNames))
+	for i, rn := range regionNames {
+		regionNodes[i] = t.AddChild(regions, rn)
+	}
+
+	categories := t.AddChild(root, "categories")
+	numCats := 3 + rng.Intn(5)
+	for c := 0; c < numCats; c++ {
+		cat := t.AddChild(categories, "category")
+		t.AddChild(cat, fmt.Sprintf("@id=cat%d", c))
+		name := t.AddChild(cat, "name")
+		t.AddChild(name, "="+text(rng, 2))
+	}
+
+	people := t.AddChild(root, "people")
+	auctions := t.AddChild(root, "open_auctions")
+
+	// Fill with items, persons and auctions until the node budget is spent.
+	itemID := 0
+	for t.Size() < approxNodes {
+		switch rng.Intn(3) {
+		case 0:
+			addItem(t, rng, regionNodes[rng.Intn(len(regionNodes))], itemID, numCats)
+			itemID++
+		case 1:
+			addPerson(t, rng, people)
+		default:
+			addAuction(t, rng, auctions)
+		}
+	}
+	return t
+}
+
+func addItem(t *tree.Tree, rng *rand.Rand, region *tree.Node, id, numCats int) {
+	item := t.AddChild(region, "item")
+	t.AddChild(item, fmt.Sprintf("@id=item%d", id))
+	loc := t.AddChild(item, "location")
+	t.AddChild(loc, "="+word(rng))
+	qty := t.AddChild(item, "quantity")
+	t.AddChild(qty, fmt.Sprintf("=%d", 1+rng.Intn(9)))
+	name := t.AddChild(item, "name")
+	t.AddChild(name, "="+text(rng, 3))
+	pay := t.AddChild(item, "payment")
+	t.AddChild(pay, "="+word(rng))
+	desc := t.AddChild(item, "description")
+	parlist := t.AddChild(desc, "parlist")
+	for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+		li := t.AddChild(parlist, "listitem")
+		txt := t.AddChild(li, "text")
+		t.AddChild(txt, "="+text(rng, 6))
+	}
+	for i, n := 0, 1+rng.Intn(2); i < n; i++ {
+		inc := t.AddChild(item, "incategory")
+		t.AddChild(inc, fmt.Sprintf("@category=cat%d", rng.Intn(numCats)))
+	}
+	if rng.Intn(2) == 0 {
+		mb := t.AddChild(item, "mailbox")
+		for i, n := 0, 1+rng.Intn(2); i < n; i++ {
+			mail := t.AddChild(mb, "mail")
+			from := t.AddChild(mail, "from")
+			t.AddChild(from, "="+word(rng))
+			to := t.AddChild(mail, "to")
+			t.AddChild(to, "="+word(rng))
+			txt := t.AddChild(mail, "text")
+			t.AddChild(txt, "="+text(rng, 5))
+		}
+	}
+}
+
+func addPerson(t *tree.Tree, rng *rand.Rand, people *tree.Node) {
+	p := t.AddChild(people, "person")
+	name := t.AddChild(p, "name")
+	t.AddChild(name, "="+text(rng, 2))
+	email := t.AddChild(p, "emailaddress")
+	t.AddChild(email, "="+word(rng)+"@example.com")
+	if rng.Intn(2) == 0 {
+		addr := t.AddChild(p, "address")
+		street := t.AddChild(addr, "street")
+		t.AddChild(street, "="+text(rng, 2))
+		city := t.AddChild(addr, "city")
+		t.AddChild(city, "="+word(rng))
+		country := t.AddChild(addr, "country")
+		t.AddChild(country, "="+word(rng))
+	}
+}
+
+func addAuction(t *tree.Tree, rng *rand.Rand, auctions *tree.Node) {
+	a := t.AddChild(auctions, "open_auction")
+	initial := t.AddChild(a, "initial")
+	t.AddChild(initial, fmt.Sprintf("=%d.%02d", rng.Intn(200), rng.Intn(100)))
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		bid := t.AddChild(a, "bidder")
+		inc := t.AddChild(bid, "increase")
+		t.AddChild(inc, fmt.Sprintf("=%d.%02d", rng.Intn(50), rng.Intn(100)))
+	}
+	cur := t.AddChild(a, "current")
+	t.AddChild(cur, fmt.Sprintf("=%d.%02d", rng.Intn(400), rng.Intn(100)))
+	q := t.AddChild(a, "quantity")
+	t.AddChild(q, fmt.Sprintf("=%d", 1+rng.Intn(5)))
+}
+
+// XMarkForest generates a collection of XMark documents whose node counts
+// sum to approximately totalNodes, split evenly over numDocs documents.
+// Each document gets a distinct sub-seed, so documents differ structurally
+// but share vocabulary and schema (like a real corpus).
+func XMarkForest(seed int64, numDocs, totalNodes int) []*tree.Tree {
+	if numDocs < 1 {
+		panic("gen: numDocs must be >= 1")
+	}
+	per := totalNodes / numDocs
+	if per < 30 {
+		per = 30
+	}
+	out := make([]*tree.Tree, numDocs)
+	for i := range out {
+		out[i] = XMark(seed+int64(i)*7919, per)
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+// Package jsonconv converts JSON documents to the ordered labeled trees of
+// package tree and back, so JSON data (configuration files, API payloads,
+// serialized ASTs) gets the same approximate-matching and incremental
+// indexing machinery as XML.
+//
+// The mapping is deterministic and invertible:
+//
+//   - an object becomes a node labeled "{}" whose children are the members
+//     sorted by key; each member is a node labeled with the raw key and
+//     has exactly one child, the value;
+//   - an array becomes a node labeled "[]" with the elements in order;
+//   - scalars become leaves: strings "=text", numbers "#123.5" (original
+//     literal preserved), booleans "!true"/"!false", null "~".
+//
+// Sorting object members makes semantically equal documents structurally
+// equal regardless of member order — the right behavior for similarity.
+package jsonconv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"pqgram/internal/tree"
+)
+
+// Labels of the structural nodes.
+const (
+	ObjectLabel = "{}"
+	ArrayLabel  = "[]"
+	NullLabel   = "~"
+	TrueLabel   = "!true"
+	FalseLabel  = "!false"
+)
+
+// Parse reads one JSON value from r and returns it as a tree. Numbers keep
+// their original literals (no float rounding).
+func Parse(r io.Reader) (*tree.Tree, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("jsonconv: %w", err)
+	}
+	// Reject trailing content.
+	if dec.More() {
+		return nil, fmt.Errorf("jsonconv: trailing content after JSON value")
+	}
+	t := tree.New(labelOf(v))
+	if err := addChildren(t, t.Root(), v); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ParseString is Parse on a string.
+func ParseString(s string) (*tree.Tree, error) { return Parse(strings.NewReader(s)) }
+
+func labelOf(v any) string {
+	switch x := v.(type) {
+	case map[string]any:
+		return ObjectLabel
+	case []any:
+		return ArrayLabel
+	case string:
+		return "=" + x
+	case json.Number:
+		return "#" + x.String()
+	case bool:
+		if x {
+			return TrueLabel
+		}
+		return FalseLabel
+	case nil:
+		return NullLabel
+	}
+	return fmt.Sprintf("?%T", v)
+}
+
+func addChildren(t *tree.Tree, n *tree.Node, v any) error {
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			member := t.AddChild(n, k)
+			val := x[k]
+			child := t.AddChild(member, labelOf(val))
+			if err := addChildren(t, child, val); err != nil {
+				return err
+			}
+		}
+	case []any:
+		for _, el := range x {
+			child := t.AddChild(n, labelOf(el))
+			if err := addChildren(t, child, el); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Write serializes a tree produced by Parse back to JSON. Trees that do
+// not follow the package's label conventions are rejected.
+func Write(w io.Writer, t *tree.Tree) error {
+	v, err := valueOf(t.Root())
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(v)
+}
+
+// WriteString serializes the tree to a JSON string (no trailing newline).
+func WriteString(t *tree.Tree) (string, error) {
+	var buf bytes.Buffer
+	if err := Write(&buf, t); err != nil {
+		return "", err
+	}
+	return strings.TrimRight(buf.String(), "\n"), nil
+}
+
+func valueOf(n *tree.Node) (any, error) {
+	label := n.Label()
+	switch {
+	case label == ObjectLabel:
+		obj := make(map[string]any, n.Fanout())
+		for _, member := range n.Children() {
+			if member.Fanout() != 1 {
+				return nil, fmt.Errorf("jsonconv: member %q has %d values", member.Label(), member.Fanout())
+			}
+			v, err := valueOf(member.Child(1))
+			if err != nil {
+				return nil, err
+			}
+			obj[member.Label()] = v
+		}
+		return obj, nil
+	case label == ArrayLabel:
+		arr := make([]any, 0, n.Fanout())
+		for _, el := range n.Children() {
+			v, err := valueOf(el)
+			if err != nil {
+				return nil, err
+			}
+			arr = append(arr, v)
+		}
+		return arr, nil
+	case label == NullLabel:
+		return nil, nil
+	case label == TrueLabel:
+		return true, nil
+	case label == FalseLabel:
+		return false, nil
+	case strings.HasPrefix(label, "="):
+		return label[1:], nil
+	case strings.HasPrefix(label, "#"):
+		return json.Number(label[1:]), nil
+	}
+	return nil, fmt.Errorf("jsonconv: node label %q is not in the JSON mapping", label)
+}

@@ -1,0 +1,147 @@
+package jsonconv
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pqgram/internal/profile"
+	"pqgram/internal/tree"
+)
+
+func mustParse(t *testing.T, s string) *tree.Tree {
+	t.Helper()
+	tr, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("ParseString(%q): %v", s, err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("parsed tree invalid: %v", err)
+	}
+	return tr
+}
+
+func TestParseScalars(t *testing.T) {
+	cases := map[string]string{
+		`"hi"`:  `=hi`,
+		`12.50`: `#12.50`,
+		`true`:  TrueLabel,
+		`false`: FalseLabel,
+		`null`:  NullLabel,
+	}
+	for in, wantLabel := range cases {
+		tr := mustParse(t, in)
+		if tr.Size() != 1 || tr.Root().Label() != wantLabel {
+			t.Errorf("Parse(%s) root = %q, want %q", in, tr.Root().Label(), wantLabel)
+		}
+	}
+}
+
+func TestParseObjectSortedMembers(t *testing.T) {
+	tr := mustParse(t, `{"z": 1, "a": 2}`)
+	r := tr.Root()
+	if r.Label() != ObjectLabel || r.Fanout() != 2 {
+		t.Fatalf("root = %q fanout %d", r.Label(), r.Fanout())
+	}
+	if r.Child(1).Label() != "a" || r.Child(2).Label() != "z" {
+		t.Fatalf("members not sorted: %q, %q", r.Child(1).Label(), r.Child(2).Label())
+	}
+	if r.Child(1).Child(1).Label() != "#2" {
+		t.Fatalf("value = %q", r.Child(1).Child(1).Label())
+	}
+}
+
+func TestParseNested(t *testing.T) {
+	tr := mustParse(t, `{"items": [1, {"x": null}], "on": true}`)
+	want := `{}(items([](#1 {}(x(~)))) on(!true))`
+	if got := tr.Format(); got != want {
+		t.Fatalf("tree = %q, want %q", got, want)
+	}
+}
+
+func TestMemberOrderIrrelevant(t *testing.T) {
+	a := mustParse(t, `{"x": 1, "y": [2, 3]}`)
+	b := mustParse(t, `{"y": [2, 3], "x": 1}`)
+	if !tree.EqualLabels(a, b) {
+		t.Fatal("member order changed the tree")
+	}
+	// Array order stays significant.
+	c := mustParse(t, `{"x": 1, "y": [3, 2]}`)
+	if tree.EqualLabels(a, c) {
+		t.Fatal("array order should matter")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	docs := []string{
+		`"scalar"`,
+		`123`,
+		`-0.5e3`,
+		`true`,
+		`null`,
+		`[]`,
+		`{}`,
+		`[1, "two", null, [3], {"k": false}]`,
+		`{"a": {"b": {"c": [1, 2, 3]}}, "d": "text with spaces"}`,
+	}
+	for _, doc := range docs {
+		tr := mustParse(t, doc)
+		out, err := WriteString(tr)
+		if err != nil {
+			t.Fatalf("Write(%s): %v", doc, err)
+		}
+		var want, got any
+		if err := json.Unmarshal([]byte(doc), &want); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal([]byte(out), &got); err != nil {
+			t.Fatalf("output %q is not JSON: %v", out, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("round trip changed value: %s -> %s", doc, out)
+		}
+	}
+}
+
+func TestNumberLiteralPreserved(t *testing.T) {
+	tr := mustParse(t, `[1e2, 0.10]`)
+	out, err := WriteString(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1e2") || !strings.Contains(out, "0.10") {
+		t.Fatalf("number literals not preserved: %s", out)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{``, `{`, `[1,`, `{"a"}`, `1 2`, `[] []`} {
+		if _, err := ParseString(s); err == nil {
+			t.Errorf("ParseString(%q) succeeded", s)
+		}
+	}
+}
+
+func TestWriteRejectsForeignTrees(t *testing.T) {
+	for _, s := range []string{"a", "{}(member)", "{}(k(=v =w))"} {
+		tr := tree.MustParse(s)
+		if _, err := WriteString(tr); err == nil {
+			t.Errorf("WriteString(%s) succeeded", s)
+		}
+	}
+}
+
+func TestConfigDriftDistance(t *testing.T) {
+	// The motivating use: JSON config drift is measurable and monotone.
+	base := mustParse(t, `{"db": {"host": "a", "port": 5432}, "cache": {"ttl": 60}, "flags": ["x", "y"]}`)
+	small := mustParse(t, `{"db": {"host": "b", "port": 5432}, "cache": {"ttl": 60}, "flags": ["x", "y"]}`)
+	big := mustParse(t, `{"db": {"host": "b", "port": 1}, "cache": {"ttl": 5, "size": 10}, "flags": ["z"]}`)
+	p33 := profile.Params{P: 3, Q: 3}
+	d0 := profile.BuildIndex(base, p33)
+	ds := d0.Distance(profile.BuildIndex(small, p33))
+	db := d0.Distance(profile.BuildIndex(big, p33))
+	if !(0 < ds && ds < db && db < 1) {
+		t.Fatalf("drift distances not ordered: small=%g big=%g", ds, db)
+	}
+}

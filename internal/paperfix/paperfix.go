@@ -1,0 +1,216 @@
+// Package paperfix builds the running example of Augsten, Böhlen and Gamper
+// (VLDB 2006) — the trees, edit operations, profiles and deltas of Figure 2
+// and Examples 1–5 — as shared golden fixtures for tests across packages.
+package paperfix
+
+import (
+	"pqgram/internal/edit"
+	"pqgram/internal/fingerprint"
+	"pqgram/internal/profile"
+	"pqgram/internal/tree"
+)
+
+// Labels maps the fixture's node IDs n1..n7 to their labels as in Figure 2.
+var Labels = map[tree.NodeID]string{
+	1: "a", 2: "c", 3: "b", 4: "c", 5: "e", 6: "f", 7: "g",
+}
+
+// T0 builds the initial tree of Figure 2:
+//
+//	n1:a ─ (n2:c, n3:b, n4:c), n3:b ─ (n5:e, n6:f)
+func T0() *tree.Tree {
+	t := tree.NewWithRootID(1, "a")
+	r := t.Root()
+	t.AddChildWithID(r, 2, "c", 1)
+	n3 := t.AddChildWithID(r, 3, "b", 2)
+	t.AddChildWithID(r, 4, "c", 3)
+	t.AddChildWithID(n3, 5, "e", 1)
+	t.AddChildWithID(n3, 6, "f", 2)
+	return t
+}
+
+// Script returns the forward edit operations of Figure 2 that are exercised
+// by Example 5: e1 = INS(n7:g, n6, 1, 0) (leaf insert) and e2 = DEL(n3).
+// The third operation of Figure 2 is not pinned down by the paper's text;
+// ScriptWithThird appends a rename for three-step tests.
+func Script() edit.Script {
+	return edit.Script{
+		edit.Ins(7, "g", 6, 1, 0),
+		edit.Del(3),
+	}
+}
+
+// ScriptWithThird returns Script plus e3 = REN(n5, "s"); the label "s"
+// appears in the paper's hash-function example (Figure 4a).
+func ScriptWithThird() edit.Script {
+	return append(Script(), edit.Ren(5, "s"))
+}
+
+// T2 applies e1, e2 to T0 and returns the result together with the log of
+// inverse operations (ē1 = DEL(n7), ē2 = INS(n3:b, n1, 2, 3)).
+func T2() (*tree.Tree, edit.Log) {
+	t := T0()
+	log, err := Script().Apply(t)
+	if err != nil {
+		panic(err)
+	}
+	return t, log
+}
+
+// refOf resolves a fixture node ID (0 = null node •) to a profile.NodeRef.
+func refOf(id tree.NodeID) profile.NodeRef {
+	if id == 0 {
+		return profile.NullRef
+	}
+	l, ok := Labels[id]
+	if !ok {
+		panic("paperfix: unknown node id")
+	}
+	return profile.NodeRef{ID: id, Label: fingerprint.Of(l)}
+}
+
+// GramOf builds a pq-gram from fixture node IDs (0 denotes •).
+func GramOf(ids ...tree.NodeID) profile.Gram {
+	g := make(profile.Gram, len(ids))
+	for i, id := range ids {
+		g[i] = refOf(id)
+	}
+	return g
+}
+
+// ProfileOf builds a profile from a list of grams given as ID tuples.
+func ProfileOf(grams ...[]tree.NodeID) profile.Profile {
+	p := make(profile.Profile, len(grams))
+	for _, ids := range grams {
+		g := GramOf(ids...)
+		p[g.Key()] = g
+	}
+	return p
+}
+
+// ProfileT0 is P0 of Example 2: the 13 3,3-grams of T0.
+func ProfileT0() profile.Profile {
+	return ProfileOf(
+		[]tree.NodeID{0, 0, 1, 0, 0, 2},
+		[]tree.NodeID{0, 0, 1, 0, 2, 3},
+		[]tree.NodeID{0, 0, 1, 2, 3, 4},
+		[]tree.NodeID{0, 0, 1, 3, 4, 0},
+		[]tree.NodeID{0, 0, 1, 4, 0, 0},
+		[]tree.NodeID{0, 1, 2, 0, 0, 0},
+		[]tree.NodeID{0, 1, 3, 0, 0, 5},
+		[]tree.NodeID{0, 1, 3, 0, 5, 6},
+		[]tree.NodeID{0, 1, 3, 5, 6, 0},
+		[]tree.NodeID{0, 1, 3, 6, 0, 0},
+		[]tree.NodeID{1, 3, 5, 0, 0, 0},
+		[]tree.NodeID{1, 3, 6, 0, 0, 0},
+		[]tree.NodeID{0, 1, 4, 0, 0, 0},
+	)
+}
+
+// ProfileT2 is P2 of Example 2: the 13 3,3-grams of T2 (the paper's listing
+// repeats one line typographically; as a set there are 13).
+func ProfileT2() profile.Profile {
+	return ProfileOf(
+		[]tree.NodeID{0, 0, 1, 0, 0, 2},
+		[]tree.NodeID{0, 0, 1, 0, 2, 5},
+		[]tree.NodeID{0, 0, 1, 2, 5, 6},
+		[]tree.NodeID{0, 0, 1, 5, 6, 4},
+		[]tree.NodeID{0, 0, 1, 6, 4, 0},
+		[]tree.NodeID{0, 0, 1, 4, 0, 0},
+		[]tree.NodeID{0, 1, 2, 0, 0, 0},
+		[]tree.NodeID{0, 1, 5, 0, 0, 0},
+		[]tree.NodeID{0, 1, 6, 0, 0, 7},
+		[]tree.NodeID{0, 1, 6, 0, 7, 0},
+		[]tree.NodeID{0, 1, 6, 7, 0, 0},
+		[]tree.NodeID{1, 6, 7, 0, 0, 0},
+		[]tree.NodeID{0, 1, 4, 0, 0, 0},
+	)
+}
+
+// DeltaPlus2 is Δ2⁺ of Example 5: the new pq-grams of P2 w.r.t. P0.
+func DeltaPlus2() profile.Profile {
+	return ProfileOf(
+		[]tree.NodeID{0, 0, 1, 0, 2, 5},
+		[]tree.NodeID{0, 0, 1, 2, 5, 6},
+		[]tree.NodeID{0, 0, 1, 5, 6, 4},
+		[]tree.NodeID{0, 0, 1, 6, 4, 0},
+		[]tree.NodeID{0, 1, 5, 0, 0, 0},
+		[]tree.NodeID{0, 1, 6, 0, 0, 7},
+		[]tree.NodeID{0, 1, 6, 0, 7, 0},
+		[]tree.NodeID{0, 1, 6, 7, 0, 0},
+		[]tree.NodeID{1, 6, 7, 0, 0, 0},
+	)
+}
+
+// DeltaMinus2 is Δ2⁻ of Example 5: the old pq-grams of P0 not in P2.
+func DeltaMinus2() profile.Profile {
+	return ProfileOf(
+		[]tree.NodeID{0, 0, 1, 0, 2, 3},
+		[]tree.NodeID{0, 0, 1, 2, 3, 4},
+		[]tree.NodeID{0, 0, 1, 3, 4, 0},
+		[]tree.NodeID{0, 1, 3, 0, 0, 5},
+		[]tree.NodeID{0, 1, 3, 0, 5, 6},
+		[]tree.NodeID{0, 1, 3, 5, 6, 0},
+		[]tree.NodeID{0, 1, 3, 6, 0, 0},
+		[]tree.NodeID{1, 3, 5, 0, 0, 0},
+		[]tree.NodeID{1, 3, 6, 0, 0, 0},
+	)
+}
+
+// DeltaU2 is 𝒰(Δ2⁺, ē2) of Example 5: the intermediate set after undoing
+// the deletion of n3 on the new pq-grams.
+func DeltaU2() profile.Profile {
+	return ProfileOf(
+		[]tree.NodeID{0, 0, 1, 0, 2, 3},
+		[]tree.NodeID{0, 0, 1, 2, 3, 4},
+		[]tree.NodeID{0, 0, 1, 3, 4, 0},
+		[]tree.NodeID{0, 1, 3, 0, 0, 5},
+		[]tree.NodeID{0, 1, 3, 0, 5, 6},
+		[]tree.NodeID{0, 1, 3, 5, 6, 0},
+		[]tree.NodeID{0, 1, 3, 6, 0, 0},
+		[]tree.NodeID{1, 3, 5, 0, 0, 0},
+		[]tree.NodeID{1, 3, 6, 0, 0, 7},
+		[]tree.NodeID{1, 3, 6, 0, 7, 0},
+		[]tree.NodeID{1, 3, 6, 7, 0, 0},
+		[]tree.NodeID{3, 6, 7, 0, 0, 0},
+	)
+}
+
+// labelTuples maps rows of label names (with "*" for null) to an index bag.
+func labelTuples(rows ...[]string) profile.Index {
+	idx := make(profile.Index, len(rows))
+	for _, r := range rows {
+		idx[profile.TupleOfLabels(r...)]++
+	}
+	return idx
+}
+
+// LambdaDeltaMinus2 is λ(Δ2⁻) of Example 5 as a bag of label tuples.
+func LambdaDeltaMinus2() profile.Index {
+	return labelTuples(
+		[]string{"*", "*", "a", "*", "c", "b"},
+		[]string{"*", "*", "a", "c", "b", "c"},
+		[]string{"*", "*", "a", "b", "c", "*"},
+		[]string{"*", "a", "b", "*", "*", "e"},
+		[]string{"*", "a", "b", "*", "e", "f"},
+		[]string{"*", "a", "b", "e", "f", "*"},
+		[]string{"*", "a", "b", "f", "*", "*"},
+		[]string{"a", "b", "e", "*", "*", "*"},
+		[]string{"a", "b", "f", "*", "*", "*"},
+	)
+}
+
+// LambdaDeltaPlus2 is λ(Δ2⁺) of Example 5 as a bag of label tuples.
+func LambdaDeltaPlus2() profile.Index {
+	return labelTuples(
+		[]string{"*", "*", "a", "*", "c", "e"},
+		[]string{"*", "*", "a", "c", "e", "f"},
+		[]string{"*", "*", "a", "e", "f", "c"},
+		[]string{"*", "*", "a", "f", "c", "*"},
+		[]string{"*", "a", "e", "*", "*", "*"},
+		[]string{"*", "a", "f", "*", "*", "g"},
+		[]string{"*", "a", "f", "*", "g", "*"},
+		[]string{"*", "a", "f", "g", "*", "*"},
+		[]string{"a", "f", "g", "*", "*", "*"},
+	)
+}

@@ -1,0 +1,229 @@
+// Package profile implements pq-gram profiles and the pq-gram index of
+// Augsten, Böhlen and Gamper (VLDB 2006), §3.2.
+//
+// A pq-gram (Definition 1) is a small subtree of the extended tree T'
+// consisting of an anchor node a, its p-1 ancestors, and q contiguous
+// (possibly null) children of a. The profile (Definition 2) is the set of
+// all pq-grams of a tree, where nodes retain their identity. The index
+// (Definition 3) is the bag of label-tuples of the profile, with labels
+// replaced by fixed-width fingerprints.
+package profile
+
+import (
+	"fmt"
+
+	"pqgram/internal/fingerprint"
+	"pqgram/internal/tree"
+)
+
+// Params holds the pq-gram shape parameters p and q. Both must be at least 1.
+// The paper's default is p = q = 3.
+type Params struct {
+	P, Q int
+}
+
+// Default is the paper's standard parameterization, 3,3-grams.
+var Default = Params{P: 3, Q: 3}
+
+// Validate returns an error if the parameters are out of range.
+func (pr Params) Validate() error {
+	if pr.P < 1 || pr.Q < 1 {
+		return fmt.Errorf("profile: p and q must be >= 1, got p=%d q=%d", pr.P, pr.Q)
+	}
+	return nil
+}
+
+// Len returns the number of nodes in one pq-gram, p+q.
+func (pr Params) Len() int { return pr.P + pr.Q }
+
+// NodeRef identifies one position of a pq-gram: a node ID plus its label
+// fingerprint. Null (dummy) nodes have ID 0 and the Null fingerprint.
+type NodeRef struct {
+	ID    tree.NodeID
+	Label fingerprint.Hash
+}
+
+// NullRef is the dummy node • of the extended tree.
+var NullRef = NodeRef{ID: 0, Label: fingerprint.Null}
+
+// Gram is a pq-gram in the linear encoding (a_{p-1}, ..., a_1, a,
+// c_i, ..., c_{i+q-1}) of Definition 1. Index P-1 is the anchor node.
+type Gram []NodeRef
+
+// Anchor returns the anchor node of the gram.
+func (g Gram) Anchor(pr Params) NodeRef { return g[pr.P-1] }
+
+// Key returns a string that uniquely identifies the gram including node
+// identity; equal keys mean equal pq-grams in the sense of the paper
+// (identifiers and labels both match position-wise).
+func (g Gram) Key() string {
+	buf := make([]byte, 0, 16*len(g))
+	for _, r := range g {
+		buf = appendUint64(buf, uint64(r.ID))
+		buf = appendUint64(buf, uint64(r.Label))
+	}
+	return string(buf)
+}
+
+// LabelTuple returns λ(g): the fingerprint of the concatenated label
+// fingerprints of the gram's nodes, the unit stored in the pq-gram index.
+func (g Gram) LabelTuple() LabelTuple {
+	hs := make([]fingerprint.Hash, len(g))
+	for i, r := range g {
+		hs[i] = r.Label
+	}
+	return TupleOf(hs...)
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// Profile is the set of all pq-grams of a tree, keyed by Gram.Key.
+type Profile map[string]Gram
+
+// Build computes the pq-gram profile of t (Definition 2).
+func Build(t *tree.Tree, pr Params) Profile {
+	if err := pr.Validate(); err != nil {
+		panic(err)
+	}
+	prof := make(Profile, t.Size()*2)
+	ForEachGram(t, pr, func(g Gram) {
+		// Copy: the callback buffer is reused.
+		cp := make(Gram, len(g))
+		copy(cp, g)
+		prof[cp.Key()] = cp
+	})
+	return prof
+}
+
+// ForEachGram enumerates every pq-gram of t exactly once and calls fn with a
+// shared buffer that is overwritten between calls; fn must copy the gram if
+// it retains it. Enumeration order is: anchors in preorder, q-windows left
+// to right.
+func ForEachGram(t *tree.Tree, pr Params, fn func(Gram)) {
+	if err := pr.Validate(); err != nil {
+		panic(err)
+	}
+	p, q := pr.P, pr.Q
+	buf := make(Gram, p+q)
+	// anc is the register of the last p node refs on the root path,
+	// anc[0] = farthest ancestor ... anc[p-1] = current node. It starts
+	// filled with null refs (the extended tree adds p-1 null ancestors).
+	anc := make([]NodeRef, p)
+	for i := range anc {
+		anc[i] = NullRef
+	}
+	var walk func(n *tree.Node)
+	walk = func(n *tree.Node) {
+		// Shift the ancestor register and append n.
+		old := anc[0]
+		copy(anc, anc[1:])
+		anc[p-1] = NodeRef{ID: n.ID(), Label: fingerprint.Of(n.Label())}
+		copy(buf[:p], anc)
+
+		kids := n.Children()
+		if len(kids) == 0 {
+			for i := 0; i < q; i++ {
+				buf[p+i] = NullRef
+			}
+			fn(buf)
+		} else {
+			// Sliding q-window over •^{q-1} ++ children ++ •^{q-1}.
+			win := make([]NodeRef, 0, len(kids)+2*(q-1))
+			for i := 0; i < q-1; i++ {
+				win = append(win, NullRef)
+			}
+			for _, c := range kids {
+				win = append(win, NodeRef{ID: c.ID(), Label: fingerprint.Of(c.Label())})
+			}
+			for i := 0; i < q-1; i++ {
+				win = append(win, NullRef)
+			}
+			for s := 0; s+q <= len(win); s++ {
+				copy(buf[p:], win[s:s+q])
+				fn(buf)
+			}
+		}
+		for _, c := range kids {
+			walk(c)
+		}
+		// Restore the register.
+		copy(anc[1:], anc)
+		anc[0] = old
+	}
+	walk(t.Root())
+}
+
+// Count returns the number of pq-grams of t without materializing them:
+// f+q-1 per non-leaf node with fanout f, and 1 per leaf.
+func Count(t *tree.Tree, pr Params) int {
+	total := 0
+	t.PreOrder(func(n *tree.Node) bool {
+		if f := n.Fanout(); f > 0 {
+			total += f + pr.Q - 1
+		} else {
+			total++
+		}
+		return true
+	})
+	return total
+}
+
+// Index returns λ(P): the bag of label-tuples of the profile (Definition 3).
+func (prof Profile) Index() Index {
+	idx := make(Index, len(prof))
+	for _, g := range prof {
+		idx[g.LabelTuple()]++
+	}
+	return idx
+}
+
+// Diff returns the set difference prof \ other.
+func (prof Profile) Diff(other Profile) Profile {
+	out := make(Profile)
+	for k, g := range prof {
+		if _, ok := other[k]; !ok {
+			out[k] = g
+		}
+	}
+	return out
+}
+
+// Intersect returns the set intersection of two profiles.
+func (prof Profile) Intersect(other Profile) Profile {
+	out := make(Profile)
+	for k, g := range prof {
+		if _, ok := other[k]; ok {
+			out[k] = g
+		}
+	}
+	return out
+}
+
+// Union returns the set union of two profiles.
+func (prof Profile) Union(other Profile) Profile {
+	out := make(Profile, len(prof)+len(other))
+	for k, g := range prof {
+		out[k] = g
+	}
+	for k, g := range other {
+		out[k] = g
+	}
+	return out
+}
+
+// Equal reports whether two profiles contain exactly the same pq-grams.
+func (prof Profile) Equal(other Profile) bool {
+	if len(prof) != len(other) {
+		return false
+	}
+	for k := range prof {
+		if _, ok := other[k]; !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,19 @@
+package store
+
+import (
+	"pqgram/internal/forest"
+	"pqgram/internal/profile"
+)
+
+// Aliases and helpers shared by the fuzz target.
+type forestAlias = forest.Index
+
+func newForest() *forestAlias { return forest.New(profile.Params{P: 3, Q: 3}) }
+
+func indexOf(labels ...string) profile.Index {
+	idx := make(profile.Index)
+	for _, l := range labels {
+		idx.Add(profile.TupleOfLabels(l, l, l, "*", "*", "*"))
+	}
+	return idx
+}

@@ -1,0 +1,43 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the index loader: it must never panic
+// and must either reject the input or return a structurally sound forest.
+func FuzzLoad(f *testing.F) {
+	// Seed with a real file and a few mutations.
+	fo := sampleFuzzForest()
+	var buf bytes.Buffer
+	if err := Save(&buf, fo); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("PQGI"))
+	f.Add(valid[:len(valid)/2])
+	truncated := append([]byte(nil), valid...)
+	truncated[7] ^= 0x40
+	f.Add(truncated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted: must be internally consistent.
+		if err := g.SelfCheck(); err != nil {
+			t.Fatalf("loaded forest fails self check: %v", err)
+		}
+	})
+}
+
+func sampleFuzzForest() *forestAlias {
+	f := newForest()
+	f.AddIndex("a", indexOf("x", "y", "x"))
+	f.AddIndex("b", indexOf("y", "z"))
+	return f
+}

@@ -1,0 +1,366 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"pqgram/internal/core"
+	"pqgram/internal/edit"
+	"pqgram/internal/forest"
+	"pqgram/internal/profile"
+	"pqgram/internal/tree"
+)
+
+// Store is the durable form of a forest index: a base snapshot (the format
+// of Save/Load) plus a write-ahead journal of per-document changes. Every
+// mutation appends one journal record before it is applied in memory, so a
+// crash at any point loses at most the interrupted record; Open replays
+// the intact journal prefix and ignores a torn tail. Compact folds the
+// journal into a fresh base snapshot.
+//
+// This is what makes the paper's index "persistent AND incrementally
+// maintainable": an incremental update persists its two small delta bags
+// (λ(Δ⁻), λ(Δ⁺)), never the whole index.
+type Store struct {
+	path    string
+	forest  *forest.Index
+	journal *os.File
+	sync    bool
+}
+
+// journal record types.
+const (
+	recAdd    = 'A' // id, full bag
+	recRemove = 'R' // id
+	recUpdate = 'U' // id, I⁻ bag, I⁺ bag
+)
+
+var journalMagic = [4]byte{'P', 'Q', 'G', 'J'}
+
+// CreateStore creates a new empty store at path (base file) and path+".wal"
+// (journal). An existing store at that path is replaced.
+func CreateStore(path string, pr profile.Params) (*Store, error) {
+	if err := SaveFile(path, forest.New(pr)); err != nil {
+		return nil, err
+	}
+	j, err := os.OpenFile(path+".wal", os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := j.Write(journalMagic[:]); err != nil {
+		j.Close()
+		return nil, err
+	}
+	return &Store{path: path, forest: forest.New(pr), journal: j}, nil
+}
+
+// OpenStore loads the base snapshot and replays the journal. A torn or
+// corrupt journal tail (from a crash during an append) is truncated away;
+// everything before it is recovered.
+func OpenStore(path string) (*Store, error) {
+	f, err := LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	j, err := os.OpenFile(path+".wal", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	valid, err := replayJournal(j, f)
+	if err != nil {
+		j.Close()
+		return nil, err
+	}
+	// Drop any torn tail so future appends start at a clean boundary.
+	if err := j.Truncate(valid); err != nil {
+		j.Close()
+		return nil, err
+	}
+	if _, err := j.Seek(valid, io.SeekStart); err != nil {
+		j.Close()
+		return nil, err
+	}
+	return &Store{path: path, forest: f, journal: j}, nil
+}
+
+// SetSync makes every journal append fsync before returning (durability
+// over throughput; off by default).
+func (s *Store) SetSync(on bool) { s.sync = on }
+
+// Forest returns the live in-memory index. Callers must not mutate it
+// directly — use the Store's Add/Remove/Update so changes are journaled.
+func (s *Store) Forest() *forest.Index { return s.forest }
+
+// Path returns the base snapshot path.
+func (s *Store) Path() string { return s.path }
+
+// Close closes the journal. The store must not be used afterwards.
+func (s *Store) Close() error { return s.journal.Close() }
+
+// Add indexes a tree and journals the addition.
+func (s *Store) Add(id string, t *tree.Tree) error {
+	if s.forest.Has(id) {
+		return fmt.Errorf("store: tree %q already indexed", id)
+	}
+	idx := profile.BuildIndex(t, s.forest.Params())
+	var buf bytes.Buffer
+	writeString(&buf, id)
+	writeBag(&buf, idx)
+	if err := s.append(recAdd, buf.Bytes()); err != nil {
+		return err
+	}
+	return s.forest.AddIndex(id, idx)
+}
+
+// Remove drops a tree and journals the removal.
+func (s *Store) Remove(id string) error {
+	if !s.forest.Has(id) {
+		return fmt.Errorf("store: tree %q not indexed", id)
+	}
+	var buf bytes.Buffer
+	writeString(&buf, id)
+	if err := s.append(recRemove, buf.Bytes()); err != nil {
+		return err
+	}
+	return s.forest.Remove(id)
+}
+
+// Update incrementally maintains one document's index (Algorithm 1) and
+// journals only the two delta bags — the persistent-update cost is
+// proportional to the log, not to the index.
+func (s *Store) Update(id string, tn *tree.Tree, log edit.Log) (core.Stats, error) {
+	if !s.forest.Has(id) {
+		return core.Stats{}, fmt.Errorf("store: tree %q not indexed", id)
+	}
+	iPlus, iMinus, st, err := core.Deltas(tn, log, s.forest.Params())
+	if err != nil {
+		return st, err
+	}
+	var buf bytes.Buffer
+	writeString(&buf, id)
+	writeBag(&buf, iMinus)
+	writeBag(&buf, iPlus)
+	if err := s.append(recUpdate, buf.Bytes()); err != nil {
+		return st, err
+	}
+	return st, s.forest.ApplyDeltas(id, iPlus, iMinus)
+}
+
+// JournalSize returns the current journal length in bytes.
+func (s *Store) JournalSize() (int64, error) {
+	fi, err := s.journal.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// Compact folds the journal into a fresh base snapshot: the in-memory
+// index is written (atomically) as the new base and the journal is reset.
+func (s *Store) Compact() error {
+	if err := SaveFile(s.path, s.forest); err != nil {
+		return err
+	}
+	if err := s.journal.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.journal.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if _, err := s.journal.Write(journalMagic[:]); err != nil {
+		return err
+	}
+	if s.sync {
+		return s.journal.Sync()
+	}
+	return nil
+}
+
+// append writes one length-prefixed, checksummed record.
+func (s *Store) append(typ byte, payload []byte) error {
+	var hdr bytes.Buffer
+	hdr.WriteByte(typ)
+	putUvarint(&hdr, uint64(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{typ})
+	crc.Write(payload)
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], crc.Sum32())
+	// One Write call per section keeps a torn append detectable via the
+	// length prefix + checksum; ordering within the file is sequential.
+	if _, err := s.journal.Write(hdr.Bytes()); err != nil {
+		return err
+	}
+	if _, err := s.journal.Write(payload); err != nil {
+		return err
+	}
+	if _, err := s.journal.Write(sum[:]); err != nil {
+		return err
+	}
+	if s.sync {
+		return s.journal.Sync()
+	}
+	return nil
+}
+
+// replayJournal applies intact records to f and returns the byte offset of
+// the end of the last intact record. It only errors on I/O problems or on
+// records that are intact but semantically inapplicable (a corrupted
+// database, as opposed to a torn append).
+func replayJournal(j *os.File, f *forest.Index) (int64, error) {
+	if _, err := j.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	data, err := io.ReadAll(j)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) < len(journalMagic) || [4]byte(data[:4]) != journalMagic {
+		// Fresh or foreign journal: treat as empty, rewrite the magic.
+		if _, err := j.Seek(0, io.SeekStart); err != nil {
+			return 0, err
+		}
+		if err := j.Truncate(0); err != nil {
+			return 0, err
+		}
+		if _, err := j.Write(journalMagic[:]); err != nil {
+			return 0, err
+		}
+		return int64(len(journalMagic)), nil
+	}
+	pos := int64(4)
+	rest := data[4:]
+	for {
+		rec, n := nextRecord(rest)
+		if n == 0 {
+			return pos, nil // torn or empty tail
+		}
+		if err := applyRecord(f, rec); err != nil {
+			return 0, fmt.Errorf("store: journal record at offset %d: %w", pos, err)
+		}
+		pos += int64(n)
+		rest = rest[n:]
+	}
+}
+
+// nextRecord parses one record from the front of data, returning the
+// payload (with type byte prefixed) and the total record length, or n = 0
+// if the data does not contain one intact record.
+func nextRecord(data []byte) (rec []byte, n int) {
+	if len(data) < 1 {
+		return nil, 0
+	}
+	typ := data[0]
+	plen, lenLen := binary.Uvarint(data[1:])
+	if lenLen <= 0 || plen > uint64(len(data)) {
+		return nil, 0
+	}
+	start := 1 + lenLen
+	end := start + int(plen)
+	if end+4 > len(data) {
+		return nil, 0
+	}
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{typ})
+	crc.Write(data[start:end])
+	if binary.BigEndian.Uint32(data[end:end+4]) != crc.Sum32() {
+		return nil, 0
+	}
+	out := make([]byte, 0, 1+int(plen))
+	out = append(out, typ)
+	out = append(out, data[start:end]...)
+	return out, end + 4
+}
+
+func applyRecord(f *forest.Index, rec []byte) error {
+	r := bytes.NewReader(rec[1:])
+	switch rec[0] {
+	case recAdd:
+		id, err := readString(r)
+		if err != nil {
+			return err
+		}
+		bag, err := readBag(r)
+		if err != nil {
+			return err
+		}
+		return f.AddIndex(id, bag)
+	case recRemove:
+		id, err := readString(r)
+		if err != nil {
+			return err
+		}
+		return f.Remove(id)
+	case recUpdate:
+		id, err := readString(r)
+		if err != nil {
+			return err
+		}
+		iMinus, err := readBag(r)
+		if err != nil {
+			return err
+		}
+		iPlus, err := readBag(r)
+		if err != nil {
+			return err
+		}
+		return f.ApplyDeltas(id, iPlus, iMinus)
+	}
+	return fmt.Errorf("unknown record type %q", rec[0])
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	putUvarint(buf, uint64(len(s)))
+	buf.WriteString(s)
+}
+
+func readString(r *bytes.Reader) (string, error) {
+	n, err := getUvarint(r, 1<<20)
+	if err != nil {
+		return "", err
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func writeBag(buf *bytes.Buffer, idx profile.Index) {
+	putUvarint(buf, uint64(len(idx)))
+	for lt, c := range idx {
+		putUvarint(buf, uint64(lt))
+		putUvarint(buf, uint64(c))
+	}
+}
+
+func readBag(r *bytes.Reader) (profile.Index, error) {
+	n, err := getUvarint(r, 1<<50)
+	if err != nil {
+		return nil, err
+	}
+	hint := n
+	if hint > 1<<16 {
+		hint = 1 << 16
+	}
+	idx := make(profile.Index, hint)
+	for i := uint64(0); i < n; i++ {
+		lt, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		c, err := getUvarint(r, 1<<50)
+		if err != nil {
+			return nil, err
+		}
+		if c == 0 {
+			return nil, fmt.Errorf("bag entry with zero count")
+		}
+		idx[profile.LabelTuple(lt)] += int(c)
+	}
+	return idx, nil
+}

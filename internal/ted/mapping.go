@@ -1,0 +1,85 @@
+package ted
+
+import "pqgram/internal/tree"
+
+// MatchedPair is one element of an edit mapping: node A of the first tree
+// corresponds to node B of the second (same node kept, possibly renamed).
+type MatchedPair struct {
+	A, B tree.NodeID
+}
+
+// Mapping computes a minimum-cost edit mapping between a and b: a set of
+// node pairs, preserving ancestorship and sibling order, such that
+//
+//	cost = renames(pairs) + (|a| − |pairs|) + (|b| − |pairs|)
+//
+// is the tree edit distance. It returns the pairs (in no particular order)
+// and the cost, which always equals Distance(a, b).
+func Mapping(a, b *tree.Tree) ([]MatchedPair, int) {
+	fa, fb := flattenWithIDs(a), flattenWithIDs(b)
+	n, m := len(fa.labels), len(fb.labels)
+	td := make([][]int, n+1)
+	for i := range td {
+		td[i] = make([]int, m+1)
+	}
+	fd := make([][]int, n+2)
+	for i := range fd {
+		fd[i] = make([]int, m+2)
+	}
+	for _, i := range fa.keyroots {
+		for _, j := range fb.keyroots {
+			treedist(fa.flat, fb.flat, i, j, td, fd)
+		}
+	}
+
+	var pairs []MatchedPair
+	var backtrace func(i, j int)
+	backtrace = func(i, j int) {
+		// Rebuild the forest-distance table of the (i, j) subproblem, then
+		// walk it backwards.
+		treedist(fa.flat, fb.flat, i, j, td, fd)
+		li, lj := fa.lml[i-1], fb.lml[j-1]
+		x, y := i, j
+		for x >= li || y >= lj {
+			switch {
+			case x >= li && fd[x][y] == fd[x-1][y]+1:
+				x-- // node x deleted
+			case y >= lj && fd[x][y] == fd[x][y-1]+1:
+				y-- // node y inserted
+			default:
+				if fa.lml[x-1] == li && fb.lml[y-1] == lj {
+					// Both prefixes are whole trees: x pairs with y.
+					pairs = append(pairs, MatchedPair{A: fa.ids[x-1], B: fb.ids[y-1]})
+					x--
+					y--
+				} else {
+					// Descend into the subtree pair, then skip past it.
+					lx, ly := fa.lml[x-1], fb.lml[y-1]
+					backtrace(x, y)
+					// The recursion clobbered fd; rebuild this subproblem.
+					treedist(fa.flat, fb.flat, i, j, td, fd)
+					x, y = lx-1, ly-1
+				}
+			}
+		}
+	}
+	backtrace(n, m)
+
+	cost := td[n][m]
+	return pairs, cost
+}
+
+type flatIDs struct {
+	flat
+	ids []tree.NodeID // ids[i] = NodeID of the (i+1)-th node in postorder
+}
+
+func flattenWithIDs(t *tree.Tree) flatIDs {
+	f := flatIDs{flat: flatten(t)}
+	f.ids = make([]tree.NodeID, 0, len(f.labels))
+	t.PostOrder(func(n *tree.Node) bool {
+		f.ids = append(f.ids, n.ID())
+		return true
+	})
+	return f
+}

@@ -1,0 +1,121 @@
+// Package ted implements the tree edit distance of Zhang and Shasha (SIAM
+// J. Comput. 1989), the reference measure that the pq-gram distance
+// approximates (paper reference [20]). It is used to validate that the
+// pq-gram distance tracks true edit distance and as a comparator in the
+// examples; its cost is O(|T1|·|T2|·min(depth,leaves)²), so it is only
+// practical for small trees — which is precisely the point of the pq-gram
+// approximation.
+package ted
+
+import "pqgram/internal/tree"
+
+// flat is the postorder-array form of a tree that the algorithm works on.
+type flat struct {
+	labels []string // labels[i] = label of the (i+1)-th node in postorder
+	lml    []int    // lml[i] = postorder index (1-based) of the leftmost leaf
+	// of the subtree rooted at node i+1
+	keyroots []int // postorder indexes (1-based) of the LR-keyroots, ascending
+}
+
+func flatten(t *tree.Tree) flat {
+	var f flat
+	var walk func(n *tree.Node) int // returns leftmost-leaf index of n's subtree
+	walk = func(n *tree.Node) int {
+		lml := 0
+		for i, c := range n.Children() {
+			cl := walk(c)
+			if i == 0 {
+				lml = cl
+			}
+		}
+		f.labels = append(f.labels, n.Label())
+		if n.IsLeaf() {
+			lml = len(f.labels)
+		}
+		f.lml = append(f.lml, lml)
+		return lml
+	}
+	walk(t.Root())
+	// A node is an LR-keyroot iff no proper ancestor shares its leftmost
+	// leaf, i.e. it is the root or has a left sibling.
+	seen := make(map[int]bool)
+	for i := len(f.labels); i >= 1; i-- {
+		if !seen[f.lml[i-1]] {
+			f.keyroots = append(f.keyroots, i)
+			seen[f.lml[i-1]] = true
+		}
+	}
+	// Reverse into ascending order.
+	for a, b := 0, len(f.keyroots)-1; a < b; a, b = a+1, b-1 {
+		f.keyroots[a], f.keyroots[b] = f.keyroots[b], f.keyroots[a]
+	}
+	return f
+}
+
+// Distance returns the minimum number of node inserts, deletes and renames
+// that transform a into b (unit costs).
+func Distance(a, b *tree.Tree) int {
+	fa, fb := flatten(a), flatten(b)
+	n, m := len(fa.labels), len(fb.labels)
+	td := make([][]int, n+1)
+	for i := range td {
+		td[i] = make([]int, m+1)
+	}
+	// Forest-distance scratch table, sized for the largest subproblem.
+	fd := make([][]int, n+2)
+	for i := range fd {
+		fd[i] = make([]int, m+2)
+	}
+	for _, i := range fa.keyroots {
+		for _, j := range fb.keyroots {
+			treedist(fa, fb, i, j, td, fd)
+		}
+	}
+	return td[n][m]
+}
+
+func treedist(fa, fb flat, i, j int, td, fd [][]int) {
+	li, lj := fa.lml[i-1], fb.lml[j-1]
+	// fd indexes are shifted: fd[x][y] is the distance between the forests
+	// fa[li..x] and fb[lj..y]; x = li-1 / y = lj-1 denote empty forests.
+	fd[li-1][lj-1] = 0
+	for x := li; x <= i; x++ {
+		fd[x][lj-1] = fd[x-1][lj-1] + 1 // delete
+	}
+	for y := lj; y <= j; y++ {
+		fd[li-1][y] = fd[li-1][y-1] + 1 // insert
+	}
+	for x := li; x <= i; x++ {
+		for y := lj; y <= j; y++ {
+			if fa.lml[x-1] == li && fb.lml[y-1] == lj {
+				// Both prefixes are whole trees: full edit choice.
+				ren := 0
+				if fa.labels[x-1] != fb.labels[y-1] {
+					ren = 1
+				}
+				fd[x][y] = min3(
+					fd[x-1][y]+1,
+					fd[x][y-1]+1,
+					fd[x-1][y-1]+ren,
+				)
+				td[x][y] = fd[x][y]
+			} else {
+				fd[x][y] = min3(
+					fd[x-1][y]+1,
+					fd[x][y-1]+1,
+					fd[fa.lml[x-1]-1][fb.lml[y-1]-1]+td[x][y],
+				)
+			}
+		}
+	}
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

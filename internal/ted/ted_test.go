@@ -1,0 +1,185 @@
+package ted
+
+import (
+	"math/rand"
+	"testing"
+
+	"pqgram/internal/edit"
+	"pqgram/internal/gen"
+	"pqgram/internal/tree"
+)
+
+func dist(t *testing.T, a, b string) int {
+	t.Helper()
+	return Distance(tree.MustParse(a), tree.MustParse(b))
+}
+
+func TestIdentical(t *testing.T) {
+	for _, s := range []string{"a", "a(b c)", "a(b(c d) e(f))"} {
+		if d := dist(t, s, s); d != 0 {
+			t.Errorf("Distance(%s, %s) = %d, want 0", s, s, d)
+		}
+	}
+}
+
+func TestSingleOps(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"a", "b", 1},                           // rename root
+		{"a(b)", "a(c)", 1},                     // rename leaf
+		{"a(b)", "a", 1},                        // delete leaf
+		{"a", "a(b)", 1},                        // insert leaf
+		{"a(b c)", "a(b x c)", 1},               // insert middle leaf
+		{"a(b(c))", "a(c)", 1},                  // delete inner node
+		{"a(b c)", "a(x(b c))", 1},              // insert inner node
+		{"a(b c)", "a(c b)", 2},                 // swap = two renames
+		{"a(b(c d))", "a(x(c y))", 2},           // two renames
+		{"a(b c d)", "a", 3},                    // delete all leaves
+		{"f(d(a c(b)) e)", "f(c(d(a b)) e)", 2}, // Zhang-Shasha's classic example
+	}
+	for _, c := range cases {
+		if d := dist(t, c.a, c.b); d != c.want {
+			t.Errorf("Distance(%s, %s) = %d, want %d", c.a, c.b, d, c.want)
+		}
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 30; i++ {
+		a := gen.RandomTree(rng, 1+rng.Intn(15))
+		b := gen.RandomTree(rng, 1+rng.Intn(15))
+		if d1, d2 := Distance(a, b), Distance(b, a); d1 != d2 {
+			t.Fatalf("asymmetric: %d vs %d\n%s\n%s", d1, d2, a, b)
+		}
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		a := gen.RandomTree(rng, 1+rng.Intn(12))
+		b := gen.RandomTree(rng, 1+rng.Intn(12))
+		c := gen.RandomTree(rng, 1+rng.Intn(12))
+		ab, bc, ac := Distance(a, b), Distance(b, c), Distance(a, c)
+		if ac > ab+bc {
+			t.Fatalf("triangle violated: d(a,c)=%d > d(a,b)+d(b,c)=%d+%d", ac, ab, bc)
+		}
+	}
+}
+
+// TestEditScriptUpperBound: applying k edit operations moves the tree at
+// most k units of edit distance.
+func TestEditScriptUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 30; i++ {
+		a := gen.RandomTree(rng, 3+rng.Intn(12))
+		b := a.Clone()
+		k := 1 + rng.Intn(5)
+		if _, _, err := gen.RandomScript(rng, b, k, gen.DefaultMix); err != nil {
+			t.Fatal(err)
+		}
+		if d := Distance(a, b); d > k {
+			t.Fatalf("distance %d exceeds script length %d", d, k)
+		}
+	}
+}
+
+// TestSizeDifferenceLowerBound: |size(a) - size(b)| is a lower bound.
+func TestSizeDifferenceLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 30; i++ {
+		a := gen.RandomTree(rng, 1+rng.Intn(15))
+		b := gen.RandomTree(rng, 1+rng.Intn(15))
+		lower := a.Size() - b.Size()
+		if lower < 0 {
+			lower = -lower
+		}
+		if d := Distance(a, b); d < lower {
+			t.Fatalf("distance %d below size-difference bound %d", d, lower)
+		}
+	}
+}
+
+// TestBruteForceSmall compares against an exhaustive search over short
+// scripts: if some script of length k transforms a into b, the distance is
+// at most k; we verify the distance is reached by BFS over edit scripts on
+// tiny trees.
+func TestBruteForceSmall(t *testing.T) {
+	start := tree.MustParse("a(b c)")
+	targets := []string{"a(b c)", "a(b)", "a(x c)", "a(b c d)", "x(b c)", "a"}
+	for _, tgt := range targets {
+		want := bfsDistance(t, start, tree.MustParse(tgt), 3)
+		if want < 0 {
+			continue // farther than the BFS horizon
+		}
+		if d := Distance(start, tree.MustParse(tgt)); d != want {
+			t.Errorf("Distance(a(b c), %s) = %d, want %d (BFS)", tgt, d, want)
+		}
+	}
+}
+
+// bfsDistance finds the true shortest edit script length up to maxDepth by
+// breadth-first search over label-shapes, or -1 if unreachable.
+func bfsDistance(t *testing.T, from, to *tree.Tree, maxDepth int) int {
+	t.Helper()
+	type state struct {
+		tr    *tree.Tree
+		depth int
+	}
+	target := to.Format()
+	seen := map[string]bool{from.Format(): true}
+	queue := []state{{from, 0}}
+	labels := []string{"a", "b", "c", "d", "x"}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.tr.Format() == target {
+			return cur.depth
+		}
+		if cur.depth == maxDepth {
+			continue
+		}
+		var candidates []edit.Op
+		nextID := cur.tr.MaxID() + 1
+		for _, n := range cur.tr.Nodes() {
+			if !n.IsRoot() {
+				candidates = append(candidates, edit.Del(n.ID()))
+			}
+			for _, l := range labels {
+				if n.Label() != l {
+					candidates = append(candidates, edit.Ren(n.ID(), l))
+				}
+			}
+			for k := 1; k <= n.Fanout()+1; k++ {
+				for m := k - 1; m <= n.Fanout(); m++ {
+					for _, l := range labels {
+						candidates = append(candidates, edit.Ins(nextID, l, n.ID(), k, m))
+					}
+				}
+			}
+		}
+		for _, op := range candidates {
+			c := cur.tr.Clone()
+			if _, err := op.Apply(c); err != nil {
+				continue
+			}
+			key := c.Format()
+			if !seen[key] {
+				seen[key] = true
+				queue = append(queue, state{c, cur.depth + 1})
+			}
+		}
+	}
+	return -1
+}
+
+// Renaming the root is allowed by TED even though the maintenance
+// framework excludes it; check it costs 1.
+func TestRootRename(t *testing.T) {
+	if d := dist(t, "a(b c)", "z(b c)"); d != 1 {
+		t.Errorf("root rename distance = %d, want 1", d)
+	}
+}

@@ -1,0 +1,218 @@
+package tree
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a tree from a compact parenthesized notation:
+//
+//	a(c b(e f) c)
+//
+// denotes a root labeled "a" with children "c", "b" (which has children "e"
+// and "f") and "c". Labels are runs of non-space, non-parenthesis characters,
+// or double-quoted Go string literals for labels containing such characters.
+// Node IDs are assigned in preorder starting at 1.
+func Parse(s string) (*Tree, error) {
+	p := &parser{in: s}
+	p.skipSpace()
+	label, err := p.label()
+	if err != nil {
+		return nil, err
+	}
+	t := New(label)
+	if err := p.children(t, t.root); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("tree: trailing input at byte %d: %q", p.pos, p.in[p.pos:])
+	}
+	return t, nil
+}
+
+// MustParse is Parse that panics on error, for fixtures.
+func MustParse(s string) *Tree {
+	t, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type parser struct {
+	in  string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t' || p.in[p.pos] == '\n' || p.in[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *parser) label() (string, error) {
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return "", fmt.Errorf("tree: expected label at byte %d", p.pos)
+	}
+	if p.in[p.pos] == '"' {
+		rest := p.in[p.pos:]
+		// Find the closing quote of a Go string literal.
+		end := 1
+		for end < len(rest) {
+			if rest[end] == '\\' {
+				end += 2
+				continue
+			}
+			if rest[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(rest) {
+			return "", fmt.Errorf("tree: unterminated quoted label at byte %d", p.pos)
+		}
+		lit := rest[:end+1]
+		s, err := strconv.Unquote(lit)
+		if err != nil {
+			return "", fmt.Errorf("tree: bad quoted label %s: %v", lit, err)
+		}
+		p.pos += len(lit)
+		return s, nil
+	}
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if c == '(' || c == ')' || c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			break
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("tree: expected label at byte %d, found %q", p.pos, p.in[p.pos])
+	}
+	return p.in[start:p.pos], nil
+}
+
+func (p *parser) children(t *Tree, n *Node) error {
+	p.skipSpace()
+	if p.pos >= len(p.in) || p.in[p.pos] != '(' {
+		return nil // leaf
+	}
+	p.pos++ // consume '('
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.in) {
+			return fmt.Errorf("tree: unterminated child list for node %d", n.id)
+		}
+		if p.in[p.pos] == ')' {
+			p.pos++
+			return nil
+		}
+		label, err := p.label()
+		if err != nil {
+			return err
+		}
+		c := t.AddChild(n, label)
+		if err := p.children(t, c); err != nil {
+			return err
+		}
+	}
+}
+
+// Format renders the tree in the notation accepted by Parse. Labels that
+// contain spaces, parentheses or quotes are emitted as quoted literals.
+func (t *Tree) Format() string {
+	var b strings.Builder
+	formatNode(&b, t.root)
+	return b.String()
+}
+
+func formatNode(b *strings.Builder, n *Node) {
+	b.WriteString(quoteLabel(n.label))
+	if len(n.children) == 0 {
+		return
+	}
+	b.WriteByte('(')
+	for i, c := range n.children {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		formatNode(b, c)
+	}
+	b.WriteByte(')')
+}
+
+func quoteLabel(s string) string {
+	if s == "" || strings.ContainsAny(s, "() \t\n\r\"") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// String renders the tree as an indented outline with node IDs, for
+// debugging and error messages.
+func (t *Tree) String() string {
+	var b strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&b, "%d:%s\n", n.id, quoteLabel(n.label))
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.root, 0)
+	return b.String()
+}
+
+// Validate checks the structural invariants of the tree: the ID map matches
+// the nodes reachable from the root, parent/childIdx links are consistent,
+// IDs are positive and below nextID, and the graph is acyclic. It returns a
+// descriptive error for the first violation found.
+func (t *Tree) Validate() error {
+	if t.root == nil {
+		return fmt.Errorf("tree: nil root")
+	}
+	if t.root.parent != nil {
+		return fmt.Errorf("tree: root %d has a parent", t.root.id)
+	}
+	seen := make(map[NodeID]bool, len(t.nodes))
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if n.id <= 0 {
+			return fmt.Errorf("tree: node with non-positive ID %d", n.id)
+		}
+		if n.id >= t.nextID {
+			return fmt.Errorf("tree: node ID %d >= nextID %d", n.id, t.nextID)
+		}
+		if seen[n.id] {
+			return fmt.Errorf("tree: duplicate or cyclic node ID %d", n.id)
+		}
+		seen[n.id] = true
+		if t.nodes[n.id] != n {
+			return fmt.Errorf("tree: node %d not registered in ID map", n.id)
+		}
+		for i, c := range n.children {
+			if c.parent != n {
+				return fmt.Errorf("tree: node %d has wrong parent link (child of %d)", c.id, n.id)
+			}
+			if c.childIdx != i {
+				return fmt.Errorf("tree: node %d has childIdx %d, want %d", c.id, c.childIdx, i)
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return err
+	}
+	if len(seen) != len(t.nodes) {
+		return fmt.Errorf("tree: ID map has %d entries but %d nodes reachable", len(t.nodes), len(seen))
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package tree
+
+import (
+	"sort"
+
+	"pqgram/internal/fingerprint"
+)
+
+// CanonicalClone returns a copy of the tree in which every node's children
+// are sorted into a canonical order: by label, ties broken by a structural
+// fingerprint of the whole subtree (and ties after that are genuinely
+// identical subtrees, whose order cannot matter). Two trees that are equal
+// as *unordered* trees have label-equal canonical clones, so ordinary
+// (ordered) pq-gram machinery on canonical clones yields an
+// order-insensitive similarity: permuting siblings costs nothing, while
+// real structural change costs the same as before.
+//
+// Node IDs are freshly assigned in preorder of the canonical order; the
+// clone is meant for distance computation and indexing, not for editing
+// the original.
+func (t *Tree) CanonicalClone() *Tree {
+	type summary struct {
+		node *Node
+		hash fingerprint.Hash
+	}
+	// Compute structural fingerprints bottom-up over the canonical order.
+	var canon func(n *Node) summary
+	canon = func(n *Node) summary {
+		kids := make([]summary, len(n.children))
+		for i, c := range n.children {
+			kids[i] = canon(c)
+		}
+		sort.SliceStable(kids, func(i, j int) bool {
+			li, lj := kids[i].node.label, kids[j].node.label
+			if li != lj {
+				return li < lj
+			}
+			return kids[i].hash < kids[j].hash
+		})
+		hs := make([]fingerprint.Hash, 0, len(kids)+1)
+		hs = append(hs, fingerprint.Of(n.label))
+		for _, k := range kids {
+			hs = append(hs, k.hash)
+		}
+		// Remember the canonical child order for the rebuild below.
+		ordered := make([]*Node, len(kids))
+		for i, k := range kids {
+			ordered[i] = k.node
+		}
+		n2 := &Node{label: n.label, children: ordered}
+		return summary{node: n2, hash: fingerprint.Combine(hs)}
+	}
+	shadow := canon(t.root)
+
+	// Materialize the shadow structure as a fresh, valid tree.
+	out := New(shadow.node.label)
+	var build func(src *Node, dst *Node)
+	build = func(src *Node, dst *Node) {
+		for _, c := range src.children {
+			build(c, out.AddChild(dst, c.label))
+		}
+	}
+	build(shadow.node, out.root)
+	return out
+}

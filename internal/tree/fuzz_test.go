@@ -1,0 +1,32 @@
+package tree
+
+import "testing"
+
+// FuzzParse checks that Parse never panics, that accepted inputs produce
+// valid trees, and that Format round-trips exactly.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"a", "a(b c)", "a(c b(e f) c)", `a("b c"(d) ")")`, "a(", "a))",
+		"((((", `a("" "")`, "a(b(c(d(e(f)))))", "\"\\\"\"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted tree invalid: %v (input %q)", err, s)
+		}
+		out := tr.Format()
+		tr2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("Format output %q does not reparse: %v", out, err)
+		}
+		if !Equal(tr, tr2) {
+			t.Fatalf("round trip changed tree: %q -> %q", s, out)
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package tree
+
+// PreOrder visits every node of the tree in document order (node before its
+// children) and calls f for each. If f returns false, the walk stops.
+func (t *Tree) PreOrder(f func(*Node) bool) {
+	var walk func(n *Node) bool
+	walk = func(n *Node) bool {
+		if !f(n) {
+			return false
+		}
+		for _, c := range n.children {
+			if !walk(c) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root)
+}
+
+// PostOrder visits every node with children before their parent and calls f
+// for each. If f returns false, the walk stops.
+func (t *Tree) PostOrder(f func(*Node) bool) {
+	var walk func(n *Node) bool
+	walk = func(n *Node) bool {
+		for _, c := range n.children {
+			if !walk(c) {
+				return false
+			}
+		}
+		return f(n)
+	}
+	walk(t.root)
+}
+
+// Nodes returns all nodes in preorder.
+func (t *Tree) Nodes() []*Node {
+	out := make([]*Node, 0, len(t.nodes))
+	t.PreOrder(func(n *Node) bool { out = append(out, n); return true })
+	return out
+}
+
+// Leaves returns all leaf nodes in document order.
+func (t *Tree) Leaves() []*Node {
+	var out []*Node
+	t.PreOrder(func(n *Node) bool {
+		if n.IsLeaf() {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// Height returns the length of the longest root-to-leaf path (0 for a
+// single-node tree).
+func (t *Tree) Height() int {
+	var h func(n *Node) int
+	h = func(n *Node) int {
+		best := 0
+		for _, c := range n.children {
+			if d := h(c) + 1; d > best {
+				best = d
+			}
+		}
+		return best
+	}
+	return h(t.root)
+}
+
+// DescendantsWithin returns n and all descendants of n at distance at most d,
+// in preorder. This is the paper's desc_d(n) (§7.2). d < 0 yields nil.
+func DescendantsWithin(n *Node, d int) []*Node {
+	if d < 0 {
+		return nil
+	}
+	var out []*Node
+	var walk func(x *Node, left int)
+	walk = func(x *Node, left int) {
+		out = append(out, x)
+		if left == 0 {
+			return
+		}
+		for _, c := range x.children {
+			walk(c, left-1)
+		}
+	}
+	walk(n, d)
+	return out
+}
+
+// DescendantsWithinSet returns desc_d(n_1, ..., n_j): the union of
+// DescendantsWithin over the given nodes, in order.
+func DescendantsWithinSet(nodes []*Node, d int) []*Node {
+	var out []*Node
+	for _, n := range nodes {
+		out = append(out, DescendantsWithin(n, d)...)
+	}
+	return out
+}
+
+// Dist returns the ancestor distance dist(a, n): the length of the path from
+// a down to n, with Dist(n, n) = 0. It returns -1 if a is not n or an
+// ancestor of n.
+func Dist(a, n *Node) int {
+	d := 0
+	for x := n; x != nil; x = x.parent {
+		if x == a {
+			return d
+		}
+		d++
+	}
+	return -1
+}

@@ -1,0 +1,405 @@
+// Package tree implements the ordered labeled trees of Augsten, Böhlen and
+// Gamper (VLDB 2006), §3.1: a tree is a directed, acyclic, connected,
+// non-empty graph whose nodes are (identifier, label) pairs. Identifiers are
+// unique within a tree, siblings are ordered, and node equality across trees
+// is defined as equality of both identifier and label.
+//
+// Trees are mutable: the edit operations of the paper (INS, DEL, REN) are
+// provided as primitive structural mutations here and wrapped with
+// applicability checking and inverses in package edit.
+package tree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node uniquely within a tree. IDs are never reused by a
+// tree, even after the node is deleted.
+type NodeID int64
+
+// NilID is the zero NodeID; it never identifies a real node.
+const NilID NodeID = 0
+
+// Node is a single tree node: an (identifier, label) pair together with its
+// position in the tree. Nodes are created through Tree methods and must not
+// be shared between trees.
+type Node struct {
+	id       NodeID
+	label    string
+	parent   *Node
+	children []*Node
+	childIdx int // index in parent.children; -1 for the root
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// Label returns the node label.
+func (n *Node) Label() string { return n.label }
+
+// Parent returns the parent node, or nil for the root.
+func (n *Node) Parent() *Node { return n.parent }
+
+// Children returns the ordered child slice. The returned slice is owned by
+// the tree and must not be modified by the caller.
+func (n *Node) Children() []*Node { return n.children }
+
+// Fanout returns the number of children of n.
+func (n *Node) Fanout() int { return len(n.children) }
+
+// IsLeaf reports whether n has no children.
+func (n *Node) IsLeaf() bool { return len(n.children) == 0 }
+
+// IsRoot reports whether n has no parent.
+func (n *Node) IsRoot() bool { return n.parent == nil }
+
+// Child returns the i-th child of n (1-based, following the paper's
+// convention "c_i is the i-th child of v"). It panics if i is out of range.
+func (n *Node) Child(i int) *Node {
+	if i < 1 || i > len(n.children) {
+		panic(fmt.Sprintf("tree: child index %d out of range [1,%d] on node %d", i, len(n.children), n.id))
+	}
+	return n.children[i-1]
+}
+
+// SiblingPos returns k such that n is the k-th child of its parent (1-based).
+// It returns 0 for the root.
+func (n *Node) SiblingPos() int {
+	if n.parent == nil {
+		return 0
+	}
+	return n.childIdx + 1
+}
+
+// Ancestor returns the ancestor of n at distance k (k=1 is the parent), or
+// nil if the path to the root is shorter than k. Ancestor(0) returns n.
+func (n *Node) Ancestor(k int) *Node {
+	a := n
+	for i := 0; i < k; i++ {
+		if a == nil {
+			return nil
+		}
+		a = a.parent
+	}
+	return a
+}
+
+// Depth returns the distance from the root to n (0 for the root).
+func (n *Node) Depth() int {
+	d := 0
+	for a := n.parent; a != nil; a = a.parent {
+		d++
+	}
+	return d
+}
+
+// IsAncestorOf reports whether n is a proper ancestor of d.
+func (n *Node) IsAncestorOf(d *Node) bool {
+	for a := d.parent; a != nil; a = a.parent {
+		if a == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Tree is an ordered labeled tree with unique node identifiers.
+type Tree struct {
+	root   *Node
+	nodes  map[NodeID]*Node
+	nextID NodeID
+}
+
+// New creates a tree consisting of a single root node with the given label.
+// The root receives ID 1.
+func New(rootLabel string) *Tree {
+	t := &Tree{nodes: make(map[NodeID]*Node), nextID: 1}
+	t.root = t.newNode(rootLabel)
+	t.root.childIdx = -1
+	return t
+}
+
+// NewWithRootID creates a tree whose root has the given explicit ID. It is
+// intended for constructing fixtures that must match published examples.
+func NewWithRootID(id NodeID, rootLabel string) *Tree {
+	if id <= 0 {
+		panic("tree: root ID must be positive")
+	}
+	t := &Tree{nodes: make(map[NodeID]*Node), nextID: id}
+	t.root = t.newNode(rootLabel)
+	t.root.childIdx = -1
+	return t
+}
+
+func (t *Tree) newNode(label string) *Node {
+	n := &Node{id: t.nextID, label: label, childIdx: -1}
+	t.nextID++
+	t.nodes[n.id] = n
+	return n
+}
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return t.root }
+
+// Size returns the number of nodes in the tree.
+func (t *Tree) Size() int { return len(t.nodes) }
+
+// Node returns the node with the given ID, or nil if no such node exists.
+func (t *Tree) Node(id NodeID) *Node { return t.nodes[id] }
+
+// Contains reports whether a node with the given ID exists in the tree.
+func (t *Tree) Contains(id NodeID) bool { _, ok := t.nodes[id]; return ok }
+
+// MaxID returns the largest node ID ever allocated in this tree.
+func (t *Tree) MaxID() NodeID { return t.nextID - 1 }
+
+// IDs returns all node IDs in ascending order.
+func (t *Tree) IDs() []NodeID {
+	ids := make([]NodeID, 0, len(t.nodes))
+	for id := range t.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// AddChild appends a new leaf node with the given label as the last child of
+// parent and returns it.
+func (t *Tree) AddChild(parent *Node, label string) *Node {
+	return t.AddChildAt(parent, label, parent.Fanout()+1)
+}
+
+// AddChildAt inserts a new leaf node with the given label as the k-th child
+// of parent (1-based) and returns it. Existing children at positions >= k
+// shift right.
+func (t *Tree) AddChildAt(parent *Node, label string, k int) *Node {
+	t.mustOwn(parent)
+	if k < 1 || k > parent.Fanout()+1 {
+		panic(fmt.Sprintf("tree: insert position %d out of range [1,%d]", k, parent.Fanout()+1))
+	}
+	n := t.newNode(label)
+	t.attach(n, parent, k)
+	return n
+}
+
+// AddChildWithID is AddChildAt with an explicit node ID, for fixtures. It
+// panics if the ID is already used.
+func (t *Tree) AddChildWithID(parent *Node, id NodeID, label string, k int) *Node {
+	t.mustOwn(parent)
+	if id <= 0 {
+		panic("tree: node ID must be positive")
+	}
+	if _, ok := t.nodes[id]; ok {
+		panic(fmt.Sprintf("tree: duplicate node ID %d", id))
+	}
+	if k < 1 || k > parent.Fanout()+1 {
+		panic(fmt.Sprintf("tree: insert position %d out of range [1,%d]", k, parent.Fanout()+1))
+	}
+	n := &Node{id: id, label: label, childIdx: -1}
+	if id >= t.nextID {
+		t.nextID = id + 1
+	}
+	t.nodes[id] = n
+	t.attach(n, parent, k)
+	return n
+}
+
+// attach links n (which must be detached) as the k-th child of parent.
+func (t *Tree) attach(n *Node, parent *Node, k int) {
+	parent.children = append(parent.children, nil)
+	copy(parent.children[k:], parent.children[k-1:])
+	parent.children[k-1] = n
+	n.parent = parent
+	for i := k - 1; i < len(parent.children); i++ {
+		parent.children[i].childIdx = i
+	}
+}
+
+// Insert performs the paper's INS(n, v, k, m): a fresh node with the given
+// label (and explicit ID, if id > 0) becomes the k-th child of v, and v's
+// previous children c_k..c_m become the children of the new node, preserving
+// order. m = k-1 denotes a leaf insert (the new node adopts no children).
+// It returns the inserted node. The caller must have validated k, m.
+func (t *Tree) Insert(id NodeID, label string, v *Node, k, m int) *Node {
+	t.mustOwn(v)
+	if k < 1 || m > v.Fanout() || m < k-1 {
+		panic(fmt.Sprintf("tree: INS positions k=%d m=%d invalid for fanout %d", k, m, v.Fanout()))
+	}
+	var n *Node
+	if id > 0 {
+		if _, ok := t.nodes[id]; ok {
+			panic(fmt.Sprintf("tree: duplicate node ID %d", id))
+		}
+		n = &Node{id: id, label: label, childIdx: -1}
+		if id >= t.nextID {
+			t.nextID = id + 1
+		}
+		t.nodes[id] = n
+	} else {
+		n = t.newNode(label)
+	}
+	// Adopt c_k..c_m.
+	adopted := make([]*Node, m-k+1)
+	copy(adopted, v.children[k-1:m])
+	n.children = adopted
+	for i, c := range adopted {
+		c.parent = n
+		c.childIdx = i
+	}
+	// Replace the adopted range with n in v's child list.
+	rest := append([]*Node{n}, v.children[m:]...)
+	v.children = append(v.children[:k-1], rest...)
+	n.parent = v
+	for i := k - 1; i < len(v.children); i++ {
+		v.children[i].childIdx = i
+	}
+	return n
+}
+
+// Delete performs the paper's DEL(n): n is removed and its children are
+// spliced into n's former position among its parent's children, preserving
+// order. The root cannot be deleted.
+func (t *Tree) Delete(n *Node) {
+	t.mustOwn(n)
+	if n.parent == nil {
+		panic("tree: cannot delete the root node")
+	}
+	v := n.parent
+	k := n.childIdx // 0-based position of n in v.children
+	grand := make([]*Node, 0, len(v.children)-1+len(n.children))
+	grand = append(grand, v.children[:k]...)
+	grand = append(grand, n.children...)
+	grand = append(grand, v.children[k+1:]...)
+	v.children = grand
+	for i := k; i < len(v.children); i++ {
+		v.children[i].parent = v
+		v.children[i].childIdx = i
+	}
+	n.parent = nil
+	n.children = nil
+	n.childIdx = -1
+	delete(t.nodes, n.id)
+}
+
+// Rename performs the paper's REN(n, l'): the label of n is replaced.
+func (t *Tree) Rename(n *Node, label string) {
+	t.mustOwn(n)
+	n.label = label
+}
+
+func (t *Tree) mustOwn(n *Node) {
+	if n == nil {
+		panic("tree: nil node")
+	}
+	if t.nodes[n.id] != n {
+		panic(fmt.Sprintf("tree: node %d does not belong to this tree", n.id))
+	}
+}
+
+// SetIDs renumbers every node of the tree: ids[i] becomes the identifier
+// of the i-th node in preorder. It is used to restore persistent node
+// identities after parsing a serialization (like XML) that does not carry
+// them — the incremental index maintenance needs log and tree to agree on
+// node identity. The ids must be positive, unique, and exactly Size() many.
+func (t *Tree) SetIDs(ids []NodeID) error {
+	if len(ids) != t.Size() {
+		return fmt.Errorf("tree: %d ids for %d nodes", len(ids), t.Size())
+	}
+	seen := make(map[NodeID]bool, len(ids))
+	for _, id := range ids {
+		if id <= 0 {
+			return fmt.Errorf("tree: non-positive node ID %d", id)
+		}
+		if seen[id] {
+			return fmt.Errorf("tree: duplicate node ID %d", id)
+		}
+		seen[id] = true
+	}
+	nodes := make(map[NodeID]*Node, len(ids))
+	i := 0
+	maxID := NodeID(0)
+	t.PreOrder(func(n *Node) bool {
+		n.id = ids[i]
+		nodes[n.id] = n
+		if n.id > maxID {
+			maxID = n.id
+		}
+		i++
+		return true
+	})
+	t.nodes = nodes
+	if maxID >= t.nextID {
+		t.nextID = maxID + 1
+	}
+	return nil
+}
+
+// PreorderIDs returns the node identifiers in preorder — the inverse of
+// SetIDs, suitable for persisting identities alongside a serialization.
+func (t *Tree) PreorderIDs() []NodeID {
+	out := make([]NodeID, 0, t.Size())
+	t.PreOrder(func(n *Node) bool { out = append(out, n.id); return true })
+	return out
+}
+
+// Clone returns a deep copy of the tree. Node IDs are preserved.
+func (t *Tree) Clone() *Tree {
+	c := &Tree{nodes: make(map[NodeID]*Node, len(t.nodes)), nextID: t.nextID}
+	c.root = cloneNode(t.root, nil, c.nodes)
+	return c
+}
+
+func cloneNode(n *Node, parent *Node, into map[NodeID]*Node) *Node {
+	m := &Node{id: n.id, label: n.label, parent: parent, childIdx: n.childIdx}
+	into[m.id] = m
+	if len(n.children) > 0 {
+		m.children = make([]*Node, len(n.children))
+		for i, c := range n.children {
+			m.children[i] = cloneNode(c, m, into)
+		}
+	}
+	return m
+}
+
+// Equal reports whether two trees are identical in structure, node IDs and
+// labels (the paper's node equality, extended to whole trees).
+func Equal(a, b *Tree) bool {
+	if a.Size() != b.Size() {
+		return false
+	}
+	return nodeEqual(a.root, b.root)
+}
+
+func nodeEqual(x, y *Node) bool {
+	if x.id != y.id || x.label != y.label || len(x.children) != len(y.children) {
+		return false
+	}
+	for i := range x.children {
+		if !nodeEqual(x.children[i], y.children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualLabels reports whether two trees have identical shape and labels,
+// ignoring node IDs. This is what the pq-gram index can distinguish.
+func EqualLabels(a, b *Tree) bool {
+	if a.Size() != b.Size() {
+		return false
+	}
+	var eq func(x, y *Node) bool
+	eq = func(x, y *Node) bool {
+		if x.label != y.label || len(x.children) != len(y.children) {
+			return false
+		}
+		for i := range x.children {
+			if !eq(x.children[i], y.children[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(a.root, b.root)
+}

@@ -1,0 +1,601 @@
+package tree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildSample(t *testing.T) *Tree {
+	t.Helper()
+	tr := MustParse("a(c b(e f) c)")
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("sample invalid: %v", err)
+	}
+	return tr
+}
+
+func TestNewSingleNode(t *testing.T) {
+	tr := New("root")
+	if tr.Size() != 1 {
+		t.Fatalf("size = %d, want 1", tr.Size())
+	}
+	r := tr.Root()
+	if r.ID() != 1 || r.Label() != "root" || !r.IsRoot() || !r.IsLeaf() {
+		t.Fatalf("unexpected root %+v", r)
+	}
+	if r.SiblingPos() != 0 {
+		t.Fatalf("root sibling pos = %d, want 0", r.SiblingPos())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	cases := []string{
+		"a",
+		"a(b)",
+		"a(b c d)",
+		"a(c b(e f) c)",
+		`a("b c"(d) ")")`,
+		`x(y(z(w(v))))`,
+	}
+	for _, s := range cases {
+		tr, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Parse(%q) invalid: %v", s, err)
+		}
+		got := tr.Format()
+		tr2, err := Parse(got)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", got, err)
+		}
+		if !Equal(tr, tr2) {
+			t.Fatalf("round trip of %q changed tree: %q", s, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"(",
+		"a(b",
+		"a)b",
+		"a(b))",
+		`a("unterminated)`,
+		"a(b) trailing",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestChildNavigation(t *testing.T) {
+	tr := buildSample(t)
+	r := tr.Root()
+	if r.Fanout() != 3 {
+		t.Fatalf("root fanout = %d, want 3", r.Fanout())
+	}
+	if got := r.Child(1).Label(); got != "c" {
+		t.Errorf("child 1 = %q", got)
+	}
+	if got := r.Child(2).Label(); got != "b" {
+		t.Errorf("child 2 = %q", got)
+	}
+	if got := r.Child(3).Label(); got != "c" {
+		t.Errorf("child 3 = %q", got)
+	}
+	b := r.Child(2)
+	if b.SiblingPos() != 2 {
+		t.Errorf("b sibling pos = %d, want 2", b.SiblingPos())
+	}
+	if b.Child(1).Label() != "e" || b.Child(2).Label() != "f" {
+		t.Errorf("b children wrong: %v %v", b.Child(1).Label(), b.Child(2).Label())
+	}
+	if b.Child(1).Parent() != b {
+		t.Error("parent link broken")
+	}
+}
+
+func TestChildPanicsOutOfRange(t *testing.T) {
+	tr := buildSample(t)
+	for _, i := range []int{0, 4, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Child(%d) did not panic", i)
+				}
+			}()
+			tr.Root().Child(i)
+		}()
+	}
+}
+
+func TestAncestorAndDepth(t *testing.T) {
+	tr := buildSample(t)
+	e := tr.Root().Child(2).Child(1)
+	if e.Label() != "e" {
+		t.Fatalf("wrong node: %s", e.Label())
+	}
+	if e.Depth() != 2 {
+		t.Errorf("depth = %d, want 2", e.Depth())
+	}
+	if e.Ancestor(0) != e {
+		t.Error("Ancestor(0) != self")
+	}
+	if e.Ancestor(1).Label() != "b" {
+		t.Error("Ancestor(1) wrong")
+	}
+	if e.Ancestor(2) != tr.Root() {
+		t.Error("Ancestor(2) != root")
+	}
+	if e.Ancestor(3) != nil {
+		t.Error("Ancestor(3) should be nil")
+	}
+	if !tr.Root().IsAncestorOf(e) {
+		t.Error("root should be ancestor of e")
+	}
+	if e.IsAncestorOf(tr.Root()) {
+		t.Error("e should not be ancestor of root")
+	}
+	if e.IsAncestorOf(e) {
+		t.Error("IsAncestorOf must be proper")
+	}
+}
+
+func TestDist(t *testing.T) {
+	tr := buildSample(t)
+	r := tr.Root()
+	e := r.Child(2).Child(1)
+	if d := Dist(r, e); d != 2 {
+		t.Errorf("Dist(root, e) = %d, want 2", d)
+	}
+	if d := Dist(e, e); d != 0 {
+		t.Errorf("Dist(e, e) = %d, want 0", d)
+	}
+	if d := Dist(e, r); d != -1 {
+		t.Errorf("Dist(e, root) = %d, want -1", d)
+	}
+	if d := Dist(r.Child(1), e); d != -1 {
+		t.Errorf("Dist(sibling, e) = %d, want -1", d)
+	}
+}
+
+func TestAddChildAtPositions(t *testing.T) {
+	tr := New("r")
+	r := tr.Root()
+	b := tr.AddChildAt(r, "b", 1)
+	tr.AddChildAt(r, "a", 1)
+	tr.AddChildAt(r, "c", 3)
+	d := tr.AddChildAt(b, "d", 1)
+	want := "r(a b(d) c)"
+	if got := tr.Format(); got != want {
+		t.Fatalf("tree = %q, want %q", got, want)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.SiblingPos() != 1 || b.SiblingPos() != 2 {
+		t.Errorf("sibling positions wrong: d=%d b=%d", d.SiblingPos(), b.SiblingPos())
+	}
+}
+
+func TestAddChildWithIDConflict(t *testing.T) {
+	tr := New("r")
+	tr.AddChildWithID(tr.Root(), 10, "x", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate ID did not panic")
+		}
+	}()
+	tr.AddChildWithID(tr.Root(), 10, "y", 1)
+}
+
+func TestInsertAdoptsChildren(t *testing.T) {
+	// Mirrors the paper's INS(n, v, k, m): children c_k..c_m move under n.
+	tr := MustParse("r(a b c d)")
+	r := tr.Root()
+	n := tr.Insert(0, "n", r, 2, 3) // adopt b, c
+	if got := tr.Format(); got != "r(a n(b c) d)" {
+		t.Fatalf("tree = %q", got)
+	}
+	if n.SiblingPos() != 2 || n.Fanout() != 2 {
+		t.Errorf("inserted node pos=%d fanout=%d", n.SiblingPos(), n.Fanout())
+	}
+	if r.Child(3).Label() != "d" || r.Child(3).SiblingPos() != 3 {
+		t.Errorf("sibling shift wrong")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertLeaf(t *testing.T) {
+	// m = k-1: the new node adopts no children (leaf insert).
+	tr := MustParse("r(a b)")
+	tr.Insert(0, "n", tr.Root(), 2, 1)
+	if got := tr.Format(); got != "r(a n b)" {
+		t.Fatalf("tree = %q", got)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertUnderLeaf(t *testing.T) {
+	tr := MustParse("r(a)")
+	a := tr.Root().Child(1)
+	tr.Insert(0, "n", a, 1, 0)
+	if got := tr.Format(); got != "r(a(n))" {
+		t.Fatalf("tree = %q", got)
+	}
+}
+
+func TestInsertAllChildren(t *testing.T) {
+	tr := MustParse("r(a b c)")
+	tr.Insert(0, "n", tr.Root(), 1, 3)
+	if got := tr.Format(); got != "r(n(a b c))" {
+		t.Fatalf("tree = %q", got)
+	}
+}
+
+func TestDeleteSplicesChildren(t *testing.T) {
+	tr := MustParse("r(a n(b c) d)")
+	n := tr.Root().Child(2)
+	id := n.ID()
+	tr.Delete(n)
+	if got := tr.Format(); got != "r(a b c d)" {
+		t.Fatalf("tree = %q", got)
+	}
+	if tr.Contains(id) {
+		t.Error("deleted node still in ID map")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if tr.Root().Child(i).SiblingPos() != i {
+			t.Errorf("child %d has wrong sibling pos", i)
+		}
+	}
+}
+
+func TestDeleteLeaf(t *testing.T) {
+	tr := MustParse("r(a b)")
+	tr.Delete(tr.Root().Child(1))
+	if got := tr.Format(); got != "r(b)" {
+		t.Fatalf("tree = %q", got)
+	}
+}
+
+func TestDeleteRootPanics(t *testing.T) {
+	tr := New("r")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("deleting root did not panic")
+		}
+	}()
+	tr.Delete(tr.Root())
+}
+
+func TestInsertDeleteInverse(t *testing.T) {
+	tr := MustParse("r(a b c d)")
+	want := tr.Format()
+	n := tr.Insert(0, "n", tr.Root(), 2, 3)
+	tr.Delete(n)
+	if got := tr.Format(); got != want {
+		t.Fatalf("insert+delete not identity: %q != %q", got, want)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	tr := MustParse("r(a)")
+	tr.Rename(tr.Root().Child(1), "z")
+	if got := tr.Format(); got != "r(z)" {
+		t.Fatalf("tree = %q", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr := buildSample(t)
+	cl := tr.Clone()
+	if !Equal(tr, cl) {
+		t.Fatal("clone not equal")
+	}
+	if err := cl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cl.Rename(cl.Root().Child(1), "zzz")
+	cl.AddChild(cl.Root(), "new")
+	if Equal(tr, cl) {
+		t.Fatal("mutating clone affected comparison")
+	}
+	if tr.Root().Child(1).Label() != "c" {
+		t.Fatal("mutating clone affected original")
+	}
+	if tr.Size() == cl.Size() {
+		t.Fatal("sizes should differ after AddChild on clone")
+	}
+}
+
+func TestCloneFreshIDsContinue(t *testing.T) {
+	tr := buildSample(t)
+	cl := tr.Clone()
+	n := cl.AddChild(cl.Root(), "x")
+	if cl.Node(n.ID()) != n {
+		t.Fatal("new node not registered")
+	}
+	if tr.Contains(n.ID()) {
+		t.Fatal("fresh clone ID collides with original map")
+	}
+}
+
+func TestEqualAndEqualLabels(t *testing.T) {
+	a := MustParse("a(b c)")
+	b := MustParse("a(b c)")
+	if !Equal(a, b) || !EqualLabels(a, b) {
+		t.Fatal("identical parses should be equal")
+	}
+	// Same labels, different IDs.
+	c := New("a")
+	c.AddChildWithID(c.Root(), 7, "b", 1)
+	c.AddChildWithID(c.Root(), 8, "c", 2)
+	if Equal(a, c) {
+		t.Fatal("Equal must compare IDs")
+	}
+	if !EqualLabels(a, c) {
+		t.Fatal("EqualLabels must ignore IDs")
+	}
+	d := MustParse("a(c b)")
+	if EqualLabels(a, d) {
+		t.Fatal("sibling order must matter")
+	}
+}
+
+func TestTraversalOrders(t *testing.T) {
+	tr := buildSample(t)
+	var pre, post []string
+	tr.PreOrder(func(n *Node) bool { pre = append(pre, n.Label()); return true })
+	tr.PostOrder(func(n *Node) bool { post = append(post, n.Label()); return true })
+	if got := strings.Join(pre, ""); got != "acbefc" {
+		t.Errorf("preorder = %q, want acbefc", got)
+	}
+	if got := strings.Join(post, ""); got != "cefbca" {
+		t.Errorf("postorder = %q, want cefbca", got)
+	}
+}
+
+func TestTraversalEarlyStop(t *testing.T) {
+	tr := buildSample(t)
+	count := 0
+	tr.PreOrder(func(n *Node) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Errorf("visited %d nodes, want 3", count)
+	}
+}
+
+func TestNodesAndLeaves(t *testing.T) {
+	tr := buildSample(t)
+	if got := len(tr.Nodes()); got != 6 {
+		t.Errorf("Nodes() = %d, want 6", got)
+	}
+	leaves := tr.Leaves()
+	if len(leaves) != 4 {
+		t.Fatalf("Leaves() = %d, want 4", len(leaves))
+	}
+	var ls []string
+	for _, l := range leaves {
+		ls = append(ls, l.Label())
+	}
+	if got := strings.Join(ls, ""); got != "cefc" {
+		t.Errorf("leaf order = %q, want cefc", got)
+	}
+}
+
+func TestHeight(t *testing.T) {
+	if h := New("a").Height(); h != 0 {
+		t.Errorf("single node height = %d", h)
+	}
+	if h := buildSample(t).Height(); h != 2 {
+		t.Errorf("sample height = %d, want 2", h)
+	}
+	if h := MustParse("a(b(c(d(e))))").Height(); h != 4 {
+		t.Errorf("chain height = %d, want 4", h)
+	}
+}
+
+func TestDescendantsWithin(t *testing.T) {
+	tr := buildSample(t)
+	r := tr.Root()
+	if got := len(DescendantsWithin(r, 0)); got != 1 {
+		t.Errorf("desc_0 = %d nodes, want 1", got)
+	}
+	if got := len(DescendantsWithin(r, 1)); got != 4 {
+		t.Errorf("desc_1 = %d nodes, want 4", got)
+	}
+	if got := len(DescendantsWithin(r, 2)); got != 6 {
+		t.Errorf("desc_2 = %d nodes, want 6", got)
+	}
+	if got := len(DescendantsWithin(r, 99)); got != 6 {
+		t.Errorf("desc_99 = %d nodes, want 6", got)
+	}
+	if got := DescendantsWithin(r, -1); got != nil {
+		t.Errorf("desc_-1 = %v, want nil", got)
+	}
+	set := DescendantsWithinSet([]*Node{r.Child(1), r.Child(2)}, 1)
+	if len(set) != 4 { // c; b, e, f
+		t.Errorf("desc set = %d nodes, want 4", len(set))
+	}
+}
+
+func TestIDs(t *testing.T) {
+	tr := buildSample(t)
+	ids := tr.IDs()
+	if len(ids) != 6 {
+		t.Fatalf("IDs len = %d", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatal("IDs not ascending")
+		}
+	}
+}
+
+// randomTree builds a random tree with n nodes for property tests.
+func randomTree(rng *rand.Rand, n int) *Tree {
+	tr := New("L0")
+	nodes := []*Node{tr.Root()}
+	for i := 1; i < n; i++ {
+		parent := nodes[rng.Intn(len(nodes))]
+		pos := rng.Intn(parent.Fanout()+1) + 1
+		c := tr.AddChildAt(parent, "L"+string(rune('a'+rng.Intn(8))), pos)
+		nodes = append(nodes, c)
+	}
+	return tr
+}
+
+func TestRandomTreesValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		tr := randomTree(rng, 1+rng.Intn(200))
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if tr.Size() != len(tr.Nodes()) {
+			t.Fatalf("iteration %d: size mismatch", i)
+		}
+	}
+}
+
+func TestQuickCloneEqual(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTree(rng, int(sz%64)+1)
+		cl := tr.Clone()
+		return Equal(tr, cl) && cl.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInsertDeleteRoundTrip(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTree(rng, int(sz%64)+2)
+		before := tr.Format()
+		nodes := tr.Nodes()
+		v := nodes[rng.Intn(len(nodes))]
+		k := 1
+		m := 0
+		if v.Fanout() > 0 {
+			k = rng.Intn(v.Fanout()) + 1
+			m = k - 1 + rng.Intn(v.Fanout()-k+2)
+		}
+		n := tr.Insert(0, "fresh", v, k, m)
+		if tr.Validate() != nil {
+			return false
+		}
+		tr.Delete(n)
+		return tr.Validate() == nil && tr.Format() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	tr := buildSample(t)
+	// Corrupt a childIdx directly.
+	tr.Root().children[0].childIdx = 5
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate missed corrupted childIdx")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tr := MustParse("a(b)")
+	s := tr.String()
+	if !strings.Contains(s, "1:a") || !strings.Contains(s, "2:b") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestCanonicalCloneSortsSiblings(t *testing.T) {
+	a := MustParse("r(c a b)")
+	c := a.CanonicalClone()
+	if got := c.Format(); got != "r(a b c)" {
+		t.Fatalf("canonical = %q", got)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Original untouched.
+	if a.Format() != "r(c a b)" {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestCanonicalCloneUnorderedEquality(t *testing.T) {
+	a := MustParse("r(x(p q) y(s t) x(q p))")
+	b := MustParse("r(x(q p) x(p q) y(t s))")
+	ca, cb := a.CanonicalClone(), b.CanonicalClone()
+	if !EqualLabels(ca, cb) {
+		t.Fatalf("unordered-equal trees canonicalize differently:\n%s\nvs\n%s", ca.Format(), cb.Format())
+	}
+}
+
+func TestCanonicalCloneTieBreakByStructure(t *testing.T) {
+	// Two children with the same label but different subtrees must sort
+	// deterministically regardless of input order.
+	a := MustParse("r(x(deep(er)) x(flat))")
+	b := MustParse("r(x(flat) x(deep(er)))")
+	if !EqualLabels(a.CanonicalClone(), b.CanonicalClone()) {
+		t.Fatal("structural tie-break not deterministic")
+	}
+}
+
+func TestCanonicalCloneDistinguishesRealDifference(t *testing.T) {
+	a := MustParse("r(x(p) y)")
+	b := MustParse("r(x y(p))")
+	if EqualLabels(a.CanonicalClone(), b.CanonicalClone()) {
+		t.Fatal("different unordered trees canonicalize equal")
+	}
+}
+
+func TestQuickCanonicalPermutationInvariant(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomTree(rng, int(sz%50)+2)
+		// Shuffle every node's children into a random order.
+		b := a.Clone()
+		b.PostOrder(func(n *Node) bool {
+			kids := n.children
+			rng.Shuffle(len(kids), func(i, j int) {
+				kids[i], kids[j] = kids[j], kids[i]
+			})
+			for i, c := range kids {
+				c.childIdx = i
+			}
+			return true
+		})
+		if b.Validate() != nil {
+			return false
+		}
+		return EqualLabels(a.CanonicalClone(), b.CanonicalClone())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package xmlconv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"pqgram/internal/tree"
+)
+
+// XML does not carry node identities, but the incremental index
+// maintenance requires the edit log and the resulting tree to agree on
+// them. WriteIDs/ApplyIDs persist and restore the preorder node-ID
+// assignment of a tree as a small sidecar, so a document can round-trip
+// through XML without losing identity.
+
+// WriteIDs writes the tree's node identifiers in preorder, one decimal per
+// line, preceded by a header line.
+func WriteIDs(w io.Writer, t *tree.Tree) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# pqgram node ids, preorder, %d nodes\n", t.Size()); err != nil {
+		return err
+	}
+	for _, id := range t.PreorderIDs() {
+		if _, err := fmt.Fprintln(bw, int64(id)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ApplyIDs reads a sidecar written by WriteIDs and renumbers the tree's
+// nodes accordingly. The sidecar must describe a tree of the same size.
+func ApplyIDs(r io.Reader, t *tree.Tree) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	ids := make([]tree.NodeID, 0, t.Size())
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		v, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			return fmt.Errorf("xmlconv: bad node id %q: %v", line, err)
+		}
+		ids = append(ids, tree.NodeID(v))
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return t.SetIDs(ids)
+}

@@ -1,0 +1,113 @@
+package xmlconv
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pqgram/internal/core"
+	"pqgram/internal/gen"
+	"pqgram/internal/profile"
+	"pqgram/internal/tree"
+)
+
+func TestIDsRoundTrip(t *testing.T) {
+	// Parse, edit, serialize with sidecar, reparse, restore: identities
+	// must match exactly.
+	orig := mustParse(t, `<a><b x="1">text</b><c/></a>`, Options{})
+	// Give it non-preorder IDs by editing.
+	orig.AddChild(orig.Root(), "late")
+
+	var doc, ids bytes.Buffer
+	if err := Write(&doc, orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIDs(&ids, orig); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Parse(&doc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyIDs(&ids, re); err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Equal(orig, re) {
+		t.Fatalf("identity not restored:\n%s\nvs\n%s", orig, re)
+	}
+	if err := re.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyIDsSizeMismatch(t *testing.T) {
+	tr := mustParse(t, `<a><b/></a>`, Options{})
+	if err := ApplyIDs(strings.NewReader("1\n2\n3\n"), tr); err == nil {
+		t.Fatal("size mismatch not detected")
+	}
+	if err := ApplyIDs(strings.NewReader("1\n1\n"), tr); err == nil {
+		t.Fatal("duplicate id not detected")
+	}
+	if err := ApplyIDs(strings.NewReader("1\nx\n"), tr); err == nil {
+		t.Fatal("garbage id not detected")
+	}
+	if err := ApplyIDs(strings.NewReader("0\n2\n"), tr); err == nil {
+		t.Fatal("non-positive id not detected")
+	}
+}
+
+// TestXMLPipelineMaintenance replays the full CLI flow in-process: a
+// document round-trips through XML with its ID sidecar and the log still
+// drives a correct incremental index update.
+func TestXMLPipelineMaintenance(t *testing.T) {
+	p33 := profile.Params{P: 3, Q: 3}
+	for seed := int64(0); seed < 10; seed++ {
+		// Base document as it would be parsed from disk.
+		var buf bytes.Buffer
+		if err := Write(&buf, gen.DBLP(seed, 600)); err != nil {
+			t.Fatal(err)
+		}
+		base, err := Parse(bytes.NewReader(buf.Bytes()), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		i0 := profile.BuildIndex(base, p33)
+
+		// Edit with XML-safe operations, then serialize doc + sidecar.
+		rng := rand.New(rand.NewSource(seed * 31))
+		_, log, err := gen.RandomScript(rng, base, 30, gen.XMLSafeMix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc2, ids bytes.Buffer
+		if err := Write(&doc2, base); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteIDs(&ids, base); err != nil {
+			t.Fatal(err)
+		}
+
+		// The "update side" sees only doc2 + sidecar + log + old index.
+		tn, err := Parse(bytes.NewReader(doc2.Bytes()), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tree.EqualLabels(base, tn) {
+			t.Fatalf("seed %d: XML-safe edits did not round-trip", seed)
+		}
+		if err := ApplyIDs(bytes.NewReader(ids.Bytes()), tn); err != nil {
+			t.Fatal(err)
+		}
+		if !tree.Equal(base, tn) {
+			t.Fatalf("seed %d: identities not restored", seed)
+		}
+		in, err := core.UpdateIndex(i0, tn, log, p33)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !in.Equal(profile.BuildIndex(tn, p33)) {
+			t.Fatalf("seed %d: incremental index differs from rebuild", seed)
+		}
+	}
+}

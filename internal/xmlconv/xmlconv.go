@@ -1,0 +1,170 @@
+// Package xmlconv converts between XML documents and the ordered labeled
+// trees of package tree, the representation used by the pq-gram index
+// experiments of Augsten et al. (VLDB 2006), §9.
+//
+// The mapping follows the convention of the pq-gram literature:
+//
+//   - an element becomes a node labeled with the element name;
+//   - an attribute becomes a leaf child labeled "@name=value" (attributes
+//     are sorted by name so the conversion is deterministic);
+//   - character data becomes a leaf child labeled "=text".
+//
+// The prefixes make the conversion invertible: Write turns "@..." labels
+// back into attributes and "=..." labels back into character data.
+package xmlconv
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"pqgram/internal/tree"
+)
+
+// Options controls the XML-to-tree conversion.
+type Options struct {
+	// SkipAttributes drops attributes instead of adding "@name=value" leaves.
+	SkipAttributes bool
+	// SkipText drops character data instead of adding "=text" leaves.
+	SkipText bool
+	// KeepWhitespaceText keeps character data that is entirely whitespace
+	// (by default it is dropped, as it is formatting noise).
+	KeepWhitespaceText bool
+}
+
+// Parse reads one XML document from r and returns it as a tree. Node IDs are
+// assigned in document order starting at 1.
+func Parse(r io.Reader, opts Options) (*tree.Tree, error) {
+	dec := xml.NewDecoder(r)
+	var t *tree.Tree
+	var stack []*tree.Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlconv: %w", err)
+		}
+		switch tk := tok.(type) {
+		case xml.StartElement:
+			var n *tree.Node
+			if t == nil {
+				t = tree.New(tk.Name.Local)
+				n = t.Root()
+			} else {
+				if len(stack) == 0 {
+					return nil, fmt.Errorf("xmlconv: multiple root elements")
+				}
+				n = t.AddChild(stack[len(stack)-1], tk.Name.Local)
+			}
+			if !opts.SkipAttributes && len(tk.Attr) > 0 {
+				attrs := make([]xml.Attr, len(tk.Attr))
+				copy(attrs, tk.Attr)
+				sort.Slice(attrs, func(i, j int) bool {
+					return attrs[i].Name.Local < attrs[j].Name.Local
+				})
+				for _, a := range attrs {
+					t.AddChild(n, "@"+a.Name.Local+"="+a.Value)
+				}
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmlconv: unbalanced end element %s", tk.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if opts.SkipText || t == nil || len(stack) == 0 {
+				continue
+			}
+			text := string(tk)
+			if !opts.KeepWhitespaceText && strings.TrimSpace(text) == "" {
+				continue
+			}
+			t.AddChild(stack[len(stack)-1], "="+text)
+		}
+	}
+	if t == nil {
+		return nil, fmt.Errorf("xmlconv: no root element")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmlconv: %d unclosed elements", len(stack))
+	}
+	return t, nil
+}
+
+// ParseString is Parse on a string.
+func ParseString(s string, opts Options) (*tree.Tree, error) {
+	return Parse(strings.NewReader(s), opts)
+}
+
+// Write serializes the tree back to XML using the label conventions
+// described in the package comment.
+func Write(w io.Writer, t *tree.Tree) error {
+	enc := xml.NewEncoder(w)
+	if err := writeNode(enc, t.Root()); err != nil {
+		return fmt.Errorf("xmlconv: %w", err)
+	}
+	return enc.Flush()
+}
+
+// WriteString serializes the tree to an XML string.
+func WriteString(t *tree.Tree) (string, error) {
+	var b strings.Builder
+	if err := Write(&b, t); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func writeNode(enc *xml.Encoder, n *tree.Node) error {
+	label := n.Label()
+	switch {
+	case strings.HasPrefix(label, "="):
+		return enc.EncodeToken(xml.CharData(label[1:]))
+	case strings.HasPrefix(label, "@"):
+		// Attributes are emitted by the parent element; a bare attribute
+		// node (e.g. moved by an edit) degrades to an empty element.
+		return encodeEmpty(enc, strings.TrimPrefix(label, "@"))
+	}
+	start := xml.StartElement{Name: xml.Name{Local: label}}
+	var kids []*tree.Node
+	for _, c := range n.Children() {
+		if cl := c.Label(); strings.HasPrefix(cl, "@") && c.IsLeaf() {
+			if eq := strings.IndexByte(cl, '='); eq > 1 {
+				start.Attr = append(start.Attr, xml.Attr{
+					Name:  xml.Name{Local: cl[1:eq]},
+					Value: cl[eq+1:],
+				})
+				continue
+			}
+		}
+		kids = append(kids, c)
+	}
+	if err := enc.EncodeToken(start); err != nil {
+		return err
+	}
+	for _, c := range kids {
+		if err := writeNode(enc, c); err != nil {
+			return err
+		}
+	}
+	return enc.EncodeToken(xml.EndElement{Name: start.Name})
+}
+
+func encodeEmpty(enc *xml.Encoder, name string) error {
+	if i := strings.IndexByte(name, '='); i >= 0 {
+		name = name[:i]
+	}
+	if name == "" {
+		name = "attr"
+	}
+	start := xml.StartElement{Name: xml.Name{Local: name}}
+	if err := enc.EncodeToken(start); err != nil {
+		return err
+	}
+	return enc.EncodeToken(xml.EndElement{Name: start.Name})
+}

@@ -1,0 +1,164 @@
+package xmlconv
+
+import (
+	"strings"
+	"testing"
+
+	"pqgram/internal/tree"
+)
+
+func mustParse(t *testing.T, s string, opts Options) *tree.Tree {
+	t.Helper()
+	tr, err := ParseString(s, opts)
+	if err != nil {
+		t.Fatalf("ParseString(%q): %v", s, err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("parsed tree invalid: %v", err)
+	}
+	return tr
+}
+
+func TestParseSimpleElement(t *testing.T) {
+	tr := mustParse(t, `<a><b/><c/></a>`, Options{})
+	if got := tr.Format(); got != "a(b c)" {
+		t.Fatalf("tree = %q", got)
+	}
+}
+
+func TestParseNested(t *testing.T) {
+	tr := mustParse(t, `<dblp><article><author>x</author></article></dblp>`, Options{})
+	want := `dblp(article(author(=x)))`
+	if got := tr.Format(); got != want {
+		t.Fatalf("tree = %q, want %q", got, want)
+	}
+}
+
+func TestParseAttributesSorted(t *testing.T) {
+	tr := mustParse(t, `<a z="1" b="2"/>`, Options{})
+	r := tr.Root()
+	if r.Fanout() != 2 {
+		t.Fatalf("fanout = %d", r.Fanout())
+	}
+	if r.Child(1).Label() != "@b=2" || r.Child(2).Label() != "@z=1" {
+		t.Fatalf("attrs = %q, %q", r.Child(1).Label(), r.Child(2).Label())
+	}
+}
+
+func TestParseSkipAttributes(t *testing.T) {
+	tr := mustParse(t, `<a z="1" b="2"><c/></a>`, Options{SkipAttributes: true})
+	if got := tr.Format(); got != "a(c)" {
+		t.Fatalf("tree = %q", got)
+	}
+}
+
+func TestParseSkipText(t *testing.T) {
+	tr := mustParse(t, `<a>hello<b/></a>`, Options{SkipText: true})
+	if got := tr.Format(); got != "a(b)" {
+		t.Fatalf("tree = %q", got)
+	}
+}
+
+func TestParseWhitespaceDropped(t *testing.T) {
+	tr := mustParse(t, "<a>\n  <b/>\n</a>", Options{})
+	if got := tr.Format(); got != "a(b)" {
+		t.Fatalf("tree = %q", got)
+	}
+	tr2 := mustParse(t, "<a> <b/> </a>", Options{KeepWhitespaceText: true})
+	if tr2.Root().Fanout() != 3 {
+		t.Fatalf("whitespace not kept: fanout = %d", tr2.Root().Fanout())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`<a>`,
+		`</a>`,
+		`<a></b>`,
+		`<a/><b/>`,
+		`text only`,
+	}
+	for _, s := range bad {
+		if _, err := ParseString(s, Options{}); err == nil {
+			t.Errorf("ParseString(%q) succeeded", s)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	docs := []string{
+		`<a><b>text</b><c x="1"></c></a>`,
+		`<dblp><article key="x"><author>A</author><title>T</title></article></dblp>`,
+		`<r>mixed<e></e>tail</r>`,
+	}
+	for _, doc := range docs {
+		tr := mustParse(t, doc, Options{})
+		out, err := WriteString(tr)
+		if err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		tr2 := mustParse(t, out, Options{})
+		if !tree.EqualLabels(tr, tr2) {
+			t.Errorf("round trip changed tree:\nin:  %s\nout: %s\n%s vs %s",
+				doc, out, tr.Format(), tr2.Format())
+		}
+	}
+}
+
+func TestWriteEscaping(t *testing.T) {
+	tr := tree.New("a")
+	// Attributes precede content after a parse, so build in canonical order.
+	tr.AddChild(tr.Root(), `@attr=va"lue`)
+	tr.AddChild(tr.Root(), `=<&>`)
+	out, err := WriteString(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := mustParse(t, out, Options{})
+	if !tree.EqualLabels(tr, tr2) {
+		t.Fatalf("escaping round trip failed: %q -> %q", tr.Format(), tr2.Format())
+	}
+}
+
+func TestWriteBareAttributeNode(t *testing.T) {
+	// An attribute label that ended up as a non-leaf or detached node
+	// degrades to an empty element rather than failing.
+	tr := tree.New("a")
+	n := tr.AddChild(tr.Root(), "@x=1")
+	tr.AddChild(n, "b")
+	out, err := WriteString(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "<x") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestParseIDsAreDocumentOrder(t *testing.T) {
+	tr := mustParse(t, `<a><b><c/></b><d/></a>`, Options{})
+	labels := map[tree.NodeID]string{1: "a", 2: "b", 3: "c", 4: "d"}
+	for id, want := range labels {
+		n := tr.Node(id)
+		if n == nil || n.Label() != want {
+			t.Fatalf("node %d = %v, want %s", id, n, want)
+		}
+	}
+}
+
+func TestLargeFlatDocument(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<root>")
+	for i := 0; i < 5000; i++ {
+		b.WriteString("<item><name>n</name></item>")
+	}
+	b.WriteString("</root>")
+	tr := mustParse(t, b.String(), Options{})
+	if tr.Size() != 1+5000*3 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+	if tr.Root().Fanout() != 5000 {
+		t.Fatalf("fanout = %d", tr.Root().Fanout())
+	}
+}

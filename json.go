@@ -1,0 +1,24 @@
+package pqgram
+
+import (
+	"io"
+
+	"pqgram/internal/jsonconv"
+)
+
+// ParseJSON reads one JSON value into a tree: objects become "{}" nodes
+// with key-labeled members (sorted, so member order never affects
+// similarity), arrays become ordered "[]" nodes, and scalars become
+// leaves. The same trees work with Distance, forests and incremental
+// maintenance — JSON configuration drift, API payload similarity and AST
+// matching all reduce to pq-gram distances.
+func ParseJSON(r io.Reader) (*Tree, error) { return jsonconv.Parse(r) }
+
+// ParseJSONString is ParseJSON on a string.
+func ParseJSONString(s string) (*Tree, error) { return jsonconv.ParseString(s) }
+
+// WriteJSON serializes a tree produced by ParseJSON back to JSON.
+func WriteJSON(w io.Writer, t *Tree) error { return jsonconv.Write(w, t) }
+
+// WriteJSONString serializes the tree to a JSON string.
+func WriteJSONString(t *Tree) (string, error) { return jsonconv.WriteString(t) }

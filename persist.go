@@ -1,0 +1,23 @@
+package pqgram
+
+import (
+	"pqgram/internal/profile"
+	"pqgram/internal/store"
+)
+
+// Store is a durable forest index: a base snapshot plus a write-ahead
+// journal. Mutations (Add, Remove, Update) append a small record before
+// being applied, so the persistent cost of an incremental update is
+// proportional to the edit log, not to the index — the paper's
+// "persistent and incrementally maintainable" made literal. A crash loses
+// at most the interrupted append; OpenStore recovers the intact prefix.
+type Store = store.Store
+
+// CreateStore creates a new empty store at path (plus path+".wal").
+func CreateStore(path string, p Params) (*Store, error) {
+	return store.CreateStore(path, profile.Params(p))
+}
+
+// OpenStore loads the base snapshot, replays the journal, and truncates
+// any torn tail left by a crash.
+func OpenStore(path string) (*Store, error) { return store.OpenStore(path) }

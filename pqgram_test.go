@@ -1,0 +1,203 @@
+package pqgram_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"pqgram"
+)
+
+func TestPublicQuickPath(t *testing.T) {
+	a, err := pqgram.ParseXMLString(`<dblp><article><author>A</author><title>T</title></article></dblp>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pqgram.ParseXMLString(`<dblp><article><author>B</author><title>T</title></article></dblp>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := pqgram.Distance(a, b, pqgram.DefaultParams)
+	if d <= 0 || d >= 1 {
+		t.Fatalf("distance = %g, want in (0,1)", d)
+	}
+	if pqgram.Distance(a, a.Clone(), pqgram.DefaultParams) != 0 {
+		t.Fatal("self distance not 0")
+	}
+}
+
+func TestPublicEditAndUpdate(t *testing.T) {
+	doc := pqgram.MustParseTree("a(c b(e f) c)")
+	i0 := pqgram.BuildIndex(doc, pqgram.DefaultParams)
+
+	script := pqgram.Script{
+		pqgram.Insert(100, "g", 5, 1, 0), // leaf under f (preorder id 5)
+		pqgram.Delete(3),                 // delete b
+		pqgram.Rename(2, "x"),
+	}
+	if err := pqgram.CheckFreshIDs(doc, script); err != nil {
+		t.Fatal(err)
+	}
+	var log pqgram.Log
+	for _, op := range script {
+		inv, err := op.Apply(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		log = append(log, inv)
+	}
+	in, err := pqgram.UpdateIndex(i0, doc, log, pqgram.DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Equal(pqgram.BuildIndex(doc, pqgram.DefaultParams)) {
+		t.Fatal("incremental index differs from rebuild")
+	}
+}
+
+func TestPublicLogRoundTrip(t *testing.T) {
+	doc := pqgram.MustParseTree("a(b c)")
+	inv, err := pqgram.Delete(2).Apply(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pqgram.WriteLog(&buf, []pqgram.Op{inv}); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := pqgram.ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || !ops[0].Equal(inv) {
+		t.Fatalf("round trip: %v vs %v", ops, inv)
+	}
+}
+
+func TestPublicForestPersistence(t *testing.T) {
+	f := pqgram.NewForest(pqgram.DefaultParams)
+	for i := 0; i < 4; i++ {
+		doc := pqgram.MustParseTree(fmt.Sprintf("a(b c%d d)", i))
+		if err := f.Add(fmt.Sprintf("doc%d", i), doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "idx.pqg")
+	if err := pqgram.SaveForestFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := pqgram.LoadForestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 4 {
+		t.Fatalf("loaded %d trees", g.Len())
+	}
+	got := g.Lookup(pqgram.MustParseTree("a(b c1 d)"), 0.01)
+	if len(got) != 1 || got[0].TreeID != "doc1" {
+		t.Fatalf("lookup = %+v", got)
+	}
+	if n, err := pqgram.ForestSize(f); err != nil || n <= 0 {
+		t.Fatalf("ForestSize = %d, %v", n, err)
+	}
+}
+
+func TestPublicTED(t *testing.T) {
+	a := pqgram.MustParseTree("f(d(a c(b)) e)")
+	b := pqgram.MustParseTree("f(c(d(a b)) e)")
+	if d := pqgram.TreeEditDistance(a, b); d != 2 {
+		t.Fatalf("TED = %d, want 2", d)
+	}
+}
+
+func TestPQGramApproximatesTED(t *testing.T) {
+	// The pq-gram distance must rank a lightly edited tree closer than a
+	// heavily edited one, in agreement with TED, on average.
+	rng := rand.New(rand.NewSource(77))
+	agreements, trials := 0, 0
+	for i := 0; i < 40; i++ {
+		base := randomPublicTree(rng, 40)
+		light := base.Clone()
+		heavy := base.Clone()
+		applyRandomRenames(rng, light, 2)
+		applyRandomRenames(rng, heavy, 14)
+		dl := pqgram.Distance(base, light, pqgram.DefaultParams)
+		dh := pqgram.Distance(base, heavy, pqgram.DefaultParams)
+		trials++
+		if dl < dh {
+			agreements++
+		}
+	}
+	if agreements*10 < trials*8 { // at least 80% agreement
+		t.Fatalf("pq-gram ranking agreed with edit magnitude in only %d/%d trials", agreements, trials)
+	}
+}
+
+func randomPublicTree(rng *rand.Rand, n int) *pqgram.Tree {
+	labels := []string{"a", "b", "c", "d"}
+	t := pqgram.NewTree("root")
+	nodes := []*pqgram.Node{t.Root()}
+	for i := 1; i < n; i++ {
+		p := nodes[rng.Intn(len(nodes))]
+		nodes = append(nodes, t.AddChildAt(p, labels[rng.Intn(len(labels))], rng.Intn(p.Fanout()+1)+1))
+	}
+	return t
+}
+
+func applyRandomRenames(rng *rand.Rand, t *pqgram.Tree, n int) {
+	nodes := t.Nodes()
+	for i := 0; i < n; i++ {
+		node := nodes[1+rng.Intn(len(nodes)-1)]
+		t.Rename(node, fmt.Sprintf("ren%d", i))
+	}
+}
+
+func ExampleDistance() {
+	a := pqgram.MustParseTree("a(b c d)")
+	b := pqgram.MustParseTree("a(b x d)")
+	c := pqgram.MustParseTree("z(y x w)")
+	fmt.Printf("similar:  %.2f\n", pqgram.Distance(a, b, pqgram.DefaultParams))
+	fmt.Printf("far:      %.2f\n", pqgram.Distance(a, c, pqgram.DefaultParams))
+	// Output:
+	// similar:  0.50
+	// far:      1.00
+}
+
+func ExampleUpdateIndex() {
+	doc := pqgram.MustParseTree("report(intro body(sec sec) refs)")
+	index := pqgram.BuildIndex(doc, pqgram.DefaultParams)
+
+	// Edit the document, collecting the log of inverse operations.
+	var log pqgram.Log
+	for _, op := range []pqgram.Op{
+		pqgram.Rename(2, "abstract"),
+		pqgram.Insert(100, "sec", 3, 3, 2),
+	} {
+		inv, _ := op.Apply(doc)
+		log = append(log, inv)
+	}
+
+	// Maintain the index from the old index + edited doc + log alone.
+	updated, _ := pqgram.UpdateIndex(index, doc, log, pqgram.DefaultParams)
+	rebuilt := pqgram.BuildIndex(doc, pqgram.DefaultParams)
+	fmt.Println("incremental == rebuild:", updated.Equal(rebuilt))
+	// Output:
+	// incremental == rebuild: true
+}
+
+func ExampleForest_Lookup() {
+	f := pqgram.NewForest(pqgram.DefaultParams)
+	f.Add("v1", pqgram.MustParseTree("cfg(db(host port) cache(ttl))"))
+	f.Add("v2", pqgram.MustParseTree("cfg(db(host port) cache(ttl size))"))
+	f.Add("other", pqgram.MustParseTree("inventory(item item item)"))
+
+	query := pqgram.MustParseTree("cfg(db(host port user) cache(ttl))")
+	for _, m := range f.Lookup(query, 0.8) {
+		fmt.Printf("%s %.2f\n", m.TreeID, m.Distance)
+	}
+	// Output:
+	// v1 0.20
+	// v2 0.38
+}

@@ -1,0 +1,42 @@
+package pqgram
+
+import "pqgram/internal/core"
+
+// UpdateIndex is the paper's contribution (Algorithm 1): it computes the
+// pq-gram index of the edited tree Tn from
+//
+//   - the old index i0 (of the original tree T0, which need not exist
+//     anymore),
+//   - the resulting tree tn, and
+//   - the log of inverse edit operations,
+//
+// without rebuilding the index and without reconstructing any intermediate
+// tree version. The cost is O(|log|·(log|T| + log|log|)) — essentially
+// independent of the tree size — versus O(|T|) for a rebuild.
+//
+// i0 is not modified. An error means the log does not belong to the
+// tree/index pair (including node-ID reuse, see CheckFreshIDs); the index
+// is never silently corrupted.
+func UpdateIndex(i0 Index, tn *Tree, log Log, p Params) (Index, error) {
+	return core.UpdateIndex(i0, tn, log, p)
+}
+
+// UpdateStats is the per-step timing breakdown of one UpdateIndex run,
+// mirroring Table 2 of the paper: computing the new pq-grams Δ⁺, mapping
+// them to label-tuples, rewinding them into the old pq-grams Δ⁻, mapping
+// those, and applying both to the index.
+type UpdateStats = core.Stats
+
+// UpdateIndexStats is UpdateIndex with a per-step timing breakdown.
+func UpdateIndexStats(i0 Index, tn *Tree, log Log, p Params) (Index, UpdateStats, error) {
+	return core.UpdateIndexStats(i0, tn, log, p)
+}
+
+// UpdateIndexInPlace is UpdateIndex applied destructively to i0 — the
+// paper's own semantics, where the final step is an UPDATE on the stored
+// index relation. It avoids copying the index, so the cost depends only on
+// the log, not on the document. On error i0 may hold a partially applied
+// delta and must be discarded.
+func UpdateIndexInPlace(i0 Index, tn *Tree, log Log, p Params) (UpdateStats, error) {
+	return core.UpdateIndexInPlace(i0, tn, log, p)
+}

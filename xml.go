@@ -1,0 +1,48 @@
+package pqgram
+
+import (
+	"io"
+
+	"pqgram/internal/xmlconv"
+)
+
+// StreamIndexXML computes the pq-gram index of an XML document directly
+// from the token stream, without materializing the tree: memory is bounded
+// by the document depth plus the fanouts along one root path, so documents
+// of the paper's DBLP scale index in a few megabytes of working memory.
+// The result equals ParseXML followed by BuildIndex.
+func StreamIndexXML(r io.Reader, opts XMLOptions, p Params) (Index, error) {
+	return xmlconv.StreamIndex(r, opts, p)
+}
+
+// XMLOptions controls the XML-to-tree conversion: elements become nodes,
+// attributes become "@name=value" leaves (sorted by name), character data
+// becomes "=text" leaves.
+type XMLOptions = xmlconv.Options
+
+// ParseXML reads one XML document into a tree using default options
+// (attributes and non-whitespace text included).
+func ParseXML(r io.Reader) (*Tree, error) { return xmlconv.Parse(r, XMLOptions{}) }
+
+// ParseXMLString is ParseXML on a string.
+func ParseXMLString(s string) (*Tree, error) { return xmlconv.ParseString(s, XMLOptions{}) }
+
+// ParseXMLOptions is ParseXML with explicit conversion options.
+func ParseXMLOptions(r io.Reader, opts XMLOptions) (*Tree, error) { return xmlconv.Parse(r, opts) }
+
+// WriteXML serializes a tree back to XML, turning "@..." labels into
+// attributes and "=..." labels into character data.
+func WriteXML(w io.Writer, t *Tree) error { return xmlconv.Write(w, t) }
+
+// WriteXMLString serializes a tree to an XML string.
+func WriteXMLString(t *Tree) (string, error) { return xmlconv.WriteString(t) }
+
+// WriteXMLIDs writes the tree's node identities (preorder, one per line) as
+// a sidecar. XML itself does not carry node identity, but incremental index
+// maintenance requires the edit log and the resulting tree to agree on it;
+// persist the sidecar next to the document and restore with ApplyXMLIDs.
+func WriteXMLIDs(w io.Writer, t *Tree) error { return xmlconv.WriteIDs(w, t) }
+
+// ApplyXMLIDs renumbers a freshly parsed tree's nodes from a sidecar
+// written by WriteXMLIDs.
+func ApplyXMLIDs(r io.Reader, t *Tree) error { return xmlconv.ApplyIDs(r, t) }
