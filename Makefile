@@ -1,0 +1,31 @@
+# Development targets. `make check` is the gate a change must pass: vet,
+# build, the full test suite under the race detector, and a short fuzz
+# pass over every fuzz target (seed corpora plus FUZZTIME of generation).
+# Override the fuzz duration with e.g. `make check FUZZTIME=30s`.
+
+GO      ?= go
+FUZZTIME ?= 5s
+
+.PHONY: check vet build test fuzz bench
+
+check: vet build test fuzz
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Each fuzz target runs alone (go test allows one -fuzz per invocation).
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzUpdateIndex -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzParseOp -fuzztime=$(FUZZTIME) ./internal/edit
+	$(GO) test -run='^$$' -fuzz=FuzzReadLog -fuzztime=$(FUZZTIME) ./internal/edit
+	$(GO) test -run='^$$' -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) ./internal/store
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/tree
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem .

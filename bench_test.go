@@ -361,10 +361,81 @@ func BenchmarkOptimizeLog(b *testing.B) {
 	}
 }
 
+// --- concurrency and parallelism -----------------------------------------
+
+var (
+	dblpForestFix  *forest.Index
+	dblpForestDocs []forest.Doc
+)
+
+// dblpForest builds the 500-tree DBLP-shaped benchmark forest (clusters of
+// near-duplicates from repeated seeds, so the join has real work).
+func dblpForest() (*forest.Index, []forest.Doc) {
+	fixMu.Lock()
+	defer fixMu.Unlock()
+	if dblpForestFix != nil {
+		return dblpForestFix, dblpForestDocs
+	}
+	docs := make([]forest.Doc, 500)
+	for i := range docs {
+		docs[i] = forest.Doc{
+			ID:   fmt.Sprintf("dblp-%03d", i),
+			Tree: gen.DBLP(int64(i%40), 150+i%100),
+		}
+	}
+	f := forest.New(benchP)
+	if err := f.AddAll(docs, 0); err != nil {
+		panic(err)
+	}
+	dblpForestFix, dblpForestDocs = f, docs
+	return f, docs
+}
+
+// BenchmarkForestLookupParallel measures concurrent lookup throughput on
+// the sharded index: every P runs Lookup against the same forest.
+func BenchmarkForestLookupParallel(b *testing.B) {
+	f, docs := dblpForest()
+	rng := rand.New(rand.NewSource(77))
+	query, _, err := gen.Perturb(rng, docs[123].Tree, 8, gen.DefaultMix)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = f.Lookup(query, 0.6)
+		}
+	})
+}
+
+// BenchmarkSimilarityJoin sweeps the join's worker count on the 500-tree
+// DBLP forest; the result set is identical at every width. The speedup
+// from widths > 1 requires GOMAXPROCS > 1 — on a single-CPU machine the
+// map-reduce shuffle is pure overhead and workers=1 (the serial fast
+// path) wins.
 func BenchmarkSimilarityJoin(b *testing.B) {
-	f, _ := lookupFixture(256)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = f.SimilarityJoin(0.5)
+	f, _ := dblpForest()
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = f.SimilarityJoinWorkers(0.5, w)
+			}
+		})
+	}
+}
+
+// BenchmarkForestAddAll measures the parallel bulk build (profiling fans
+// out across the pool, the shard merge runs one worker per stripe).
+func BenchmarkForestAddAll(b *testing.B) {
+	_, docs := dblpForest()
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f := forest.New(benchP)
+				if err := f.AddAll(docs, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -3,11 +3,11 @@
 //
 // Usage:
 //
-//	pqindex build  -index idx.pqg [-p 3 -q 3] doc1.xml doc2.xml ...
+//	pqindex build  -index idx.pqg [-p 3 -q 3] [-workers 8] doc1.xml doc2.xml ...
 //	pqindex add    -index idx.pqg doc.xml
 //	pqindex remove -index idx.pqg -id doc.xml
 //	pqindex update -index idx.pqg -id doc.xml -log changes.log doc-new.xml
-//	pqindex lookup -index idx.pqg [-tau 0.5 | -top 5] query.xml
+//	pqindex lookup -index idx.pqg [-tau 0.5 | -top 5] query.xml [more.xml ...]
 //	pqindex dist   a.xml b.xml [-p 3 -q 3]
 //	pqindex info   -index idx.pqg
 //
@@ -130,6 +130,7 @@ func runBuild(args []string) error {
 	idxPath := fs.String("index", "", "index file to create")
 	p := fs.Int("p", 3, "pq-gram parameter p")
 	q := fs.Int("q", 3, "pq-gram parameter q")
+	workers := fs.Int("workers", 0, "parallel profiling workers (0 = GOMAXPROCS)")
 	fs.Parse(args)
 	if *idxPath == "" || fs.NArg() == 0 {
 		return fmt.Errorf("build needs -index and at least one document")
@@ -139,15 +140,22 @@ func runBuild(args []string) error {
 		return err
 	}
 	defer st.Close()
+	docs := make([]pqgram.Doc, 0, fs.NArg())
 	for _, path := range fs.Args() {
 		t, err := parseDoc(path)
 		if err != nil {
 			return err
 		}
-		if err := st.Add(path, t); err != nil {
-			return err
-		}
-		fmt.Printf("indexed %s (%d nodes, %d pq-grams)\n", path, t.Size(), st.Forest().TreeIndex(path).Size())
+		docs = append(docs, pqgram.Doc{ID: path, Tree: t})
+	}
+	// Bulk build: documents are profiled concurrently, then merged into
+	// the sharded index.
+	if err := st.AddAll(docs, *workers); err != nil {
+		return err
+	}
+	for _, d := range docs {
+		grams, _, _ := st.Forest().TreeStats(d.ID)
+		fmt.Printf("indexed %s (%d nodes, %d pq-grams)\n", d.ID, d.Tree.Size(), grams)
 	}
 	// Fold the initial adds into the base snapshot.
 	return st.Compact()
@@ -254,9 +262,10 @@ func runLookup(args []string) error {
 	idxPath := fs.String("index", "", "index file")
 	tau := fs.Float64("tau", 0, "distance threshold (results with dist < tau)")
 	top := fs.Int("top", 0, "return the k nearest documents instead of thresholding")
+	workers := fs.Int("workers", 0, "parallel lookup workers for multiple queries (0 = GOMAXPROCS)")
 	fs.Parse(args)
-	if *idxPath == "" || fs.NArg() != 1 || (*tau <= 0) == (*top <= 0) {
-		return fmt.Errorf("lookup needs -index, a query document, and exactly one of -tau/-top")
+	if *idxPath == "" || fs.NArg() == 0 || (*tau <= 0) == (*top <= 0) {
+		return fmt.Errorf("lookup needs -index, at least one query document, and exactly one of -tau/-top")
 	}
 	st, err := pqgram.OpenStore(*idxPath)
 	if err != nil {
@@ -264,21 +273,32 @@ func runLookup(args []string) error {
 	}
 	defer st.Close()
 	f := st.Forest()
-	query, err := parseDoc(fs.Arg(0))
-	if err != nil {
-		return err
+	queries := make([]*pqgram.Tree, fs.NArg())
+	for i, path := range fs.Args() {
+		if queries[i], err = parseDoc(path); err != nil {
+			return err
+		}
 	}
-	var matches []pqgram.Match
+	var results [][]pqgram.Match
 	if *top > 0 {
-		matches = f.LookupTop(query, *top)
+		results = make([][]pqgram.Match, len(queries))
+		for i, q := range queries {
+			results[i] = f.LookupTop(q, *top)
+		}
 	} else {
-		matches = f.Lookup(query, *tau)
+		// Batched lookup: queries are profiled and matched concurrently.
+		results = f.LookupMany(queries, *tau, *workers)
 	}
-	for _, m := range matches {
-		fmt.Printf("%.4f  %s\n", m.Distance, m.TreeID)
-	}
-	if len(matches) == 0 {
-		fmt.Println("no matches")
+	for i, matches := range results {
+		if len(queries) > 1 {
+			fmt.Printf("%s:\n", fs.Arg(i))
+		}
+		for _, m := range matches {
+			fmt.Printf("%.4f  %s\n", m.Distance, m.TreeID)
+		}
+		if len(matches) == 0 {
+			fmt.Println("no matches")
+		}
 	}
 	return nil
 }
@@ -287,6 +307,7 @@ func runJoin(args []string) error {
 	fs := flag.NewFlagSet("join", flag.ExitOnError)
 	idxPath := fs.String("index", "", "index file")
 	tau := fs.Float64("tau", 0.5, "distance threshold (pairs with dist < tau)")
+	workers := fs.Int("workers", 0, "parallel join workers (0 = GOMAXPROCS)")
 	fs.Parse(args)
 	if *idxPath == "" {
 		return fmt.Errorf("join needs -index")
@@ -296,7 +317,7 @@ func runJoin(args []string) error {
 		return err
 	}
 	defer st.Close()
-	pairs := st.Forest().SimilarityJoin(*tau)
+	pairs := st.Forest().SimilarityJoinWorkers(*tau, *workers)
 	for _, p := range pairs {
 		fmt.Printf("%.4f  %s  %s\n", p.Distance, p.A, p.B)
 	}
@@ -414,8 +435,8 @@ func runInfo(args []string) error {
 	fmt.Printf("parameters: p=%d q=%d\n", pr.P, pr.Q)
 	fmt.Printf("trees: %d, pq-grams: %d, snapshot: %d bytes, journal: %d bytes\n", f.Len(), f.Size(), sz, js)
 	for _, id := range f.IDs() {
-		idx := f.TreeIndex(id)
-		fmt.Printf("  %-40s %8d pq-grams (%d distinct)\n", id, idx.Size(), idx.Distinct())
+		grams, distinct, _ := f.TreeStats(id)
+		fmt.Printf("  %-40s %8d pq-grams (%d distinct)\n", id, grams, distinct)
 	}
 	return nil
 }

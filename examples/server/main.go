@@ -27,7 +27,6 @@ import (
 	"net"
 	"net/http"
 	"strings"
-	"sync"
 
 	"pqgram"
 	"pqgram/internal/gen" // demo data generation only
@@ -46,11 +45,12 @@ func main() {
 	runDemo(srv)
 }
 
-// server is the HTTP facade over a forest index. The forest itself is not
-// concurrency-safe; a single RWMutex serializes writers and lets lookups
-// proceed in parallel.
+// server is the HTTP facade over a forest index. The forest is internally
+// synchronized (sharded postings, per-document locks), so handlers call it
+// directly: lookups run in parallel with each other and with incremental
+// updates of other documents, and PUT replaces documents atomically via
+// Put — no server-side locking needed.
 type server struct {
-	mu     sync.RWMutex
 	forest *pqgram.Forest
 	mux    *http.ServeMux
 }
@@ -94,23 +94,10 @@ func (s *server) handleDocs(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "bad document: %v", err)
 			return
 		}
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if s.forest.Has(id) {
-			if err := s.forest.Remove(id); err != nil {
-				httpError(w, http.StatusInternalServerError, "%v", err)
-				return
-			}
-		}
-		if err := s.forest.Add(id, doc); err != nil {
-			httpError(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
+		grams := s.forest.Put(id, doc)
 		writeJSON(w, map[string]any{"id": id, "nodes": doc.Size(),
-			"pqgrams": s.forest.TreeIndex(id).Size()})
+			"pqgrams": grams})
 	case http.MethodDelete:
-		s.mu.Lock()
-		defer s.mu.Unlock()
 		if err := s.forest.Remove(id); err != nil {
 			httpError(w, http.StatusNotFound, "%v", err)
 			return
@@ -163,8 +150,6 @@ func (s *server) handleEdits(w http.ResponseWriter, r *http.Request, id string) 
 	}
 	ops = pqgram.OptimizeLog(tn, ops)
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	st, err := s.forest.Update(id, tn, ops)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "update failed: %v", err)
@@ -198,8 +183,6 @@ func (s *server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad query document: %v", err)
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var matches []pqgram.Match
 	if req.Top > 0 {
 		matches = s.forest.LookupTop(query, req.Top)
@@ -210,8 +193,6 @@ func (s *server) handleLookup(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	pr := s.forest.Params()
 	writeJSON(w, map[string]any{
 		"p": pr.P, "q": pr.Q,

@@ -9,8 +9,16 @@ import (
 
 // Forest is the pq-gram index of a collection of named trees: the relation
 // (treeId, pqg, cnt) of the paper plus inverted postings, supporting
-// approximate lookups and incremental per-document maintenance.
+// approximate lookups and incremental per-document maintenance. It is safe
+// for concurrent use — the postings are sharded across lock stripes and
+// each document's bag has its own lock, so lookups run in parallel with
+// each other and with incremental updates of other documents. Bulk entry
+// points (AddAll, LookupMany, SimilarityJoinWorkers) fan work out across a
+// worker pool with results identical to the serial path.
 type Forest = forest.Index
+
+// Doc is one named document of a bulk build (Forest.AddAll, Store.AddAll).
+type Doc = forest.Doc
 
 // Match is one approximate-lookup result: a tree ID and its pq-gram
 // distance to the query.

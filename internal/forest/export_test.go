@@ -1,0 +1,19 @@
+package forest
+
+// CorruptBagForTest bumps one tuple count in id's bag (and the cached
+// size) behind the postings' back. TreeIndex returns a copy precisely so
+// that callers cannot do this; tests use the hook to prove SelfCheck
+// would catch such corruption.
+func CorruptBagForTest(f *Index, id string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e := f.trees[id]
+	for lt := range e.idx {
+		e.idx[lt]++
+		e.size.Add(1)
+		break
+	}
+}
+
+// NumShardsForTest exposes the stripe count for shard-distribution tests.
+const NumShardsForTest = numShards

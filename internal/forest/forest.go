@@ -7,11 +7,34 @@
 // The index supports incremental maintenance: Update applies the deltas of
 // Algorithm 1 to both the per-tree bag and the postings, so a document
 // change costs time proportional to the log, not to the forest.
+//
+// # Concurrency
+//
+// The index is safe for concurrent use as the shared artifact the paper
+// targets: many clients looking up while edit feeds stream in. The inverted
+// postings are lock-striped into shards keyed by label-tuple hash, each
+// per-tree bag is guarded by its own RWMutex, and a registry RWMutex guards
+// the tree table. Lookups, distance queries and incremental updates of
+// different documents all proceed in parallel; only the structural
+// operations (Add, Remove, Put, AddAll) and SelfCheck take the registry
+// write lock and briefly exclude everything else.
+//
+// Concurrent Update/ApplyDeltas calls against the same document serialize
+// on the document's lock and keep the index internally consistent, but the
+// logs must still form one coherent edit sequence — interleaving
+// independently derived logs for the same document is a logic error, with
+// or without locking, exactly as in single-threaded use.
+//
+// Lock ordering is registry → tree entry → postings shard; shard locks are
+// never held while acquiring an entry lock, and multi-entry read locks are
+// always taken in ascending tree-ID order.
 package forest
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"pqgram/internal/core"
 	"pqgram/internal/edit"
@@ -19,11 +42,61 @@ import (
 	"pqgram/internal/tree"
 )
 
-// Index is the pq-gram index of a forest of named trees.
-type Index struct {
-	pr       profile.Params
-	trees    map[string]profile.Index
+// shardBits fixes the number of postings shards to 1<<shardBits. 32 shards
+// keep writer collisions rare at typical GOMAXPROCS without bloating the
+// struct; the routing hash is profile.LabelTuple.Shard.
+const shardBits = 5
+
+// numShards is the number of lock stripes of the inverted postings.
+const numShards = 1 << shardBits
+
+// shard is one stripe of the inverted postings pqg → (treeId, cnt). Its
+// mutex guards the outer map and every inner posting list reachable from
+// it.
+type shard struct {
+	mu       sync.RWMutex
 	postings map[profile.LabelTuple]map[string]int
+}
+
+func (s *shard) add(lt profile.LabelTuple, id string, c int) {
+	m := s.postings[lt]
+	if m == nil {
+		m = make(map[string]int)
+		s.postings[lt] = m
+	}
+	m[id] += c
+}
+
+func (s *shard) remove(lt profile.LabelTuple, id string) {
+	if m := s.postings[lt]; m != nil {
+		delete(m, id)
+		if len(m) == 0 {
+			delete(s.postings, lt)
+		}
+	}
+}
+
+// treeEntry is one indexed tree: its bag, the bag's lock, and the bag
+// cardinality cached so that lookups can score candidates without taking
+// the bag lock at all.
+type treeEntry struct {
+	mu   sync.RWMutex
+	idx  profile.Index
+	size atomic.Int64
+}
+
+// Index is the pq-gram index of a forest of named trees. It is safe for
+// concurrent use; see the package comment for the exact guarantees.
+type Index struct {
+	pr profile.Params
+
+	// mu guards the trees table. Write lock = structural changes
+	// (Add/Remove/Put/AddAll) and SelfCheck; every other operation holds
+	// the read lock for its full duration, so structural ops never
+	// interleave with an in-flight lookup or update.
+	mu     sync.RWMutex
+	trees  map[string]*treeEntry
+	shards [numShards]shard
 }
 
 // New creates an empty forest index with the given pq-gram parameters.
@@ -31,24 +104,46 @@ func New(pr profile.Params) *Index {
 	if err := pr.Validate(); err != nil {
 		panic(err)
 	}
-	return &Index{
-		pr:       pr,
-		trees:    make(map[string]profile.Index),
-		postings: make(map[profile.LabelTuple]map[string]int),
+	f := &Index{
+		pr:    pr,
+		trees: make(map[string]*treeEntry),
 	}
+	for i := range f.shards {
+		f.shards[i].postings = make(map[profile.LabelTuple]map[string]int)
+	}
+	return f
+}
+
+func (f *Index) shardOf(lt profile.LabelTuple) *shard {
+	return &f.shards[lt.Shard(shardBits)]
 }
 
 // Params returns the pq-gram parameters of the index.
 func (f *Index) Params() profile.Params { return f.pr }
 
 // Len returns the number of indexed trees.
-func (f *Index) Len() int { return len(f.trees) }
+func (f *Index) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.trees)
+}
 
 // Has reports whether a tree with the given ID is indexed.
-func (f *Index) Has(id string) bool { _, ok := f.trees[id]; return ok }
+func (f *Index) Has(id string) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	_, ok := f.trees[id]
+	return ok
+}
 
 // IDs returns the indexed tree IDs in ascending order.
 func (f *Index) IDs() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.idsLocked()
+}
+
+func (f *Index) idsLocked() []string {
 	out := make([]string, 0, len(f.trees))
 	for id := range f.trees {
 		out = append(out, id)
@@ -66,60 +161,122 @@ func (f *Index) Add(id string, t *tree.Tree) error {
 // under the given ID. The index is owned by the forest afterwards and must
 // not be modified by the caller.
 func (f *Index) AddIndex(id string, idx profile.Index) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.addIndexLocked(id, idx)
+}
+
+// addIndexLocked requires f.mu held for writing; under the write lock the
+// shards need no locking of their own.
+func (f *Index) addIndexLocked(id string, idx profile.Index) error {
 	if _, ok := f.trees[id]; ok {
 		return fmt.Errorf("forest: tree %q already indexed", id)
 	}
-	f.trees[id] = idx
+	e := &treeEntry{idx: idx}
+	e.size.Store(int64(idx.Size()))
+	f.trees[id] = e
 	for lt, c := range idx {
-		f.postingAdd(lt, id, c)
+		f.shardOf(lt).add(lt, id, c)
 	}
 	return nil
 }
 
 // Remove drops a tree from the index.
 func (f *Index) Remove(id string) error {
-	idx, ok := f.trees[id]
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.removeLocked(id)
+}
+
+func (f *Index) removeLocked(id string) error {
+	e, ok := f.trees[id]
 	if !ok {
 		return fmt.Errorf("forest: tree %q not indexed", id)
 	}
-	for lt := range idx {
-		f.postingRemove(lt, id)
+	for lt := range e.idx {
+		f.shardOf(lt).remove(lt, id)
 	}
 	delete(f.trees, id)
 	return nil
 }
 
-// TreeIndex returns the pq-gram index of one tree, or nil if the ID is
-// unknown. The returned bag is owned by the forest; callers must not
-// modify it (Clone it first).
-func (f *Index) TreeIndex(id string) profile.Index { return f.trees[id] }
+// Put indexes t under id, atomically replacing any existing tree with that
+// ID, and returns the bag cardinality of the new index. It is the upsert
+// the serving path needs: with separate Has/Remove/Add calls two writers
+// can interleave, with Put they cannot.
+func (f *Index) Put(id string, t *tree.Tree) int {
+	idx := profile.BuildIndex(t, f.pr)
+	n := idx.Size()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.trees[id]; ok {
+		f.removeLocked(id)
+	}
+	f.addIndexLocked(id, idx)
+	return n
+}
+
+// TreeIndex returns a copy of the pq-gram index of one tree, or nil if the
+// ID is unknown. The copy is the caller's: mutating it cannot corrupt the
+// forest. Callers that only need the cardinalities should use TreeStats,
+// which does not copy.
+func (f *Index) TreeIndex(id string) profile.Index {
+	f.mu.RLock()
+	e := f.trees[id]
+	f.mu.RUnlock()
+	if e == nil {
+		return nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.idx.Clone()
+}
+
+// TreeStats returns the bag cardinality and the number of distinct tuples
+// of one tree's index without copying the bag.
+func (f *Index) TreeStats(id string) (size, distinct int, ok bool) {
+	f.mu.RLock()
+	e := f.trees[id]
+	f.mu.RUnlock()
+	if e == nil {
+		return 0, 0, false
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return int(e.size.Load()), len(e.idx), true
+}
+
+// ForEachTree calls fn once per indexed tree in ascending ID order, passing
+// the internal bag. fn must treat the bag as read-only and must not retain
+// it after returning; the bag's lock is held for the duration of the call.
+// Iteration stops at the first error, which is returned. This is the
+// traversal the store uses to serialize the forest without copying every
+// bag.
+func (f *Index) ForEachTree(fn func(id string, idx profile.Index) error) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, id := range f.idsLocked() {
+		e := f.trees[id]
+		e.mu.RLock()
+		err := fn(id, e.idx)
+		e.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Size returns the total bag cardinality over all trees (the number of
 // rows a (treeId, pqg, 1)-normalized relation would have).
 func (f *Index) Size() int {
-	n := 0
-	for _, idx := range f.trees {
-		n += idx.Size()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n := int64(0)
+	for _, e := range f.trees {
+		n += e.size.Load()
 	}
-	return n
-}
-
-func (f *Index) postingAdd(lt profile.LabelTuple, id string, c int) {
-	m := f.postings[lt]
-	if m == nil {
-		m = make(map[string]int)
-		f.postings[lt] = m
-	}
-	m[id] += c
-}
-
-func (f *Index) postingRemove(lt profile.LabelTuple, id string) {
-	if m := f.postings[lt]; m != nil {
-		delete(m, id)
-		if len(m) == 0 {
-			delete(f.postings, lt)
-		}
-	}
+	return int(n)
 }
 
 // Update incrementally maintains the index of one tree after it has been
@@ -127,71 +284,111 @@ func (f *Index) postingRemove(lt profile.LabelTuple, id string) {
 // (Algorithm 1 applied to both the per-tree bag and the postings). It
 // returns the per-step statistics of the underlying maintenance run.
 func (f *Index) Update(id string, tn *tree.Tree, log edit.Log) (core.Stats, error) {
-	if _, ok := f.trees[id]; !ok {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	e, ok := f.trees[id]
+	if !ok {
 		return core.Stats{}, fmt.Errorf("forest: tree %q not indexed", id)
 	}
 	iPlus, iMinus, st, err := core.Deltas(tn, log, f.pr)
 	if err != nil {
 		return st, err
 	}
-	return st, f.ApplyDeltas(id, iPlus, iMinus)
+	return st, f.applyDeltasEntry(e, id, iPlus, iMinus)
 }
 
 // ApplyDeltas applies precomputed index deltas (I⁺, I⁻ from core.Deltas)
 // to one tree's bag and the postings. Callers that persist deltas (e.g.
 // the journaled store) use this to replay them.
 func (f *Index) ApplyDeltas(id string, iPlus, iMinus profile.Index) error {
-	idx, ok := f.trees[id]
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	e, ok := f.trees[id]
 	if !ok {
 		return fmt.Errorf("forest: tree %q not indexed", id)
 	}
-	if err := core.ApplyDeltas(idx, iPlus, iMinus); err != nil {
+	return f.applyDeltasEntry(e, id, iPlus, iMinus)
+}
+
+// applyDeltasEntry requires f.mu held for reading. The entry lock is held
+// across both the bag and the postings phase so that updates to the same
+// document serialize as a whole and never observe each other half-applied.
+func (f *Index) applyDeltasEntry(e *treeEntry, id string, iPlus, iMinus profile.Index) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := core.ApplyDeltas(e.idx, iPlus, iMinus); err != nil {
 		return fmt.Errorf("forest: tree %q: %w", id, err)
 	}
+	e.size.Add(int64(iPlus.Size() - iMinus.Size()))
 	for lt, c := range iMinus {
-		m := f.postings[lt]
+		s := f.shardOf(lt)
+		s.mu.Lock()
+		m := s.postings[lt]
 		if m == nil || m[id] < c {
+			s.mu.Unlock()
 			return fmt.Errorf("forest: postings for tree %q underflow", id)
 		}
 		m[id] -= c
 		if m[id] == 0 {
-			f.postingRemove(lt, id)
+			s.remove(lt, id)
 		}
+		s.mu.Unlock()
 	}
 	for lt, c := range iPlus {
-		f.postingAdd(lt, id, c)
+		s := f.shardOf(lt)
+		s.mu.Lock()
+		s.add(lt, id, c)
+		s.mu.Unlock()
 	}
 	return nil
 }
 
 // SelfCheck verifies the internal consistency of the index: the inverted
-// postings must be exactly the transposition of the per-tree bags. It is
-// O(index) and intended for tests and integrity audits after crashes.
+// postings must be exactly the transposition of the per-tree bags, every
+// posting must live in the shard its tuple routes to, and the cached bag
+// sizes must match the bags. It takes the registry write lock, so it is
+// atomic with respect to every other operation. It is O(index) and
+// intended for tests and integrity audits after crashes.
 func (f *Index) SelfCheck() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	want := make(map[profile.LabelTuple]map[string]int)
-	for id, idx := range f.trees {
-		for lt, c := range idx {
+	for id, e := range f.trees {
+		n := 0
+		for lt, c := range e.idx {
 			m := want[lt]
 			if m == nil {
 				m = make(map[string]int)
 				want[lt] = m
 			}
 			m[id] = c
+			n += c
+		}
+		if got := e.size.Load(); got != int64(n) {
+			return fmt.Errorf("forest: cached size of tree %q is %d, want %d", id, got, n)
 		}
 	}
-	if len(want) != len(f.postings) {
-		return fmt.Errorf("forest: %d posting keys, want %d", len(f.postings), len(want))
-	}
-	for lt, m := range want {
-		got := f.postings[lt]
-		if len(got) != len(m) {
-			return fmt.Errorf("forest: posting list size mismatch for one tuple")
-		}
-		for id, c := range m {
-			if got[id] != c {
-				return fmt.Errorf("forest: posting count for tree %q is %d, want %d", id, got[id], c)
+	total := 0
+	for si := range f.shards {
+		for lt, m := range f.shards[si].postings {
+			if int(lt.Shard(shardBits)) != si {
+				return fmt.Errorf("forest: tuple %016x stored in shard %d, routes to %d",
+					uint64(lt), si, lt.Shard(shardBits))
 			}
+			wm := want[lt]
+			if len(m) != len(wm) {
+				return fmt.Errorf("forest: posting list size mismatch for one tuple")
+			}
+			for id, c := range m {
+				if wm[id] != c {
+					return fmt.Errorf("forest: posting count for tree %q is %d, want %d", id, c, wm[id])
+				}
+			}
+			total++
 		}
+	}
+	if total != len(want) {
+		return fmt.Errorf("forest: %d posting keys, want %d", total, len(want))
 	}
 	return nil
 }
@@ -211,20 +408,22 @@ func (f *Index) Lookup(query *tree.Tree, tau float64) []Match {
 
 // LookupIndex is Lookup for a precomputed query index.
 func (f *Index) LookupIndex(q profile.Index, tau float64) []Match {
-	overlaps := f.overlaps(q)
 	qSize := q.Size()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	overlaps := f.overlapsLocked(q)
 	var out []Match
 	if tau > 1 {
 		// Trees sharing no pq-gram (distance exactly 1) can qualify only
 		// for thresholds above 1; scan the whole forest then.
-		for id, idx := range f.trees {
-			if d := distanceFrom(qSize, idx.Size(), overlaps[id]); d < tau {
+		for id, e := range f.trees {
+			if d := distanceFrom(qSize, int(e.size.Load()), overlaps[id]); d < tau {
 				out = append(out, Match{TreeID: id, Distance: d})
 			}
 		}
 	} else {
 		for id, ov := range overlaps {
-			if d := distanceFrom(qSize, f.trees[id].Size(), ov); d < tau {
+			if d := distanceFrom(qSize, int(f.trees[id].size.Load()), ov); d < tau {
 				out = append(out, Match{TreeID: id, Distance: d})
 			}
 		}
@@ -237,11 +436,13 @@ func (f *Index) LookupIndex(q profile.Index, tau float64) []Match {
 // forest is smaller), sorted by ascending distance.
 func (f *Index) LookupTop(query *tree.Tree, k int) []Match {
 	q := profile.BuildIndex(query, f.pr)
-	overlaps := f.overlaps(q)
 	qSize := q.Size()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	overlaps := f.overlapsLocked(q)
 	out := make([]Match, 0, len(f.trees))
-	for id, idx := range f.trees {
-		out = append(out, Match{TreeID: id, Distance: distanceFrom(qSize, idx.Size(), overlaps[id])})
+	for id, e := range f.trees {
+		out = append(out, Match{TreeID: id, Distance: distanceFrom(qSize, int(e.size.Load()), overlaps[id])})
 	}
 	sortMatches(out)
 	if k < len(out) {
@@ -250,17 +451,36 @@ func (f *Index) LookupTop(query *tree.Tree, k int) []Match {
 	return out
 }
 
-// overlaps accumulates |I(query) ∩ I(T)| per tree via the postings.
-func (f *Index) overlaps(q profile.Index) map[string]int {
-	ov := make(map[string]int)
+// overlapsLocked accumulates |I(query) ∩ I(T)| per tree via the postings.
+// It requires f.mu held (read suffices); the query tuples are grouped by
+// shard so each stripe is locked once.
+func (f *Index) overlapsLocked(q profile.Index) map[string]int {
+	type tupleCount struct {
+		lt profile.LabelTuple
+		c  int
+	}
+	var byShard [numShards][]tupleCount
 	for lt, qc := range q {
-		for id, tc := range f.postings[lt] {
-			if tc < qc {
-				ov[id] += tc
-			} else {
-				ov[id] += qc
+		si := lt.Shard(shardBits)
+		byShard[si] = append(byShard[si], tupleCount{lt, qc})
+	}
+	ov := make(map[string]int)
+	for si := range byShard {
+		if len(byShard[si]) == 0 {
+			continue
+		}
+		s := &f.shards[si]
+		s.mu.RLock()
+		for _, tc := range byShard[si] {
+			for id, c := range s.postings[tc.lt] {
+				if c < tc.c {
+					ov[id] += c
+				} else {
+					ov[id] += tc.c
+				}
 			}
 		}
+		s.mu.RUnlock()
 	}
 	return ov
 }
@@ -270,61 +490,6 @@ func (f *Index) overlaps(q profile.Index) map[string]int {
 type Pair struct {
 	A, B     string
 	Distance float64
-}
-
-// SimilarityJoin returns every unordered pair of indexed trees whose
-// pq-gram distance is strictly below tau — the approximate join of the
-// paper's related work (Guha et al.), powered by the index: candidate
-// pairs are generated from the inverted postings (only trees sharing at
-// least one pq-gram can have distance < 1), so disjoint pairs are never
-// scored. Results are sorted by distance, then IDs.
-//
-// For tau > 1 every pair qualifies and the join degenerates to all pairs.
-func (f *Index) SimilarityJoin(tau float64) []Pair {
-	var out []Pair
-	if tau > 1 {
-		ids := f.IDs()
-		for i := 0; i < len(ids); i++ {
-			for j := i + 1; j < len(ids); j++ {
-				d := f.trees[ids[i]].Distance(f.trees[ids[j]])
-				if d < tau {
-					out = append(out, Pair{A: ids[i], B: ids[j], Distance: d})
-				}
-			}
-		}
-		sortPairs(out)
-		return out
-	}
-	// Accumulate bag-intersection sizes for co-occurring pairs.
-	type key struct{ a, b string }
-	overlap := make(map[key]int)
-	for _, m := range f.postings {
-		if len(m) < 2 {
-			continue
-		}
-		ids := make([]string, 0, len(m))
-		for id := range m {
-			ids = append(ids, id)
-		}
-		sort.Strings(ids)
-		for i := 0; i < len(ids); i++ {
-			for j := i + 1; j < len(ids); j++ {
-				ca, cb := m[ids[i]], m[ids[j]]
-				if cb < ca {
-					ca = cb
-				}
-				overlap[key{ids[i], ids[j]}] += ca
-			}
-		}
-	}
-	for k, ov := range overlap {
-		d := distanceFrom(f.trees[k.a].Size(), f.trees[k.b].Size(), ov)
-		if d < tau {
-			out = append(out, Pair{A: k.a, B: k.b, Distance: d})
-		}
-	}
-	sortPairs(out)
-	return out
 }
 
 func sortPairs(ps []Pair) {
@@ -341,6 +506,8 @@ func sortPairs(ps []Pair) {
 
 // Distance returns the pq-gram distance between two indexed trees.
 func (f *Index) Distance(id1, id2 string) (float64, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	a, ok := f.trees[id1]
 	if !ok {
 		return 0, fmt.Errorf("forest: tree %q not indexed", id1)
@@ -349,17 +516,34 @@ func (f *Index) Distance(id1, id2 string) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("forest: tree %q not indexed", id2)
 	}
-	return a.Distance(b), nil
+	if id1 == id2 {
+		return 0, nil
+	}
+	// Both bag locks are needed; take them in ID order (the global
+	// multi-entry order) so concurrent distance queries cannot deadlock.
+	if id2 < id1 {
+		a, b = b, a
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return a.idx.Distance(b.idx), nil
 }
 
 // DistanceTo returns the pq-gram distance between a query tree and one
 // indexed tree.
 func (f *Index) DistanceTo(query *tree.Tree, id string) (float64, error) {
-	idx, ok := f.trees[id]
+	q := profile.BuildIndex(query, f.pr)
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	e, ok := f.trees[id]
 	if !ok {
 		return 0, fmt.Errorf("forest: tree %q not indexed", id)
 	}
-	return profile.BuildIndex(query, f.pr).Distance(idx), nil
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return q.Distance(e.idx), nil
 }
 
 func distanceFrom(qSize, tSize, overlap int) float64 {

@@ -330,14 +330,37 @@ func TestSelfCheckDetectsCorruption(t *testing.T) {
 	if err := f.SelfCheck(); err != nil {
 		t.Fatalf("fresh forest fails self check: %v", err)
 	}
-	// Corrupt a per-tree bag behind the postings' back.
-	idx := f.TreeIndex("x")
-	for lt := range idx {
-		idx[lt]++
-		break
-	}
+	// Corrupt a per-tree bag behind the postings' back (test-only hook;
+	// the public API hands out copies).
+	forest.CorruptBagForTest(f, "x")
 	if err := f.SelfCheck(); err == nil {
 		t.Fatal("corruption not detected")
+	}
+}
+
+// TestTreeIndexReturnsCopy: the bag handed out by TreeIndex is the
+// caller's; mutating it must not corrupt the forest (this was a real
+// aliasing bug — the internal map used to escape).
+func TestTreeIndexReturnsCopy(t *testing.T) {
+	tr := tree.MustParse("a(b c(d) e)")
+	f := buildForest(t, map[string]*tree.Tree{"x": tr, "y": tree.MustParse("a(b)")})
+	idx := f.TreeIndex("x")
+	for lt := range idx {
+		idx[lt] += 7
+	}
+	idx[profile.TupleOfLabels("*", "*", "zzz", "*", "*", "*")] = 3
+	if err := f.SelfCheck(); err != nil {
+		t.Fatalf("mutating the returned bag corrupted the forest: %v", err)
+	}
+	if !f.TreeIndex("x").Equal(profile.BuildIndex(tr, p33)) {
+		t.Fatal("forest bag changed through the returned copy")
+	}
+	if f.TreeIndex("nope") != nil {
+		t.Fatal("unknown id should return nil")
+	}
+	size, distinct, ok := f.TreeStats("x")
+	if !ok || size != profile.Count(tr, p33) || distinct == 0 {
+		t.Fatalf("TreeStats = (%d, %d, %v)", size, distinct, ok)
 	}
 }
 

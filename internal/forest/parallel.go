@@ -1,0 +1,357 @@
+// Parallel entry points of the forest index: bulk build over a worker
+// pool, a fan-out similarity join, and batched lookups. All of them are
+// deterministic — the same inputs produce identical results at any worker
+// count — so callers can scale with GOMAXPROCS without changing behavior.
+package forest
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"pqgram/internal/profile"
+	"pqgram/internal/tree"
+)
+
+// Doc is one named document of a bulk build.
+type Doc struct {
+	ID   string
+	Tree *tree.Tree
+}
+
+// normWorkers clamps a worker count: values below 1 mean "use every CPU".
+func normWorkers(workers int) int {
+	if workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// BuildIndexes profiles the documents concurrently on a pool of workers
+// and returns one pq-gram index per document, in input order. Profiling is
+// the expensive phase of a bulk build (O(document) per tree), so this is
+// where the parallelism pays; the forest itself is not touched.
+func BuildIndexes(docs []Doc, pr profile.Params, workers int) []profile.Index {
+	workers = normWorkers(workers)
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+	bags := make([]profile.Index, len(docs))
+	if workers <= 1 {
+		for i, d := range docs {
+			bags[i] = profile.BuildIndex(d.Tree, pr)
+		}
+		return bags
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(docs) {
+					return
+				}
+				bags[i] = profile.BuildIndex(docs[i].Tree, pr)
+			}
+		}()
+	}
+	wg.Wait()
+	return bags
+}
+
+// AddAll bulk-indexes the documents: trees are profiled concurrently on a
+// worker pool, then merged into the sharded postings with one worker per
+// stripe. If any ID is already indexed or appears twice in the batch, the
+// whole batch is rejected and the forest is unchanged. workers < 1 means
+// GOMAXPROCS.
+func (f *Index) AddAll(docs []Doc, workers int) error {
+	ids := make([]string, len(docs))
+	for i, d := range docs {
+		ids[i] = d.ID
+	}
+	return f.AddIndexes(ids, BuildIndexes(docs, f.pr, workers), workers)
+}
+
+// AddIndexes bulk-indexes precomputed bags (e.g. from BuildIndexes or a
+// snapshot loader) under the given IDs. The bags are owned by the forest
+// afterwards. The merge into the postings runs with one worker per shard
+// stripe; because the stripes partition the tuple space, the workers never
+// contend and the result is identical to a serial merge.
+func (f *Index) AddIndexes(ids []string, bags []profile.Index, workers int) error {
+	if len(ids) != len(bags) {
+		return fmt.Errorf("forest: %d ids for %d bags", len(ids), len(bags))
+	}
+	workers = normWorkers(workers)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	seen := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if _, ok := f.trees[id]; ok {
+			return fmt.Errorf("forest: tree %q already indexed", id)
+		}
+		if seen[id] {
+			return fmt.Errorf("forest: tree %q appears twice in batch", id)
+		}
+		seen[id] = true
+	}
+	for i, id := range ids {
+		e := &treeEntry{idx: bags[i]}
+		e.size.Store(int64(bags[i].Size()))
+		f.trees[id] = e
+	}
+	if workers == 1 || len(bags) == 1 {
+		// Serial fast path: merge directly, no bucketing pass.
+		for i, id := range ids {
+			for lt, c := range bags[i] {
+				f.shardOf(lt).add(lt, id, c)
+			}
+		}
+		return nil
+	}
+	// Bucket each bag's tuples by shard (parallel over docs), then merge
+	// (parallel over shards). Each merge worker owns a disjoint set of
+	// stripes, so no shard locking is needed under the registry write
+	// lock.
+	type postDelta struct {
+		lt profile.LabelTuple
+		c  int
+	}
+	buckets := make([][numShards][]postDelta, len(bags))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(bags) {
+					return
+				}
+				for lt, c := range bags[i] {
+					si := lt.Shard(shardBits)
+					buckets[i][si] = append(buckets[i][si], postDelta{lt, c})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for si := w; si < numShards; si += workers {
+				s := &f.shards[si]
+				for i := range buckets {
+					for _, pd := range buckets[i][si] {
+						s.add(pd.lt, ids[i], pd.c)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return nil
+}
+
+// LookupMany runs one approximate lookup per query concurrently and
+// returns the result slices in query order. Each element equals what
+// Lookup would return for that query. workers < 1 means GOMAXPROCS.
+func (f *Index) LookupMany(queries []*tree.Tree, tau float64, workers int) [][]Match {
+	workers = normWorkers(workers)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	out := make([][]Match, len(queries))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				out[i] = f.Lookup(queries[i], tau)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// SimilarityJoin returns every unordered pair of indexed trees whose
+// pq-gram distance is strictly below tau — the approximate join of the
+// paper's related work (Guha et al.), powered by the index: candidate
+// pairs are generated from the inverted postings (only trees sharing at
+// least one pq-gram can have distance < 1), so disjoint pairs are never
+// scored. Results are sorted by distance, then IDs. The join fans out
+// across GOMAXPROCS workers; use SimilarityJoinWorkers to pick the width.
+//
+// For tau > 1 every pair qualifies and the join degenerates to all pairs.
+func (f *Index) SimilarityJoin(tau float64) []Pair {
+	return f.SimilarityJoinWorkers(tau, 0)
+}
+
+// SimilarityJoinWorkers is SimilarityJoin with an explicit worker count
+// (< 1 means GOMAXPROCS). The result is identical at every worker count.
+func (f *Index) SimilarityJoinWorkers(tau float64, workers int) []Pair {
+	workers = normWorkers(workers)
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if tau > 1 {
+		return f.joinAllPairsLocked(tau, workers)
+	}
+	// Candidate generation is a map-reduce over the postings stripes:
+	// accumulators sweep disjoint stripes summing per-pair overlaps,
+	// partitioned by the first ID's hash (computed once per posting row);
+	// reducers own disjoint pair partitions, merge the per-worker
+	// fragments and score them. Overlap counts are integers, so the
+	// grouping order cannot change any result.
+	type pairKey struct{ a, b string }
+	sizes := make(map[string]int, len(f.trees))
+	for id, e := range f.trees {
+		sizes[id] = int(e.size.Load())
+	}
+	score := func(total map[pairKey]int, out []Pair) []Pair {
+		for k, ov := range total {
+			if d := distanceFrom(sizes[k.a], sizes[k.b], ov); d < tau {
+				out = append(out, Pair{A: k.a, B: k.b, Distance: d})
+			}
+		}
+		return out
+	}
+	accumulate := func(from, stride int, emit func(part int, k pairKey, ov int)) {
+		var ids []string
+		var part []int
+		for si := from; si < numShards; si += stride {
+			s := &f.shards[si]
+			s.mu.RLock()
+			for _, m := range s.postings {
+				if len(m) < 2 {
+					continue
+				}
+				ids = ids[:0]
+				for id := range m {
+					ids = append(ids, id)
+				}
+				sort.Strings(ids)
+				part = part[:0]
+				for _, id := range ids {
+					part = append(part, idPart(id, workers))
+				}
+				for i := 0; i < len(ids); i++ {
+					for j := i + 1; j < len(ids); j++ {
+						ov := m[ids[i]]
+						if c := m[ids[j]]; c < ov {
+							ov = c
+						}
+						emit(part[i], pairKey{ids[i], ids[j]}, ov)
+					}
+				}
+			}
+			s.mu.RUnlock()
+		}
+	}
+	if workers == 1 {
+		// Serial fast path: one accumulator map, no shuffle.
+		total := make(map[pairKey]int)
+		accumulate(0, 1, func(_ int, k pairKey, ov int) { total[k] += ov })
+		out := score(total, nil)
+		sortPairs(out)
+		return out
+	}
+	parts := make([][]map[pairKey]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]map[pairKey]int, workers)
+			for i := range local {
+				local[i] = make(map[pairKey]int)
+			}
+			accumulate(w, workers, func(part int, k pairKey, ov int) { local[part][k] += ov })
+			parts[w] = local
+		}(w)
+	}
+	wg.Wait()
+	outs := make([][]Pair, workers)
+	for r := 0; r < workers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			total := parts[0][r]
+			for w := 1; w < workers; w++ {
+				for k, v := range parts[w][r] {
+					total[k] += v
+				}
+			}
+			outs[r] = score(total, nil)
+		}(r)
+	}
+	wg.Wait()
+	var out []Pair
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	sortPairs(out)
+	return out
+}
+
+// joinAllPairsLocked scores every pair directly; it requires f.mu held
+// (read suffices). Rows are strided across workers; bag read locks are
+// taken in ascending ID order, the global multi-entry order.
+func (f *Index) joinAllPairsLocked(tau float64, workers int) []Pair {
+	ids := f.idsLocked()
+	outs := make([][]Pair, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var out []Pair
+			for i := w; i < len(ids); i += workers {
+				a := f.trees[ids[i]]
+				a.mu.RLock()
+				for j := i + 1; j < len(ids); j++ {
+					b := f.trees[ids[j]]
+					b.mu.RLock()
+					d := a.idx.Distance(b.idx)
+					b.mu.RUnlock()
+					if d < tau {
+						out = append(out, Pair{A: ids[i], B: ids[j], Distance: d})
+					}
+				}
+				a.mu.RUnlock()
+			}
+			outs[w] = out
+		}(w)
+	}
+	wg.Wait()
+	var out []Pair
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	sortPairs(out)
+	return out
+}
+
+// idPart routes a tree ID to one of n reduce partitions (FNV-1a). Pairs
+// are partitioned by their first ID so the hash is computed once per
+// posting row, not once per pair; any deterministic function of the pair
+// keeps the join exact, the choice only balances the reducers.
+func idPart(id string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * 16777619
+	}
+	return int(h % uint32(n))
+}

@@ -19,6 +19,15 @@ func TupleOf(hs ...fingerprint.Hash) LabelTuple {
 	return LabelTuple(fingerprint.Combine(hs))
 }
 
+// Shard maps the tuple to one of 1<<bits shard indexes. The tuple is
+// already a fingerprint, but its low bits live in a Mersenne field and are
+// not guaranteed uniform, so the value is mixed multiplicatively (Fibonacci
+// hashing) and the top bits are used. Shard is the routing function of
+// lock-striped index layouts; it is deterministic across processes.
+func (lt LabelTuple) Shard(bits uint) uint64 {
+	return (uint64(lt) * 0x9e3779b97f4a7c15) >> (64 - bits)
+}
+
 // TupleOfLabels builds a LabelTuple from plain labels, hashing each; the
 // label "*" denotes the null label and maps to fingerprint.Null. Intended
 // for tests and fixtures mirroring the paper's notation.

@@ -380,3 +380,45 @@ func randomTree(rng *rand.Rand, n int) *tree.Tree {
 	}
 	return tr
 }
+
+// TestShardRouting: the shard hash stays in range, is deterministic, and
+// spreads the tuples of a real document across stripes well enough that a
+// lock-striped index actually stripes (no stripe hoards more than a few
+// times its fair share).
+func TestShardRouting(t *testing.T) {
+	const bits = 5
+	rng := rand.New(rand.NewSource(7))
+	idx := profile.BuildIndex(randomTestTree(rng, 600), p33)
+	if len(idx) < 200 {
+		t.Fatalf("fixture too small: %d distinct tuples", len(idx))
+	}
+	counts := make([]int, 1<<bits)
+	for lt := range idx {
+		s := lt.Shard(bits)
+		if s >= 1<<bits {
+			t.Fatalf("Shard(%d) = %d out of range", bits, s)
+		}
+		if s != lt.Shard(bits) {
+			t.Fatal("Shard not deterministic")
+		}
+		counts[s]++
+	}
+	fair := len(idx) / (1 << bits)
+	for s, c := range counts {
+		if c > 4*fair+8 {
+			t.Fatalf("shard %d holds %d of %d tuples (fair share %d)", s, c, len(idx), fair)
+		}
+	}
+}
+
+// randomTestTree builds a random labeled tree of n nodes for routing tests.
+func randomTestTree(rng *rand.Rand, n int) *tree.Tree {
+	tr := tree.New("root")
+	nodes := []*tree.Node{tr.Root()}
+	for i := 1; i < n; i++ {
+		parent := nodes[rng.Intn(len(nodes))]
+		nd := tr.AddChild(parent, string(rune('a'+rng.Intn(26)))+string(rune('a'+rng.Intn(26))))
+		nodes = append(nodes, nd)
+	}
+	return tr
+}

@@ -116,6 +116,36 @@ func (s *Store) Add(id string, t *tree.Tree) error {
 	return s.forest.AddIndex(id, idx)
 }
 
+// AddAll bulk-indexes documents: the trees are profiled concurrently on a
+// worker pool (forest.BuildIndexes), each addition is journaled, and the
+// bags are merged into the sharded postings in parallel. The whole batch
+// is validated up front — a duplicate ID rejects it before anything is
+// journaled. workers < 1 means GOMAXPROCS.
+func (s *Store) AddAll(docs []forest.Doc, workers int) error {
+	seen := make(map[string]bool, len(docs))
+	ids := make([]string, len(docs))
+	for i, d := range docs {
+		if s.forest.Has(d.ID) {
+			return fmt.Errorf("store: tree %q already indexed", d.ID)
+		}
+		if seen[d.ID] {
+			return fmt.Errorf("store: tree %q appears twice in batch", d.ID)
+		}
+		seen[d.ID] = true
+		ids[i] = d.ID
+	}
+	bags := forest.BuildIndexes(docs, s.forest.Params(), workers)
+	for i, bag := range bags {
+		var buf bytes.Buffer
+		writeString(&buf, ids[i])
+		writeBag(&buf, bag)
+		if err := s.append(recAdd, buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return s.forest.AddIndexes(ids, bags, workers)
+}
+
 // Remove drops a tree and journals the removal.
 func (s *Store) Remove(id string) error {
 	if !s.forest.Has(id) {

@@ -324,3 +324,55 @@ func copyFile(src, dst string) error {
 	}
 	return os.WriteFile(dst, b, 0o644)
 }
+
+// TestStoreAddAllJournaled: a parallel bulk build journals every addition,
+// survives a reopen without compaction, and rejects bad batches before
+// touching the journal.
+func TestStoreAddAllJournaled(t *testing.T) {
+	s, path := newStore(t)
+	docs := make([]forest.Doc, 24)
+	for i := range docs {
+		docs[i] = forest.Doc{ID: fmt.Sprintf("doc-%02d", i), Tree: gen.DBLP(int64(i%5), 60+i)}
+	}
+	if err := s.AddAll(docs, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddAll(docs[:1], 1); err == nil {
+		t.Fatal("re-adding an indexed ID accepted")
+	}
+	dup := []forest.Doc{
+		{ID: "fresh", Tree: tree.MustParse("a")},
+		{ID: "fresh", Tree: tree.MustParse("b")},
+	}
+	if err := s.AddAll(dup, 2); err == nil {
+		t.Fatal("in-batch duplicate accepted")
+	}
+	js, err := s.JournalSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if js2, _ := s2.JournalSize(); js2 != js {
+		t.Fatalf("journal size changed across reopen: %d -> %d (failed batches leaked records?)", js, js2)
+	}
+	f := s2.Forest()
+	if f.Len() != len(docs) {
+		t.Fatalf("recovered %d trees, want %d", f.Len(), len(docs))
+	}
+	for _, d := range docs {
+		if !f.TreeIndex(d.ID).Equal(profile.BuildIndex(d.Tree, p33)) {
+			t.Fatalf("recovered bag of %s differs", d.ID)
+		}
+	}
+	if err := f.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}

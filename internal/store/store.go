@@ -37,7 +37,11 @@ const version = 1
 // maxParam bounds p and q in files to reject corrupt headers early.
 const maxParam = 64
 
-// Save writes the forest index to w.
+// Save writes the forest index to w. Concurrent incremental updates are
+// tolerated per tree (each bag is serialized under its read lock), but the
+// snapshot is only cross-tree consistent if no Add/Remove/Update runs
+// during Save — a quiescent forest is the caller's responsibility, as with
+// any backup.
 func Save(w io.Writer, f *forest.Index) error {
 	cw := &crcWriter{w: bufio.NewWriter(w), h: crc32.NewIEEE()}
 	if _, err := cw.Write(magic[:]); err != nil {
@@ -49,15 +53,17 @@ func Save(w io.Writer, f *forest.Index) error {
 	pr := f.Params()
 	putUvarint(cw, uint64(pr.P))
 	putUvarint(cw, uint64(pr.Q))
-	ids := f.IDs()
-	putUvarint(cw, uint64(len(ids)))
-	for _, id := range ids {
+	putUvarint(cw, uint64(f.Len()))
+	// ForEachTree walks the sharded index in ascending ID order without
+	// copying the per-tree bags; the forest read-locks each bag for the
+	// duration of the callback.
+	var tuples []uint64
+	err := f.ForEachTree(func(id string, idx profile.Index) error {
 		putUvarint(cw, uint64(len(id)))
 		if _, err := io.WriteString(cw, id); err != nil {
 			return err
 		}
-		idx := f.TreeIndex(id)
-		tuples := make([]uint64, 0, len(idx))
+		tuples = tuples[:0]
 		for lt := range idx {
 			tuples = append(tuples, uint64(lt))
 		}
@@ -69,6 +75,10 @@ func Save(w io.Writer, f *forest.Index) error {
 			prev = lt
 			putUvarint(cw, uint64(idx[profile.LabelTuple(lt)]))
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	if cw.err != nil {
 		return cw.err
