@@ -1,14 +1,15 @@
 # Development targets. `make check` is the gate a change must pass: vet,
-# build, the full test suite under the race detector, and a short fuzz
-# pass over every fuzz target (seed corpora plus FUZZTIME of generation).
-# Override the fuzz duration with e.g. `make check FUZZTIME=30s`.
+# build, the full test suite under the race detector, a short fuzz pass
+# over every fuzz target (seed corpora plus FUZZTIME of generation), and a
+# single-iteration sweep of every benchmark so perf code cannot silently
+# rot. Override the fuzz duration with e.g. `make check FUZZTIME=30s`.
 
 GO      ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet build test fuzz bench
+.PHONY: check vet build test fuzz bench bench-smoke bench-json
 
-check: vet build test fuzz
+check: vet build test fuzz bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -29,3 +30,14 @@ fuzz:
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
+
+# One iteration of every benchmark: proves the bench harness still compiles
+# and runs, without measuring anything.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x .
+
+# Machine-readable perf snapshot: the instrumented micro suite of
+# cmd/pqbench, written as BENCH_pr2.json (ns/op per operation plus the
+# metric counters of the run).
+bench-json:
+	$(GO) run ./cmd/pqbench -exp micro -n 400 -json BENCH_pr2.json

@@ -20,6 +20,7 @@ import (
 	"pqgram/internal/edit"
 	"pqgram/internal/forest"
 	"pqgram/internal/gen"
+	"pqgram/internal/obs"
 	"pqgram/internal/profile"
 	"pqgram/internal/store"
 )
@@ -404,6 +405,36 @@ func BenchmarkForestLookupParallel(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			_ = f.Lookup(query, 0.6)
+		}
+	})
+}
+
+// BenchmarkLookup measures the cost of the instrumentation hooks on the
+// lookup hot path: the same query against the same forest with no collector
+// (the default one-nil-check fast path) and with a collector attached
+// (counter + latency histogram per op). The acceptance bar for the
+// observability layer is that "off" stays within noise of the seed and "on"
+// within a few percent of "off".
+func BenchmarkLookup(b *testing.B) {
+	f, docs := lookupFixture(256)
+	rng := rand.New(rand.NewSource(256))
+	query, _, err := gen.Perturb(rng, docs[128], 10, gen.DefaultMix)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("collector=off", func(b *testing.B) {
+		f.SetCollector(nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = f.Lookup(query, 0.7)
+		}
+	})
+	b.Run("collector=on", func(b *testing.B) {
+		f.SetCollector(obs.NewCollector())
+		defer f.SetCollector(nil) // the fixture is shared across benchmarks
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = f.Lookup(query, 0.7)
 		}
 	})
 }

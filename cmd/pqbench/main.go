@@ -1,5 +1,6 @@
 // Command pqbench regenerates the tables and figures of the paper's
-// evaluation section (§9) on synthetic workloads.
+// evaluation section (§9) on synthetic workloads, and runs an instrumented
+// micro suite that snapshots the perf trajectory.
 //
 // Usage:
 //
@@ -12,71 +13,107 @@
 //	pqbench -exp ablate-index        # §8.1 anchor-index ablation
 //	pqbench -exp ablate-mix          # edit-mix ablation
 //	pqbench -exp ablate-pq           # (p,q) quality ablation
+//	pqbench -exp micro               # instrumented end-to-end micro suite
 //
 // The -scale flag multiplies the default workload sizes (0.1 for a quick
-// smoke run, 4 for a long one). Every experiment cross-checks the
-// incremental results against full rebuilds and panics on divergence.
+// smoke run, 4 for a long one); -seed offsets every workload's generator
+// seed (0 reproduces the historical workloads). The micro suite sizes its
+// document collection with -n and writes a machine-readable report
+// (ns/op + metric counters) to the -json path; `make bench-json` uses that
+// to produce BENCH_pr2.json. Every figure experiment cross-checks the
+// incremental results against full rebuilds and panics on divergence. Any
+// failure exits non-zero.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"pqgram/internal/bench"
+	"pqgram/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (see package comment)")
-	scale := flag.Float64("scale", 1, "workload scale factor")
+	scale := flag.Float64("scale", 1, "workload scale factor for the figure experiments")
+	n := flag.Int("n", 400, "micro suite workload size (documents)")
+	seed := flag.Int64("seed", 0, "workload seed offset (0 = historical defaults)")
+	jsonPath := flag.String("json", "", "write the micro suite's machine-readable report here")
 	flag.Parse()
-
-	s := func(n int) int {
-		v := int(float64(n) * *scale)
-		if v < 1 {
-			v = 1
-		}
-		return v
+	if err := run(*exp, *scale, *n, *seed, *jsonPath); err != nil {
+		fmt.Fprintln(os.Stderr, "pqbench:", err)
+		os.Exit(1)
 	}
-	run := func(name string, f func() *bench.Result) {
-		if *exp != "all" && *exp != name {
-			return
+}
+
+func run(exp string, scale float64, n int, seed int64, jsonPath string) error {
+	bench.SetSeed(seed)
+	s := func(v int) int {
+		out := int(float64(v) * scale)
+		if out < 1 {
+			out = 1
 		}
-		res := f()
-		if err := res.Print(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "pqbench:", err)
-			os.Exit(1)
+		return out
+	}
+	experiments := []struct {
+		name string
+		run  func() (*bench.Result, error)
+	}{
+		{"fig13-lookup", func() (*bench.Result, error) {
+			return bench.Fig13Lookup(s(600000), []int{32, 256, 2048}, 0.7), nil
+		}},
+		{"fig13-update", func() (*bench.Result, error) {
+			return bench.Fig13Update([]int{s(50000), s(100000), s(200000), s(400000), s(800000)}, 100), nil
+		}},
+		{"fig14-size", func() (*bench.Result, error) {
+			return bench.Fig14Size([]int{s(25000), s(50000), s(100000), s(200000), s(400000)}), nil
+		}},
+		{"fig14-update", func() (*bench.Result, error) {
+			return bench.Fig14Update(s(400000), []int{1, 4, 16, 64, 256, 1024, 4096}), nil
+		}},
+		{"table2", func() (*bench.Result, error) {
+			return bench.Table2(s(400000), []int{1, 10, 100, 1000}), nil
+		}},
+		{"ablate-index", func() (*bench.Result, error) {
+			return bench.AblationAnchorIndex(s(200000), 1000), nil
+		}},
+		{"ablate-mix", func() (*bench.Result, error) {
+			return bench.AblationOpMix(s(200000), 500), nil
+		}},
+		{"ablate-pq", func() (*bench.Result, error) {
+			return bench.AblationPQ(s(150), 40), nil
+		}},
+		{"micro", func() (*bench.Result, error) {
+			col := obs.NewCollector()
+			res, rep, err := bench.Micro(n, seed, col)
+			if err != nil {
+				return nil, err
+			}
+			if jsonPath != "" {
+				if err := rep.WriteFile(jsonPath); err != nil {
+					return nil, err
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+			}
+			return res, nil
+		}},
+	}
+	known := false
+	for _, e := range experiments {
+		if exp == "all" || exp == e.name {
+			known = true
+			res, err := e.run()
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+			if err := res.Print(os.Stdout); err != nil {
+				return err
+			}
 		}
 	}
-
-	run("fig13-lookup", func() *bench.Result {
-		return bench.Fig13Lookup(s(600000), []int{32, 256, 2048}, 0.7)
-	})
-	run("fig13-update", func() *bench.Result {
-		return bench.Fig13Update([]int{s(50000), s(100000), s(200000), s(400000), s(800000)}, 100)
-	})
-	run("fig14-size", func() *bench.Result {
-		return bench.Fig14Size([]int{s(25000), s(50000), s(100000), s(200000), s(400000)})
-	})
-	run("fig14-update", func() *bench.Result {
-		return bench.Fig14Update(s(400000), []int{1, 4, 16, 64, 256, 1024, 4096})
-	})
-	run("table2", func() *bench.Result {
-		return bench.Table2(s(400000), []int{1, 10, 100, 1000})
-	})
-	run("ablate-index", func() *bench.Result {
-		return bench.AblationAnchorIndex(s(200000), 1000)
-	})
-	run("ablate-mix", func() *bench.Result {
-		return bench.AblationOpMix(s(200000), 500)
-	})
-	run("ablate-pq", func() *bench.Result {
-		return bench.AblationPQ(s(150), 40)
-	})
-
-	if *exp != "all" && !strings.HasPrefix(*exp, "fig") && !strings.HasPrefix(*exp, "table") && !strings.HasPrefix(*exp, "ablate") {
-		fmt.Fprintf(os.Stderr, "pqbench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+	if !known {
+		return fmt.Errorf("unknown experiment %q", exp)
 	}
+	return nil
 }

@@ -15,6 +15,10 @@
 // update subcommand implements the paper's scenario: the index is
 // maintained from the old index, the new document and the log of inverse
 // edit operations — the old document is not needed.
+//
+// The build, update, lookup and join subcommands accept -stats, which
+// attaches the metrics collector and prints an op report (counters, latency
+// quantiles, stripe-load distribution) to stderr when the command finishes.
 package main
 
 import (
@@ -131,6 +135,7 @@ func runBuild(args []string) error {
 	p := fs.Int("p", 3, "pq-gram parameter p")
 	q := fs.Int("q", 3, "pq-gram parameter q")
 	workers := fs.Int("workers", 0, "parallel profiling workers (0 = GOMAXPROCS)")
+	stats := fs.Bool("stats", false, "print an op report (metrics snapshot) to stderr when done")
 	fs.Parse(args)
 	if *idxPath == "" || fs.NArg() == 0 {
 		return fmt.Errorf("build needs -index and at least one document")
@@ -140,6 +145,11 @@ func runBuild(args []string) error {
 		return err
 	}
 	defer st.Close()
+	var col *pqgram.Collector
+	if *stats {
+		col = attachStats(st)
+		defer maybeReport(*stats, col)
+	}
 	docs := make([]pqgram.Doc, 0, fs.NArg())
 	for _, path := range fs.Args() {
 		t, err := parseDoc(path)
@@ -207,6 +217,7 @@ func runUpdate(args []string) error {
 	id := fs.String("id", "", "document id to update (defaults to the document path)")
 	logPath := fs.String("log", "", "log of inverse edit operations (pqgram text format)")
 	idsPath := fs.String("ids", "", "node-id sidecar of the resulting document (default <doc>.ids)")
+	opStats := fs.Bool("stats", false, "print an op report (metrics snapshot) to stderr when done")
 	fs.Parse(args)
 	if *idxPath == "" || *logPath == "" || fs.NArg() != 1 {
 		return fmt.Errorf("update needs -index, -log and the resulting document")
@@ -223,6 +234,9 @@ func runUpdate(args []string) error {
 		return err
 	}
 	defer st.Close()
+	if *opStats {
+		defer maybeReport(*opStats, attachStats(st))
+	}
 	tn, err := parseDoc(docPath)
 	if err != nil {
 		return err
@@ -263,6 +277,7 @@ func runLookup(args []string) error {
 	tau := fs.Float64("tau", 0, "distance threshold (results with dist < tau)")
 	top := fs.Int("top", 0, "return the k nearest documents instead of thresholding")
 	workers := fs.Int("workers", 0, "parallel lookup workers for multiple queries (0 = GOMAXPROCS)")
+	stats := fs.Bool("stats", false, "print an op report (metrics snapshot) to stderr when done")
 	fs.Parse(args)
 	if *idxPath == "" || fs.NArg() == 0 || (*tau <= 0) == (*top <= 0) {
 		return fmt.Errorf("lookup needs -index, at least one query document, and exactly one of -tau/-top")
@@ -272,6 +287,9 @@ func runLookup(args []string) error {
 		return err
 	}
 	defer st.Close()
+	if *stats {
+		defer maybeReport(*stats, attachStats(st))
+	}
 	f := st.Forest()
 	queries := make([]*pqgram.Tree, fs.NArg())
 	for i, path := range fs.Args() {
@@ -308,6 +326,7 @@ func runJoin(args []string) error {
 	idxPath := fs.String("index", "", "index file")
 	tau := fs.Float64("tau", 0.5, "distance threshold (pairs with dist < tau)")
 	workers := fs.Int("workers", 0, "parallel join workers (0 = GOMAXPROCS)")
+	stats := fs.Bool("stats", false, "print an op report (metrics snapshot) to stderr when done")
 	fs.Parse(args)
 	if *idxPath == "" {
 		return fmt.Errorf("join needs -index")
@@ -317,6 +336,9 @@ func runJoin(args []string) error {
 		return err
 	}
 	defer st.Close()
+	if *stats {
+		defer maybeReport(*stats, attachStats(st))
+	}
 	pairs := st.Forest().SimilarityJoinWorkers(*tau, *workers)
 	for _, p := range pairs {
 		fmt.Printf("%.4f  %s  %s\n", p.Distance, p.A, p.B)

@@ -10,23 +10,35 @@
 //	POST   /docs/{id}/edits    {"xml","ids","log"} incremental update
 //	POST   /lookup             {"xml","tau","top"} approximate lookup
 //	GET    /stats                                  index statistics
+//	GET    /debug/metrics                          live metrics snapshot
+//	GET    /debug/vars                             expvar (includes "pqgram")
+//	GET    /debug/pprof/...                        CPU/heap/goroutine profiles
 //
-// Run without arguments to start on :8080; with -demo the process starts
-// the server on a random port, exercises every endpoint with generated
-// data, prints the results, and exits.
+// Every request is logged (structured, via slog) with a request ID that is
+// echoed back in the X-Request-ID response header. Run without arguments to
+// start on :8080; with -demo the process starts the server on a random
+// port, exercises every endpoint with generated data, prints the results,
+// and exits.
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"pqgram"
 	"pqgram/internal/gen" // demo data generation only
@@ -35,9 +47,24 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	demo := flag.Bool("demo", false, "self-exercise the API and exit")
+	quiet := flag.Bool("quiet", false, "suppress per-request logging")
 	flag.Parse()
 
-	srv := newServer(pqgram.NewForest(pqgram.DefaultParams))
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *quiet || *demo {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+
+	// The collector observes every layer: the forest's op counters and
+	// latency histograms, the HTTP front end, and (process-globally) the
+	// profiling metrics of query-index construction.
+	col := pqgram.NewCollector()
+	col.SetLogger(logger)
+	f := pqgram.NewForest(pqgram.DefaultParams)
+	f.SetCollector(col)
+	pqgram.SetProfileCollector(col)
+
+	srv := newServer(f, col, logger)
 	if !*demo {
 		log.Printf("pq-gram index service listening on %s", *addr)
 		log.Fatal(http.ListenAndServe(*addr, srv))
@@ -52,18 +79,80 @@ func main() {
 // Put — no server-side locking needed.
 type server struct {
 	forest *pqgram.Forest
+	col    *pqgram.Collector
+	logger *slog.Logger
 	mux    *http.ServeMux
+	reqID  atomic.Int64
 }
 
-func newServer(f *pqgram.Forest) *server {
-	s := &server{forest: f, mux: http.NewServeMux()}
+// expvarOnce guards the process-global expvar registration (Publish panics
+// on duplicate names; tests and the demo may build several servers).
+var expvarOnce sync.Once
+
+func newServer(f *pqgram.Forest, col *pqgram.Collector, logger *slog.Logger) *server {
+	s := &server{forest: f, col: col, logger: logger, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/docs/", s.handleDocs)
 	s.mux.HandleFunc("/lookup", s.handleLookup)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/debug/metrics", s.handleMetrics)
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	expvarOnce.Do(func() {
+		expvar.Publish("pqgram", expvar.Func(func() any { return col.Snapshot() }))
+	})
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// statusWriter captures the response status and size for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// ServeHTTP is the request-logging and metrics middleware: it assigns a
+// request ID (echoed as X-Request-ID), times the handler, logs one
+// structured line per request, and feeds the HTTP counters/histogram.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := s.reqID.Add(1)
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	sw.Header().Set("X-Request-ID", fmt.Sprintf("req-%06d", id))
+	t0 := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	dur := time.Since(t0)
+	s.col.Counter("http_requests").Inc()
+	if sw.status >= 400 {
+		s.col.Counter("http_errors").Inc()
+	}
+	s.col.Histogram("http_request_ns").Observe(dur.Nanoseconds())
+	s.logger.Info("request",
+		"id", id,
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", sw.status,
+		"bytes", sw.bytes,
+		"dur", dur,
+	)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.col.Snapshot())
+}
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -282,6 +371,20 @@ func runDemo(h http.Handler) {
 	stats := client("GET", "/stats", nil)
 	fmt.Printf("stats: %v docs, %v pq-grams (p=%v q=%v)\n",
 		stats["docs"], stats["pqgrams"], stats["p"], stats["q"])
+
+	// The instrumentation saw all of the above: print a few live counters
+	// from the metrics endpoint.
+	metrics := client("GET", "/debug/metrics", nil)
+	if counters, ok := metrics["counters"].(map[string]any); ok {
+		fmt.Printf("metrics: %v lookups, %v updates, %v puts, %v http requests\n",
+			counters["forest_lookups"], counters["forest_updates"],
+			counters["forest_puts"], counters["http_requests"])
+	}
+	if hists, ok := metrics["histograms"].(map[string]any); ok {
+		if h, ok := hists["forest_lookup_ns"].(map[string]any); ok {
+			fmt.Printf("lookup latency: p50=%vns p99=%vns\n", h["p50"], h["p99"])
+		}
+	}
 }
 
 func mustXML(t *pqgram.Tree) string {

@@ -32,6 +32,14 @@ import (
 // P33 is the paper's default parameterization.
 var P33 = profile.Params{P: 3, Q: 3}
 
+// baseSeed offsets every experiment's deterministic rng seed; see SetSeed.
+var baseSeed int64
+
+// SetSeed offsets the seeds of all experiment workloads. The default 0
+// reproduces the historical workloads exactly; any other value yields a
+// different but equally deterministic run (pqbench -seed).
+func SetSeed(s int64) { baseSeed = s }
+
 // Row is one measured configuration of an experiment.
 type Row struct {
 	Label  string
@@ -97,7 +105,7 @@ func Fig13Lookup(totalNodes int, docCounts []int, tau float64) *Result {
 			}
 		}
 		// The query: a perturbed copy of one collection document.
-		rng := rand.New(rand.NewSource(int64(nd) * 13))
+		rng := rand.New(rand.NewSource(baseSeed + int64(nd)*13))
 		query, _, err := gen.Perturb(rng, docs[len(docs)/2], 10, gen.DefaultMix)
 		if err != nil {
 			panic(err)
@@ -147,7 +155,7 @@ func Fig13Update(sizes []int, logOps int) *Result {
 		doc := gen.XMark(int64(n), n)
 		i0 := profile.BuildIndex(doc, P33)
 
-		rng := rand.New(rand.NewSource(int64(n) * 17))
+		rng := rand.New(rand.NewSource(baseSeed + int64(n)*17))
 		_, log, err := gen.RandomScript(rng, doc, logOps, gen.DefaultMix)
 		if err != nil {
 			panic(err)
@@ -231,7 +239,7 @@ func Fig14Update(docNodes int, logSizes []int) *Result {
 	i0 := profile.BuildIndex(base, P33)
 	for _, ops := range logSizes {
 		doc := base.Clone()
-		rng := rand.New(rand.NewSource(int64(ops) * 29))
+		rng := rand.New(rand.NewSource(baseSeed + int64(ops)*29))
 		_, log, err := gen.RandomScript(rng, doc, ops, gen.DefaultMix)
 		if err != nil {
 			panic(err)
@@ -274,7 +282,7 @@ func Table2(docNodes int, logSizes []int) *Result {
 	stats := make([]core.Stats, len(logSizes))
 	for i, ops := range logSizes {
 		doc := base.Clone()
-		rng := rand.New(rand.NewSource(int64(ops) * 31))
+		rng := rand.New(rand.NewSource(baseSeed + int64(ops)*31))
 		_, log, err := gen.RandomScript(rng, doc, ops, gen.DefaultMix)
 		if err != nil {
 			panic(err)
@@ -315,7 +323,7 @@ func AblationAnchorIndex(docNodes, logOps int) *Result {
 		Header:  []string{"variant", "delta+rewind", ""},
 	}
 	doc := gen.XMark(6, docNodes)
-	rng := rand.New(rand.NewSource(41))
+	rng := rand.New(rand.NewSource(baseSeed + 41))
 	_, log, err := gen.RandomScript(rng, doc, logOps, gen.DefaultMix)
 	if err != nil {
 		panic(err)
@@ -361,7 +369,7 @@ func AblationOpMix(docNodes, logOps int) *Result {
 	i0 := profile.BuildIndex(base, P33)
 	for _, m := range mixes {
 		doc := base.Clone()
-		rng := rand.New(rand.NewSource(43))
+		rng := rand.New(rand.NewSource(baseSeed + 43))
 		_, log, err := gen.RandomScript(rng, doc, logOps, m.mix)
 		if err != nil {
 			panic(err)
@@ -391,7 +399,7 @@ func AblationPQ(docNodes, pairs int) *Result {
 		Header:  []string{"p,q", "agreement", "avg dist"},
 	}
 	params := []profile.Params{{P: 1, Q: 1}, {P: 1, Q: 2}, {P: 2, Q: 2}, {P: 3, Q: 3}, {P: 4, Q: 4}}
-	rng := rand.New(rand.NewSource(47))
+	rng := rand.New(rand.NewSource(baseSeed + 47))
 
 	type pair struct {
 		a, b *tree.Tree

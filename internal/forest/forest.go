@@ -35,6 +35,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pqgram/internal/core"
 	"pqgram/internal/edit"
@@ -97,6 +98,11 @@ type Index struct {
 	mu     sync.RWMutex
 	trees  map[string]*treeEntry
 	shards [numShards]shard
+
+	// obs is the attached instrumentation, nil when the index is not
+	// observed (the default). Hot paths load it once at entry; see
+	// metrics.go.
+	obs atomic.Pointer[metrics]
 }
 
 // New creates an empty forest index with the given pq-gram parameters.
@@ -178,6 +184,9 @@ func (f *Index) addIndexLocked(id string, idx profile.Index) error {
 	for lt, c := range idx {
 		f.shardOf(lt).add(lt, id, c)
 	}
+	if m := f.obs.Load(); m != nil {
+		m.adds.Inc()
+	}
 	return nil
 }
 
@@ -197,6 +206,9 @@ func (f *Index) removeLocked(id string) error {
 		f.shardOf(lt).remove(lt, id)
 	}
 	delete(f.trees, id)
+	if m := f.obs.Load(); m != nil {
+		m.removes.Inc()
+	}
 	return nil
 }
 
@@ -213,6 +225,9 @@ func (f *Index) Put(id string, t *tree.Tree) int {
 		f.removeLocked(id)
 	}
 	f.addIndexLocked(id, idx)
+	if m := f.obs.Load(); m != nil {
+		m.puts.Inc()
+	}
 	return n
 }
 
@@ -284,6 +299,11 @@ func (f *Index) Size() int {
 // (Algorithm 1 applied to both the per-tree bag and the postings). It
 // returns the per-step statistics of the underlying maintenance run.
 func (f *Index) Update(id string, tn *tree.Tree, log edit.Log) (core.Stats, error) {
+	m := f.obs.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	e, ok := f.trees[id]
@@ -294,20 +314,39 @@ func (f *Index) Update(id string, tn *tree.Tree, log edit.Log) (core.Stats, erro
 	if err != nil {
 		return st, err
 	}
-	return st, f.applyDeltasEntry(e, id, iPlus, iMinus)
+	err = f.applyDeltasEntry(e, id, iPlus, iMinus)
+	if m != nil && err == nil {
+		m.updates.Inc()
+		m.updateGramsPlus.Add(int64(iPlus.Size()))
+		m.updateGramsMinus.Add(int64(iMinus.Size()))
+		m.updateNS.ObserveSince(t0)
+	}
+	return st, err
 }
 
 // ApplyDeltas applies precomputed index deltas (I⁺, I⁻ from core.Deltas)
 // to one tree's bag and the postings. Callers that persist deltas (e.g.
 // the journaled store) use this to replay them.
 func (f *Index) ApplyDeltas(id string, iPlus, iMinus profile.Index) error {
+	m := f.obs.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	e, ok := f.trees[id]
 	if !ok {
 		return fmt.Errorf("forest: tree %q not indexed", id)
 	}
-	return f.applyDeltasEntry(e, id, iPlus, iMinus)
+	err := f.applyDeltasEntry(e, id, iPlus, iMinus)
+	if m != nil && err == nil {
+		m.updates.Inc()
+		m.updateGramsPlus.Add(int64(iPlus.Size()))
+		m.updateGramsMinus.Add(int64(iMinus.Size()))
+		m.updateNS.ObserveSince(t0)
+	}
+	return err
 }
 
 // applyDeltasEntry requires f.mu held for reading. The entry lock is held
@@ -408,6 +447,11 @@ func (f *Index) Lookup(query *tree.Tree, tau float64) []Match {
 
 // LookupIndex is Lookup for a precomputed query index.
 func (f *Index) LookupIndex(q profile.Index, tau float64) []Match {
+	m := f.obs.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	qSize := q.Size()
 	f.mu.RLock()
 	defer f.mu.RUnlock()
@@ -429,12 +473,22 @@ func (f *Index) LookupIndex(q profile.Index, tau float64) []Match {
 		}
 	}
 	sortMatches(out)
+	if m != nil {
+		m.lookups.Inc()
+		m.lookupMatches.Add(int64(len(out)))
+		m.lookupNS.ObserveSince(t0)
+	}
 	return out
 }
 
 // LookupTop returns the k nearest trees by pq-gram distance (fewer if the
 // forest is smaller), sorted by ascending distance.
 func (f *Index) LookupTop(query *tree.Tree, k int) []Match {
+	m := f.obs.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	q := profile.BuildIndex(query, f.pr)
 	qSize := q.Size()
 	f.mu.RLock()
@@ -447,6 +501,11 @@ func (f *Index) LookupTop(query *tree.Tree, k int) []Match {
 	sortMatches(out)
 	if k < len(out) {
 		out = out[:k]
+	}
+	if m != nil {
+		m.lookups.Inc()
+		m.lookupMatches.Add(int64(len(out)))
+		m.lookupNS.ObserveSince(t0)
 	}
 	return out
 }
@@ -506,6 +565,15 @@ func sortPairs(ps []Pair) {
 
 // Distance returns the pq-gram distance between two indexed trees.
 func (f *Index) Distance(id1, id2 string) (float64, error) {
+	m := f.obs.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+		defer func() {
+			m.distOps.Inc()
+			m.distNS.ObserveSince(t0)
+		}()
+	}
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	a, ok := f.trees[id1]
@@ -534,6 +602,15 @@ func (f *Index) Distance(id1, id2 string) (float64, error) {
 // DistanceTo returns the pq-gram distance between a query tree and one
 // indexed tree.
 func (f *Index) DistanceTo(query *tree.Tree, id string) (float64, error) {
+	m := f.obs.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+		defer func() {
+			m.distOps.Inc()
+			m.distNS.ObserveSince(t0)
+		}()
+	}
 	q := profile.BuildIndex(query, f.pr)
 	f.mu.RLock()
 	defer f.mu.RUnlock()

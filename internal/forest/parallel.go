@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pqgram/internal/profile"
 	"pqgram/internal/tree"
@@ -104,6 +105,10 @@ func (f *Index) AddIndexes(ids []string, bags []profile.Index, workers int) erro
 		e.size.Store(int64(bags[i].Size()))
 		f.trees[id] = e
 	}
+	if m := f.obs.Load(); m != nil {
+		m.bulkOps.Inc()
+		m.adds.Add(int64(len(ids)))
+	}
 	if workers == 1 || len(bags) == 1 {
 		// Serial fast path: merge directly, no bucketing pass.
 		for i, id := range ids {
@@ -167,6 +172,11 @@ func (f *Index) LookupMany(queries []*tree.Tree, tau float64, workers int) [][]M
 	if workers > len(queries) {
 		workers = len(queries)
 	}
+	m := f.obs.Load()
+	if m != nil {
+		m.batchLookups.Inc()
+		m.poolDepth.Set(int64(len(queries)))
+	}
 	out := make([][]Match, len(queries))
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -180,10 +190,21 @@ func (f *Index) LookupMany(queries []*tree.Tree, tau float64, workers int) [][]M
 					return
 				}
 				out[i] = f.Lookup(queries[i], tau)
+				if m != nil {
+					// Remaining unclaimed work = the pool's queue depth.
+					if d := int64(len(queries)) - next.Load(); d >= 0 {
+						m.poolDepth.Set(d)
+					} else {
+						m.poolDepth.Set(0)
+					}
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if m != nil {
+		m.poolDepth.Set(0)
+	}
 	return out
 }
 
@@ -202,8 +223,16 @@ func (f *Index) SimilarityJoin(tau float64) []Pair {
 
 // SimilarityJoinWorkers is SimilarityJoin with an explicit worker count
 // (< 1 means GOMAXPROCS). The result is identical at every worker count.
-func (f *Index) SimilarityJoinWorkers(tau float64, workers int) []Pair {
+func (f *Index) SimilarityJoinWorkers(tau float64, workers int) (pairs []Pair) {
 	workers = normWorkers(workers)
+	if m := f.obs.Load(); m != nil {
+		t0 := time.Now()
+		defer func() {
+			m.joins.Inc()
+			m.joinPairs.Add(int64(len(pairs)))
+			m.joinNS.ObserveSince(t0)
+		}()
+	}
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	if tau > 1 {

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync/atomic"
+)
+
+// Collector is the handle instrumented subsystems record through: a metric
+// registry plus an optional structured-log event sink. A nil *Collector is
+// a fully valid no-op — every method is nil-safe and the metric handles it
+// returns are nil-safe no-ops too — so call sites need exactly one nil
+// check (or none, if they tolerate the no-op handles).
+type Collector struct {
+	reg    *Registry
+	logger atomic.Pointer[slog.Logger]
+}
+
+// NewCollector creates a collector with a fresh registry and no log sink.
+func NewCollector() *Collector {
+	return &Collector{reg: NewRegistry()}
+}
+
+// Registry returns the underlying registry; nil on a nil collector.
+func (c *Collector) Registry() *Registry {
+	if c == nil {
+		return nil
+	}
+	return c.reg
+}
+
+// Counter resolves a named counter; nil (no-op) on a nil collector.
+func (c *Collector) Counter(name string) *Counter {
+	if c == nil {
+		return nil
+	}
+	return c.reg.Counter(name)
+}
+
+// Gauge resolves a named gauge; nil (no-op) on a nil collector.
+func (c *Collector) Gauge(name string) *Gauge {
+	if c == nil {
+		return nil
+	}
+	return c.reg.Gauge(name)
+}
+
+// Histogram resolves a named histogram; nil (no-op) on a nil collector.
+func (c *Collector) Histogram(name string) *Histogram {
+	if c == nil {
+		return nil
+	}
+	return c.reg.Histogram(name)
+}
+
+// RegisterFunc registers a computed metric; no-op on a nil collector.
+func (c *Collector) RegisterFunc(name string, fn func() any) {
+	if c == nil {
+		return
+	}
+	c.reg.RegisterFunc(name, fn)
+}
+
+// SetLogger attaches a structured-log sink for Event calls. A nil logger
+// detaches the sink. No-op on a nil collector.
+func (c *Collector) SetLogger(l *slog.Logger) {
+	if c == nil {
+		return
+	}
+	c.logger.Store(l)
+}
+
+// Logger returns the attached sink, or nil.
+func (c *Collector) Logger() *slog.Logger {
+	if c == nil {
+		return nil
+	}
+	return c.logger.Load()
+}
+
+// Event emits one structured log record at Info level if a sink is
+// attached; otherwise it is free. args are slog key/value pairs.
+func (c *Collector) Event(msg string, args ...any) {
+	if c == nil {
+		return
+	}
+	if l := c.logger.Load(); l != nil {
+		l.LogAttrs(context.Background(), slog.LevelInfo, msg, argsToAttrs(args)...)
+	}
+}
+
+func argsToAttrs(args []any) []slog.Attr {
+	if len(args) == 0 {
+		return nil
+	}
+	attrs := make([]slog.Attr, 0, len(args)/2)
+	for i := 0; i+1 < len(args); i += 2 {
+		key, ok := args[i].(string)
+		if !ok {
+			key = "!BADKEY"
+		}
+		attrs = append(attrs, slog.Any(key, args[i+1]))
+	}
+	return attrs
+}
+
+// Snapshot captures every metric of the collector's registry; the zero
+// Snapshot on a nil collector.
+func (c *Collector) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	return c.reg.Snapshot()
+}
+
+// Reset zeroes every metric; no-op on a nil collector.
+func (c *Collector) Reset() {
+	if c == nil {
+		return
+	}
+	c.reg.Reset()
+}

@@ -2,6 +2,7 @@ package profile
 
 import (
 	"fmt"
+	"time"
 
 	"pqgram/internal/fingerprint"
 	"pqgram/internal/tree"
@@ -51,10 +52,16 @@ type Index map[LabelTuple]int
 // BuildIndex computes the pq-gram index of t directly, without materializing
 // the profile.
 func BuildIndex(t *tree.Tree, pr Params) Index {
+	m := buildObs.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	idx := make(Index, t.Size())
 	ForEachGram(t, pr, func(g Gram) {
 		idx[g.LabelTuple()]++
 	})
+	recordBuild(m, idx, t0)
 	return idx
 }
 

@@ -7,6 +7,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync/atomic"
+	"time"
 
 	"pqgram/internal/core"
 	"pqgram/internal/edit"
@@ -30,6 +32,11 @@ type Store struct {
 	forest  *forest.Index
 	journal *os.File
 	sync    bool
+
+	// obs is the attached instrumentation (nil by default); replayed
+	// remembers what OpenStore recovered so SetCollector can publish it.
+	obs      atomic.Pointer[storeMetrics]
+	replayed replayInfo
 }
 
 // journal record types.
@@ -70,7 +77,8 @@ func OpenStore(path string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	valid, err := replayJournal(j, f)
+	t0 := time.Now()
+	valid, records, err := replayJournal(j, f)
 	if err != nil {
 		j.Close()
 		return nil, err
@@ -84,7 +92,13 @@ func OpenStore(path string) (*Store, error) {
 		j.Close()
 		return nil, err
 	}
-	return &Store{path: path, forest: f, journal: j}, nil
+	s := &Store{path: path, forest: f, journal: j}
+	s.replayed = replayInfo{
+		records: int64(records),
+		bytes:   valid - int64(len(journalMagic)),
+		dur:     time.Since(t0),
+	}
+	return s, nil
 }
 
 // SetSync makes every journal append fsync before returning (durability
@@ -192,6 +206,11 @@ func (s *Store) JournalSize() (int64, error) {
 // Compact folds the journal into a fresh base snapshot: the in-memory
 // index is written (atomically) as the new base and the journal is reset.
 func (s *Store) Compact() error {
+	m := s.obs.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	if err := SaveFile(s.path, s.forest); err != nil {
 		return err
 	}
@@ -205,13 +224,29 @@ func (s *Store) Compact() error {
 		return err
 	}
 	if s.sync {
-		return s.journal.Sync()
+		if err := s.journal.Sync(); err != nil {
+			return err
+		}
+	}
+	if m != nil {
+		m.compactions.Inc()
+		m.journalBytes.Set(int64(len(journalMagic)))
+		if fi, err := os.Stat(s.path); err == nil {
+			m.snapshotBytes.Set(fi.Size())
+		}
+		m.compactNS.ObserveSince(t0)
+		m.col.Event("store compacted", "path", s.path, "snapshot_bytes", m.snapshotBytes.Load())
 	}
 	return nil
 }
 
 // append writes one length-prefixed, checksummed record.
 func (s *Store) append(typ byte, payload []byte) error {
+	m := s.obs.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	var hdr bytes.Buffer
 	hdr.WriteByte(typ)
 	putUvarint(&hdr, uint64(len(payload)))
@@ -232,7 +267,15 @@ func (s *Store) append(typ byte, payload []byte) error {
 		return err
 	}
 	if s.sync {
-		return s.journal.Sync()
+		if err := s.journal.Sync(); err != nil {
+			return err
+		}
+	}
+	if m != nil {
+		m.appends.Inc()
+		m.appendBytes.Add(int64(hdr.Len() + len(payload) + len(sum)))
+		m.journalBytes.Add(int64(hdr.Len() + len(payload) + len(sum)))
+		m.appendNS.ObserveSince(t0)
 	}
 	return nil
 }
@@ -241,37 +284,38 @@ func (s *Store) append(typ byte, payload []byte) error {
 // the end of the last intact record. It only errors on I/O problems or on
 // records that are intact but semantically inapplicable (a corrupted
 // database, as opposed to a torn append).
-func replayJournal(j *os.File, f *forest.Index) (int64, error) {
+func replayJournal(j *os.File, f *forest.Index) (valid int64, records int, err error) {
 	if _, err := j.Seek(0, io.SeekStart); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	data, err := io.ReadAll(j)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if len(data) < len(journalMagic) || [4]byte(data[:4]) != journalMagic {
 		// Fresh or foreign journal: treat as empty, rewrite the magic.
 		if _, err := j.Seek(0, io.SeekStart); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		if err := j.Truncate(0); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		if _, err := j.Write(journalMagic[:]); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
-		return int64(len(journalMagic)), nil
+		return int64(len(journalMagic)), 0, nil
 	}
 	pos := int64(4)
 	rest := data[4:]
 	for {
 		rec, n := nextRecord(rest)
 		if n == 0 {
-			return pos, nil // torn or empty tail
+			return pos, records, nil // torn or empty tail
 		}
 		if err := applyRecord(f, rec); err != nil {
-			return 0, fmt.Errorf("store: journal record at offset %d: %w", pos, err)
+			return 0, 0, fmt.Errorf("store: journal record at offset %d: %w", pos, err)
 		}
+		records++
 		pos += int64(n)
 		rest = rest[n:]
 	}

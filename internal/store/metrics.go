@@ -1,0 +1,88 @@
+// Instrumentation of the durable store: journal append/replay/compaction
+// counts, bytes and latencies. Like the forest, metrics are opt-in through
+// a nil-safe collector resolved once into preallocated handles.
+package store
+
+import (
+	"time"
+
+	"pqgram/internal/obs"
+)
+
+// storeMetrics holds the preresolved metric handles of one store.
+type storeMetrics struct {
+	col *obs.Collector
+
+	appends     *obs.Counter   // store_journal_appends
+	appendBytes *obs.Counter   // store_journal_append_bytes
+	appendNS    *obs.Histogram // store_journal_append_ns
+
+	replays       *obs.Counter   // store_journal_replays
+	replayRecords *obs.Counter   // store_journal_replay_records
+	replayBytes   *obs.Counter   // store_journal_replay_bytes
+	replayNS      *obs.Histogram // store_journal_replay_ns
+
+	compactions   *obs.Counter   // store_compactions
+	compactNS     *obs.Histogram // store_compact_ns
+	snapshotBytes *obs.Gauge     // store_snapshot_bytes (size of the last base snapshot)
+	journalBytes  *obs.Gauge     // store_journal_bytes (current journal length)
+}
+
+// replayInfo remembers what OpenStore recovered, so the numbers can be
+// published when a collector is attached after the fact (replay happens
+// before any collector can exist on a fresh store handle).
+type replayInfo struct {
+	records int64
+	bytes   int64
+	dur     time.Duration
+}
+
+// SetCollector attaches (or, with nil, detaches) a metrics collector to
+// the store and to its in-memory forest. The journal replay that OpenStore
+// performed is published into the replay metrics on first attach. Attach a
+// collector once per store handle; re-attaching the same collector would
+// re-publish the replay numbers.
+func (s *Store) SetCollector(c *obs.Collector) {
+	s.forest.SetCollector(c)
+	if c == nil {
+		s.obs.Store(nil)
+		return
+	}
+	m := &storeMetrics{
+		col:           c,
+		appends:       c.Counter("store_journal_appends"),
+		appendBytes:   c.Counter("store_journal_append_bytes"),
+		appendNS:      c.Histogram("store_journal_append_ns"),
+		replays:       c.Counter("store_journal_replays"),
+		replayRecords: c.Counter("store_journal_replay_records"),
+		replayBytes:   c.Counter("store_journal_replay_bytes"),
+		replayNS:      c.Histogram("store_journal_replay_ns"),
+		compactions:   c.Counter("store_compactions"),
+		compactNS:     c.Histogram("store_compact_ns"),
+		snapshotBytes: c.Gauge("store_snapshot_bytes"),
+		journalBytes:  c.Gauge("store_journal_bytes"),
+	}
+	if s.replayed.records > 0 || s.replayed.bytes > 0 {
+		m.replays.Inc()
+		m.replayRecords.Add(s.replayed.records)
+		m.replayBytes.Add(s.replayed.bytes)
+		m.replayNS.Observe(s.replayed.dur.Nanoseconds())
+		c.Event("journal replayed",
+			"path", s.path,
+			"records", s.replayed.records,
+			"bytes", s.replayed.bytes,
+			"dur", s.replayed.dur)
+	}
+	if n, err := s.JournalSize(); err == nil {
+		m.journalBytes.Set(n)
+	}
+	s.obs.Store(m)
+}
+
+// Collector returns the attached collector, or nil.
+func (s *Store) Collector() *obs.Collector {
+	if m := s.obs.Load(); m != nil {
+		return m.col
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"pqgram/internal/forest"
+	"pqgram/internal/gen"
+	"pqgram/internal/obs"
+	"pqgram/internal/profile"
+)
+
+// runInstrumentedWorkload drives one store through a fixed add/lookup/
+// update/compact sequence, optionally with a collector attached, and
+// returns the store for further inspection. The workload is deterministic
+// so two runs are comparable byte-for-byte.
+func runInstrumentedWorkload(t *testing.T, path string, col *obs.Collector) *Store {
+	t.Helper()
+	s, err := CreateStore(path, p33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col != nil {
+		s.SetCollector(col)
+	}
+	docs := make([]*forest.Doc, 3)
+	for i := range docs {
+		d := gen.XMark(int64(10+i), 200)
+		if err := s.Add([]string{"a", "b", "c"}[i], d); err != nil {
+			t.Fatal(err)
+		}
+		docs[i] = &forest.Doc{ID: []string{"a", "b", "c"}[i], Tree: d}
+	}
+	q := gen.XMark(10, 200)
+	s.Forest().Lookup(q, 0.6)
+	s.Forest().Lookup(q, 0.9)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2; i++ {
+		_, log, err := gen.RandomScript(rng, docs[i].Tree, 5, gen.DefaultMix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Update(docs[i].ID, docs[i].Tree, log); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestMetricDeltas drives an instrumented store through a known op sequence
+// and checks the counters record exactly those operations, including the
+// replay metrics published when a collector attaches to a reopened store.
+func TestMetricDeltas(t *testing.T) {
+	profile.SetCollector(nil)
+	col := obs.NewCollector()
+	profile.SetCollector(col)
+	t.Cleanup(func() { profile.SetCollector(nil) })
+
+	path := filepath.Join(t.TempDir(), "idx.pqg")
+	s := runInstrumentedWorkload(t, path, col)
+
+	want := map[string]int64{
+		"forest_adds":           3,
+		"forest_lookups":        2,
+		"forest_updates":        2,
+		"store_journal_appends": 5, // 3 adds + 2 updates; Compact rewrites the base instead
+		"store_compactions":     1,
+	}
+	snap := col.Snapshot()
+	for name, v := range want {
+		if got := snap.Counters[name]; got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+	// Every add and update builds a pq-gram profile through the global hook.
+	if got := snap.Counters["profile_builds"]; got < 5 {
+		t.Errorf("profile_builds = %d, want >= 5", got)
+	}
+	if h, ok := snap.Histograms["forest_lookup_ns"]; !ok || h.Count != 2 {
+		t.Errorf("forest_lookup_ns count = %+v, want 2 samples", h)
+	}
+	if snap.Counters["store_journal_replays"] != 0 {
+		t.Errorf("unexpected replay on a freshly created store")
+	}
+	// Stripe-load is a computed metric, registered at SetCollector time.
+	if _, ok := snap.Values["forest_stripe_load"]; !ok {
+		t.Error("forest_stripe_load missing from snapshot values")
+	}
+
+	// One post-compaction update, then reopen: the replay of that single
+	// journal record must be published when the new collector attaches.
+	// Doc "c" was never updated above, so its live tree is still gen.XMark(12).
+	rng := rand.New(rand.NewSource(8))
+	c := gen.XMark(12, 200)
+	_, log, err := gen.RandomScript(rng, c, 3, gen.DefaultMix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Update("c", c, log); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	col2 := obs.NewCollector()
+	s2.SetCollector(col2)
+	snap2 := col2.Snapshot()
+	if got := snap2.Counters["store_journal_replays"]; got != 1 {
+		t.Errorf("store_journal_replays = %d, want 1", got)
+	}
+	if got := snap2.Counters["store_journal_replay_records"]; got != 1 {
+		t.Errorf("store_journal_replay_records = %d, want 1", got)
+	}
+	if got := snap2.Counters["store_journal_replay_bytes"]; got <= 0 {
+		t.Errorf("store_journal_replay_bytes = %d, want > 0", got)
+	}
+}
+
+// TestMetricsDifferentialSnapshot is the differential guarantee of the
+// instrumentation layer: running the identical workload with metrics on and
+// with metrics off must produce byte-identical index snapshots. Observation
+// may never change what is observed.
+func TestMetricsDifferentialSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	plain := runInstrumentedWorkload(t, filepath.Join(dir, "plain.pqg"), nil)
+	defer plain.Close()
+	instr := runInstrumentedWorkload(t, filepath.Join(dir, "instr.pqg"), obs.NewCollector())
+	defer instr.Close()
+
+	var a, b bytes.Buffer
+	if err := Save(&a, plain.Forest()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(&b, instr.Forest()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("snapshots diverge with metrics enabled: %d vs %d bytes", a.Len(), b.Len())
+	}
+}
