@@ -26,6 +26,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseOp -fuzztime=$(FUZZTIME) ./internal/edit
 	$(GO) test -run='^$$' -fuzz=FuzzReadLog -fuzztime=$(FUZZTIME) ./internal/edit
 	$(GO) test -run='^$$' -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) ./internal/store
+	$(GO) test -run='^$$' -fuzz=FuzzJournalReplay -fuzztime=$(FUZZTIME) ./internal/store
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/tree
 
 bench:

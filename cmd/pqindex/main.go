@@ -111,9 +111,30 @@ func runVerify(args []string) error {
 	if err := st.Forest().SelfCheck(); err != nil {
 		return err
 	}
+	printRecovery(st.Recovery())
 	fmt.Printf("ok: %d trees, %d pq-grams, postings consistent\n",
 		st.Forest().Len(), st.Forest().Size())
 	return nil
+}
+
+// printRecovery reports what OpenStore had to repair; silent when the
+// journal was clean so healthy runs stay noise-free.
+func printRecovery(r pqgram.RecoveryInfo) {
+	if r.Records > 0 {
+		fmt.Printf("recovery: replayed %d journal records (%d bytes)\n", r.Records, r.Bytes)
+	}
+	if r.TornBytes > 0 {
+		fmt.Printf("recovery: dropped %d torn trailing bytes (interrupted append)\n", r.TornBytes)
+	}
+	if r.SkippedRecords > 0 {
+		fmt.Printf("recovery: skipped %d records with failed checksums\n", r.SkippedRecords)
+	}
+	if r.StaleJournal {
+		fmt.Printf("recovery: discarded stale journal (%d bytes already compacted into the base)\n", r.DiscardedBytes)
+	}
+	if r.JournalReset {
+		fmt.Printf("recovery: reset unrecognized journal (%d bytes discarded)\n", r.DiscardedBytes)
+	}
 }
 
 func parseDoc(path string) (*pqgram.Tree, error) {
@@ -453,6 +474,7 @@ func runInfo(args []string) error {
 		return err
 	}
 	js, _ := st.JournalSize()
+	printRecovery(st.Recovery())
 	pr := f.Params()
 	fmt.Printf("parameters: p=%d q=%d\n", pr.P, pr.Q)
 	fmt.Printf("trees: %d, pq-grams: %d, snapshot: %d bytes, journal: %d bytes\n", f.Len(), f.Size(), sz, js)

@@ -48,6 +48,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	demo := flag.Bool("demo", false, "self-exercise the API and exit")
 	quiet := flag.Bool("quiet", false, "suppress per-request logging")
+	index := flag.String("index", "", "back the service with a persistent store at this path (journaled; survives restarts)")
+	syncWrites := flag.Bool("sync", false, "with -index: fsync every journaled mutation before acknowledging it")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -60,11 +62,41 @@ func main() {
 	// profiling metrics of query-index construction.
 	col := pqgram.NewCollector()
 	col.SetLogger(logger)
-	f := pqgram.NewForest(pqgram.DefaultParams)
-	f.SetCollector(col)
 	pqgram.SetProfileCollector(col)
 
+	// With -index, mutations are journaled through a durable store and the
+	// server answers queries from its recovered forest; without it the
+	// index lives only in memory.
+	var f *pqgram.Forest
+	var st *pqgram.Store
+	if *index != "" {
+		var err error
+		if _, serr := os.Stat(*index); os.IsNotExist(serr) {
+			st, err = pqgram.CreateStore(*index, pqgram.DefaultParams)
+		} else {
+			st, err = pqgram.OpenStore(*index)
+		}
+		if err != nil {
+			log.Fatalf("opening index %s: %v", *index, err)
+		}
+		defer st.Close()
+		st.SetSync(*syncWrites)
+		st.SetCollector(col)
+		r := st.Recovery()
+		logger.Info("index opened", "path", *index,
+			"docs", st.Forest().Len(),
+			"replayed_records", r.Records,
+			"torn_bytes", r.TornBytes,
+			"skipped_records", r.SkippedRecords,
+			"stale_journal", r.StaleJournal)
+		f = st.Forest()
+	} else {
+		f = pqgram.NewForest(pqgram.DefaultParams)
+		f.SetCollector(col)
+	}
+
 	srv := newServer(f, col, logger)
+	srv.store = st
 	if !*demo {
 		log.Printf("pq-gram index service listening on %s", *addr)
 		log.Fatal(http.ListenAndServe(*addr, srv))
@@ -79,10 +111,14 @@ func main() {
 // Put — no server-side locking needed.
 type server struct {
 	forest *pqgram.Forest
-	col    *pqgram.Collector
-	logger *slog.Logger
-	mux    *http.ServeMux
-	reqID  atomic.Int64
+	store  *pqgram.Store // non-nil: mutations are journaled before applying
+	// storeMu serializes store mutations: the forest is internally
+	// synchronized, but the journal is a single append stream.
+	storeMu sync.Mutex
+	col     *pqgram.Collector
+	logger  *slog.Logger
+	mux     *http.ServeMux
+	reqID   atomic.Int64
 }
 
 // expvarOnce guards the process-global expvar registration (Publish panics
@@ -183,11 +219,30 @@ func (s *server) handleDocs(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "bad document: %v", err)
 			return
 		}
-		grams := s.forest.Put(id, doc)
+		var grams int
+		if s.store != nil {
+			s.storeMu.Lock()
+			grams, err = s.store.Put(id, doc)
+			s.storeMu.Unlock()
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, "persisting: %v", err)
+				return
+			}
+		} else {
+			grams = s.forest.Put(id, doc)
+		}
 		writeJSON(w, map[string]any{"id": id, "nodes": doc.Size(),
 			"pqgrams": grams})
 	case http.MethodDelete:
-		if err := s.forest.Remove(id); err != nil {
+		var err error
+		if s.store != nil {
+			s.storeMu.Lock()
+			err = s.store.Remove(id)
+			s.storeMu.Unlock()
+		} else {
+			err = s.forest.Remove(id)
+		}
+		if err != nil {
 			httpError(w, http.StatusNotFound, "%v", err)
 			return
 		}
@@ -239,7 +294,14 @@ func (s *server) handleEdits(w http.ResponseWriter, r *http.Request, id string) 
 	}
 	ops = pqgram.OptimizeLog(tn, ops)
 
-	st, err := s.forest.Update(id, tn, ops)
+	var st pqgram.UpdateStats
+	if s.store != nil {
+		s.storeMu.Lock()
+		st, err = s.store.Update(id, tn, ops)
+		s.storeMu.Unlock()
+	} else {
+		st, err = s.forest.Update(id, tn, ops)
+	}
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "update failed: %v", err)
 		return

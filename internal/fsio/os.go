@@ -1,0 +1,46 @@
+package fsio
+
+import "os"
+
+// OS is the production filesystem: a direct passthrough to the os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) Stat(name string) (os.FileInfo, error) {
+	return os.Stat(name)
+}
+
+func (osFS) OpenDir(name string) (Dir, error) {
+	d, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return osDir{d}, nil
+}
+
+// osDir fsyncs a directory. On filesystems where fsync on a directory is
+// unsupported the kernel reports EINVAL/ENOTSUP; that error is returned
+// as-is so the caller can decide (the store treats it as best-effort).
+type osDir struct{ f *os.File }
+
+func (d osDir) Sync() error  { return d.f.Sync() }
+func (d osDir) Close() error { return d.f.Close() }

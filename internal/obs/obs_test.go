@@ -267,3 +267,23 @@ func TestCounterNames(t *testing.T) {
 		t.Errorf("Names = %s, want [a b c]", got)
 	}
 }
+
+// TestCounterDeltas: only moved counters appear in the delta, including
+// counters that did not exist in the earlier snapshot.
+func TestCounterDeltas(t *testing.T) {
+	r := obs.NewRegistry()
+	a, b := r.Counter("a"), r.Counter("b")
+	a.Add(3)
+	b.Add(1)
+	before := r.Snapshot()
+	a.Add(2)
+	r.Counter("c").Inc()
+	after := r.Snapshot()
+	got := fmt.Sprint(after.CounterDeltas(before))
+	if got != "map[a:2 c:1]" {
+		t.Errorf("CounterDeltas = %s, want map[a:2 c:1]", got)
+	}
+	if len((obs.Snapshot{}).CounterDeltas(before)) != 0 {
+		t.Error("empty snapshot should have no deltas")
+	}
+}

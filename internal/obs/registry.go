@@ -113,6 +113,20 @@ type Snapshot struct {
 	Values     map[string]any               `json:"values,omitempty"`
 }
 
+// CounterDeltas returns how much each counter grew from prev to s,
+// omitting counters that did not move (counters absent from prev count
+// from zero). Metric-delta tests use it to assert exactly which counters
+// an operation touched without depending on absolute values.
+func (s Snapshot) CounterDeltas(prev Snapshot) map[string]int64 {
+	out := make(map[string]int64)
+	for name, v := range s.Counters {
+		if d := v - prev.Counters[name]; d != 0 {
+			out[name] = d
+		}
+	}
+	return out
+}
+
 // Snapshot captures every metric. Computed metrics (RegisterFunc) are
 // evaluated without the registry lock held, so they may themselves read
 // instrumented structures.

@@ -1,0 +1,118 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pqgram/internal/fsio"
+	"pqgram/internal/gen"
+	"pqgram/internal/tree"
+)
+
+// fuzzReplayFixture builds one real store on a MemFS and returns its base
+// snapshot bytes and journal bytes. The journal's header names exactly that
+// base (via the snapshot crc32), so corpus entries derived from it exercise
+// the replay path proper, not just the header checks.
+func fuzzReplayFixture(f *testing.F) (base, wal []byte) {
+	f.Helper()
+	fs := fsio.NewMemFS()
+	s, err := CreateStoreFS(fs, "idx.pqg", p33)
+	if err != nil {
+		f.Fatal(err)
+	}
+	doc := gen.XMark(11, 80)
+	if err := s.Add("a", doc.Clone()); err != nil {
+		f.Fatal(err)
+	}
+	if err := s.Add("b", tree.MustParse("x(y z)")); err != nil {
+		f.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	_, log, err := gen.RandomScript(rng, doc, 5, gen.DefaultMix)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := s.Update("a", doc, log); err != nil {
+		f.Fatal(err)
+	}
+	if err := s.Remove("b"); err != nil {
+		f.Fatal(err)
+	}
+	s.Close()
+	base, err = fsio.ReadFile(fs, "idx.pqg")
+	if err != nil {
+		f.Fatal(err)
+	}
+	wal, err = fsio.ReadFile(fs, "idx.pqg.wal")
+	if err != nil {
+		f.Fatal(err)
+	}
+	return base, wal
+}
+
+// FuzzJournalReplay feeds arbitrary bytes as the journal of an otherwise
+// valid store. Invariants, regardless of input:
+//
+//   - scanRecords never panics and never claims more valid bytes than it
+//     was given; parsing a truncation of the input yields a prefix of the
+//     full parse (recovery is monotone in how much of the journal survived).
+//   - OpenStoreFS either fails with an error or returns a store whose
+//     forest passes SelfCheck — never a panic, never a corrupt index.
+//   - Both outcomes leave zero open file handles behind.
+func FuzzJournalReplay(f *testing.F) {
+	base, wal := fuzzReplayFixture(f)
+
+	f.Add(wal)                                    // the intact journal
+	f.Add(wal[:len(wal)-3])                       // torn final record
+	f.Add(wal[:journalHeaderLen])                 // header only
+	f.Add([]byte{})                               // journal never created
+	f.Add([]byte("PQGJ"))                         // torn header
+	f.Add([]byte("PQGJ\x01garbage-v1-journal"))   // pre-versioning journal
+	f.Add(append([]byte(nil), base[:9]...))       // base magic where a journal should be
+	stale := append([]byte(nil), wal...)
+	stale[5] ^= 0xff // wrong base crc in the header
+	f.Add(stale)
+	badcrc := append([]byte(nil), wal...)
+	badcrc[len(badcrc)-1] ^= 0xff // last record structurally fine, checksum bad
+	f.Add(badcrc)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, valid, _ := scanRecords(data)
+		if valid < 0 || valid > int64(len(data)) {
+			t.Fatalf("scanRecords claims %d valid bytes of %d", valid, len(data))
+		}
+		half, halfValid, _ := scanRecords(data[:len(data)/2])
+		if halfValid > valid || len(half) > len(recs) {
+			t.Fatalf("truncated scan found more than the full scan: %d/%d bytes, %d/%d records",
+				halfValid, valid, len(half), len(recs))
+		}
+		for i, r := range half {
+			if !bytes.Equal(r, recs[i]) {
+				t.Fatalf("truncated scan record %d differs from full scan", i)
+			}
+		}
+
+		mfs := fsio.NewMemFS()
+		if err := fsio.WriteFile(mfs, "idx.pqg", base, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := fsio.WriteFile(mfs, "idx.pqg.wal", data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := OpenStoreFS(mfs, "idx.pqg")
+		if err == nil {
+			if err := s.Forest().SelfCheck(); err != nil {
+				t.Fatalf("recovered forest fails self check: %v", err)
+			}
+			r := s.Recovery()
+			if r.Records < 0 || r.Bytes < 0 || r.TornBytes < 0 || r.DiscardedBytes < 0 {
+				t.Fatalf("negative recovery stats: %+v", r)
+			}
+			s.Close()
+		}
+		if n := mfs.OpenHandles(); n != 0 {
+			t.Fatalf("%d file handles leaked (open err: %v)", n, err)
+		}
+	})
+}

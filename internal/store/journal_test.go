@@ -131,7 +131,7 @@ func TestStoreCompact(t *testing.T) {
 		t.Fatal(err)
 	}
 	small, _ := s.JournalSize()
-	if small >= big || small != int64(len(journalMagic)) {
+	if small >= big || small != int64(journalHeaderLen) {
 		t.Fatalf("journal after compact = %d bytes (was %d)", small, big)
 	}
 	s.Close()

@@ -4,8 +4,6 @@
 package store
 
 import (
-	"time"
-
 	"pqgram/internal/obs"
 )
 
@@ -22,19 +20,18 @@ type storeMetrics struct {
 	replayBytes   *obs.Counter   // store_journal_replay_bytes
 	replayNS      *obs.Histogram // store_journal_replay_ns
 
+	// Recovery-anomaly counters: what OpenStore had to drop to get back
+	// to a consistent state. All zero on a clean reopen.
+	replayTorn      *obs.Counter // store_replay_torn_bytes
+	replaySkipped   *obs.Counter // store_replay_skipped_records
+	replayStale     *obs.Counter // store_replay_stale_discards
+	replayResets    *obs.Counter // store_replay_journal_resets
+	replayDiscarded *obs.Counter // store_replay_discarded_bytes
+
 	compactions   *obs.Counter   // store_compactions
 	compactNS     *obs.Histogram // store_compact_ns
 	snapshotBytes *obs.Gauge     // store_snapshot_bytes (size of the last base snapshot)
 	journalBytes  *obs.Gauge     // store_journal_bytes (current journal length)
-}
-
-// replayInfo remembers what OpenStore recovered, so the numbers can be
-// published when a collector is attached after the fact (replay happens
-// before any collector can exist on a fresh store handle).
-type replayInfo struct {
-	records int64
-	bytes   int64
-	dur     time.Duration
 }
 
 // SetCollector attaches (or, with nil, detaches) a metrics collector to
@@ -49,29 +46,47 @@ func (s *Store) SetCollector(c *obs.Collector) {
 		return
 	}
 	m := &storeMetrics{
-		col:           c,
-		appends:       c.Counter("store_journal_appends"),
-		appendBytes:   c.Counter("store_journal_append_bytes"),
-		appendNS:      c.Histogram("store_journal_append_ns"),
-		replays:       c.Counter("store_journal_replays"),
-		replayRecords: c.Counter("store_journal_replay_records"),
-		replayBytes:   c.Counter("store_journal_replay_bytes"),
-		replayNS:      c.Histogram("store_journal_replay_ns"),
-		compactions:   c.Counter("store_compactions"),
-		compactNS:     c.Histogram("store_compact_ns"),
-		snapshotBytes: c.Gauge("store_snapshot_bytes"),
-		journalBytes:  c.Gauge("store_journal_bytes"),
+		col:             c,
+		appends:         c.Counter("store_journal_appends"),
+		appendBytes:     c.Counter("store_journal_append_bytes"),
+		appendNS:        c.Histogram("store_journal_append_ns"),
+		replays:         c.Counter("store_journal_replays"),
+		replayRecords:   c.Counter("store_journal_replay_records"),
+		replayBytes:     c.Counter("store_journal_replay_bytes"),
+		replayNS:        c.Histogram("store_journal_replay_ns"),
+		replayTorn:      c.Counter("store_replay_torn_bytes"),
+		replaySkipped:   c.Counter("store_replay_skipped_records"),
+		replayStale:     c.Counter("store_replay_stale_discards"),
+		replayResets:    c.Counter("store_replay_journal_resets"),
+		replayDiscarded: c.Counter("store_replay_discarded_bytes"),
+		compactions:     c.Counter("store_compactions"),
+		compactNS:       c.Histogram("store_compact_ns"),
+		snapshotBytes:   c.Gauge("store_snapshot_bytes"),
+		journalBytes:    c.Gauge("store_journal_bytes"),
 	}
-	if s.replayed.records > 0 || s.replayed.bytes > 0 {
+	r := s.recovery
+	if r != (RecoveryInfo{}) {
 		m.replays.Inc()
-		m.replayRecords.Add(s.replayed.records)
-		m.replayBytes.Add(s.replayed.bytes)
-		m.replayNS.Observe(s.replayed.dur.Nanoseconds())
+		m.replayRecords.Add(r.Records)
+		m.replayBytes.Add(r.Bytes)
+		m.replayNS.Observe(r.Duration.Nanoseconds())
+		m.replayTorn.Add(r.TornBytes)
+		m.replaySkipped.Add(r.SkippedRecords)
+		m.replayDiscarded.Add(r.DiscardedBytes)
+		if r.StaleJournal {
+			m.replayStale.Inc()
+		}
+		if r.JournalReset {
+			m.replayResets.Inc()
+		}
 		c.Event("journal replayed",
 			"path", s.path,
-			"records", s.replayed.records,
-			"bytes", s.replayed.bytes,
-			"dur", s.replayed.dur)
+			"records", r.Records,
+			"bytes", r.Bytes,
+			"torn_bytes", r.TornBytes,
+			"skipped_records", r.SkippedRecords,
+			"stale", r.StaleJournal,
+			"dur", r.Duration)
 	}
 	if n, err := s.JournalSize(); err == nil {
 		m.journalBytes.Set(n)

@@ -7,9 +7,11 @@ import (
 	"testing"
 
 	"pqgram/internal/forest"
+	"pqgram/internal/fsio"
 	"pqgram/internal/gen"
 	"pqgram/internal/obs"
 	"pqgram/internal/profile"
+	"pqgram/internal/tree"
 )
 
 // runInstrumentedWorkload drives one store through a fixed add/lookup/
@@ -147,5 +149,113 @@ func TestMetricsDifferentialSnapshot(t *testing.T) {
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Fatalf("snapshots diverge with metrics enabled: %d vs %d bytes", a.Len(), b.Len())
+	}
+}
+
+// TestRecoveryMetricDeltas damages a store in each of the recoverable ways
+// and checks that attaching a collector after reopen publishes exactly the
+// matching anomaly counters.
+func TestRecoveryMetricDeltas(t *testing.T) {
+	build := func() *fsio.MemFS {
+		mem := fsio.NewMemFS()
+		s, err := CreateStoreFS(mem, "idx.pqg", p33)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Add("a", tree.MustParse("r(x y)")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Add("b", tree.MustParse("r(z w)")); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		return mem
+	}
+	mangleWal := func(mem *fsio.MemFS, f func(wal []byte) []byte) {
+		wal, err := fsio.ReadFile(mem, "idx.pqg.wal")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fsio.WriteFile(mem, "idx.pqg.wal", f(wal), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cases := []struct {
+		name    string
+		mangle  func(mem *fsio.MemFS)
+		want    map[string]int64 // counter -> exact delta
+		nonzero []string         // counter -> any positive delta
+	}{
+		{
+			name:    "torn-tail",
+			mangle:  func(mem *fsio.MemFS) { mangleWal(mem, func(w []byte) []byte { return w[:len(w)-3] }) },
+			want:    map[string]int64{"store_journal_replay_records": 1, "store_replay_skipped_records": 0},
+			nonzero: []string{"store_replay_torn_bytes"},
+		},
+		{
+			name: "checksum-mismatch",
+			mangle: func(mem *fsio.MemFS) {
+				mangleWal(mem, func(w []byte) []byte { w[len(w)-1] ^= 0xff; return w })
+			},
+			want:    map[string]int64{"store_journal_replay_records": 1, "store_replay_skipped_records": 1},
+			nonzero: []string{"store_replay_torn_bytes"},
+		},
+		{
+			name: "stale-journal-after-compact-crash",
+			mangle: func(mem *fsio.MemFS) {
+				// Advance the base without resetting the journal — the disk
+				// state a crash between Compact's two steps leaves behind.
+				f := forest.New(p33)
+				if err := f.Add("other", tree.MustParse("q(r)")); err != nil {
+					t.Fatal(err)
+				}
+				if err := SaveFileFS(mem, "idx.pqg", f); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want:    map[string]int64{"store_journal_replay_records": 0, "store_replay_stale_discards": 1},
+			nonzero: []string{"store_replay_discarded_bytes"},
+		},
+		{
+			name: "foreign-journal",
+			mangle: func(mem *fsio.MemFS) {
+				mangleWal(mem, func([]byte) []byte { return []byte("garbage!") })
+			},
+			want: map[string]int64{
+				"store_journal_replay_records": 0,
+				"store_replay_journal_resets":  1,
+				"store_replay_discarded_bytes": 8,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mem := build()
+			tc.mangle(mem)
+			s, err := OpenStoreFS(mem, "idx.pqg")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			col := obs.NewCollector()
+			before := col.Snapshot()
+			s.SetCollector(col)
+			deltas := col.Snapshot().CounterDeltas(before)
+			if deltas["store_journal_replays"] != 1 {
+				t.Fatalf("store_journal_replays delta = %d, want 1 (all: %v)",
+					deltas["store_journal_replays"], deltas)
+			}
+			for name, want := range tc.want {
+				if got := deltas[name]; got != want {
+					t.Errorf("%s delta = %d, want %d (all: %v)", name, got, want, deltas)
+				}
+			}
+			for _, name := range tc.nonzero {
+				if deltas[name] <= 0 {
+					t.Errorf("%s delta = %d, want > 0 (all: %v)", name, deltas[name], deltas)
+				}
+			}
+		})
 	}
 }

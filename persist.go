@@ -21,3 +21,9 @@ func CreateStore(path string, p Params) (*Store, error) {
 // OpenStore loads the base snapshot, replays the journal, and truncates
 // any torn tail left by a crash.
 func OpenStore(path string) (*Store, error) { return store.OpenStore(path) }
+
+// RecoveryInfo describes what OpenStore found and repaired while bringing
+// a store back: intact records replayed, torn or checksum-failed bytes
+// dropped, and whether a stale or foreign journal had to be discarded.
+// Available from Store.Recovery after an open.
+type RecoveryInfo = store.RecoveryInfo
