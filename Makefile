@@ -32,13 +32,16 @@ fuzz:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
-# One iteration of every benchmark: proves the bench harness still compiles
-# and runs, without measuring anything.
+# One iteration of every benchmark plus the pruning guard: proves the
+# bench harness still compiles and runs, and fails if the pruned planner
+# path regresses past 2x of the exhaustive one at any threshold.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
+	$(GO) run ./cmd/pqbench -exp pruning-smoke
 
 # Machine-readable perf snapshot: the instrumented micro suite of
-# cmd/pqbench, written as BENCH_pr2.json (ns/op per operation plus the
-# metric counters of the run).
+# cmd/pqbench plus the candidate-pruning threshold sweep, written as
+# BENCH_pr4.json (ns/op per operation, the metric counters of the run,
+# and the pruned-vs-exhaustive curve).
 bench-json:
-	$(GO) run ./cmd/pqbench -exp micro -n 400 -json BENCH_pr2.json
+	$(GO) run ./cmd/pqbench -exp micro -n 400 -json BENCH_pr4.json

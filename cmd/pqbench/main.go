@@ -13,6 +13,8 @@
 //	pqbench -exp ablate-index        # §8.1 anchor-index ablation
 //	pqbench -exp ablate-mix          # edit-mix ablation
 //	pqbench -exp ablate-pq           # (p,q) quality ablation
+//	pqbench -exp pruning             # candidate-pruning planner sweep
+//	pqbench -exp pruning-smoke       # CI guard: pruned must stay within 2x
 //	pqbench -exp micro               # instrumented end-to-end micro suite
 //
 // The -scale flag multiplies the default workload sizes (0.1 for a quick
@@ -56,6 +58,17 @@ func run(exp string, scale float64, n int, seed int64, jsonPath string) error {
 		}
 		return out
 	}
+	if exp == "pruning-smoke" {
+		// The CI guard: not part of -exp all, non-zero exit when the
+		// pruned planner path regresses past 2x of the exhaustive one.
+		res, err := bench.PruningSmoke(2)
+		if res != nil {
+			if perr := res.Print(os.Stdout); perr != nil {
+				return perr
+			}
+		}
+		return err
+	}
 	experiments := []struct {
 		name string
 		run  func() (*bench.Result, error)
@@ -84,6 +97,9 @@ func run(exp string, scale float64, n int, seed int64, jsonPath string) error {
 		{"ablate-pq", func() (*bench.Result, error) {
 			return bench.AblationPQ(s(150), 40), nil
 		}},
+		{"pruning", func() (*bench.Result, error) {
+			return firstErr(bench.Pruning(s(256), s(240000), 6, 3, bench.DefaultPruningTaus))
+		}},
 		{"micro", func() (*bench.Result, error) {
 			col := obs.NewCollector()
 			res, rep, err := bench.Micro(n, seed, col)
@@ -91,10 +107,21 @@ func run(exp string, scale float64, n int, seed int64, jsonPath string) error {
 				return nil, err
 			}
 			if jsonPath != "" {
+				// The machine-readable report also carries the pruning
+				// sweep, so one artifact records both the op timings and
+				// the planner's speedup curve.
+				pres, points, err := bench.Pruning(128, 120000, 6, 3, bench.DefaultPruningTaus)
+				if err != nil {
+					return nil, err
+				}
+				rep.Pruning = points
 				if err := rep.WriteFile(jsonPath); err != nil {
 					return nil, err
 				}
 				fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+				if err := pres.Print(os.Stdout); err != nil {
+					return nil, err
+				}
 			}
 			return res, nil
 		}},
@@ -116,4 +143,10 @@ func run(exp string, scale float64, n int, seed int64, jsonPath string) error {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	return nil
+}
+
+// firstErr adapts three-valued experiment runners (result, data, error) to
+// the (result, error) shape of the experiments table.
+func firstErr[T any](res *bench.Result, _ T, err error) (*bench.Result, error) {
+	return res, err
 }

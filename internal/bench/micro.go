@@ -23,21 +23,24 @@ type MicroOp struct {
 	NsPerOp float64 `json:"ns_per_op"`
 }
 
-// MicroReport is the machine-readable output of the micro suite: wall-clock
-// ns/op per operation plus the full metrics snapshot the instrumented run
-// produced. This is the artifact `make bench-json` writes (BENCH_pr2.json),
-// the first point of the repo's perf trajectory.
+// MicroReport is the machine-readable output of the micro suite:
+// wall-clock ns/op per operation, the full metrics snapshot the
+// instrumented run produced, and (since v2) the candidate-pruning
+// threshold sweep of pruning.go. This is the artifact `make bench-json`
+// writes (BENCH_pr2.json, then BENCH_pr4.json), the repo's perf
+// trajectory.
 type MicroReport struct {
-	Schema    string       `json:"schema"` // "pqgram/microbench/v1"
-	Timestamp string       `json:"timestamp"`
-	GoVersion string       `json:"go_version"`
-	GOOS      string       `json:"goos"`
-	GOARCH    string       `json:"goarch"`
-	NumCPU    int          `json:"num_cpu"`
-	Docs      int          `json:"docs"`
-	Seed      int64        `json:"seed"`
-	Ops       []MicroOp    `json:"ops"`
-	Metrics   obs.Snapshot `json:"metrics"`
+	Schema    string         `json:"schema"` // "pqgram/microbench/v2"
+	Timestamp string         `json:"timestamp"`
+	GoVersion string         `json:"go_version"`
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	NumCPU    int            `json:"num_cpu"`
+	Docs      int            `json:"docs"`
+	Seed      int64          `json:"seed"`
+	Ops       []MicroOp      `json:"ops"`
+	Metrics   obs.Snapshot   `json:"metrics"`
+	Pruning   []PruningPoint `json:"pruning,omitempty"` // pruned-vs-exhaustive lookup sweep
 }
 
 // WriteFile writes the report as indented JSON.
@@ -77,7 +80,7 @@ func Micro(docs int, seed int64, col *obs.Collector) (*Result, *MicroReport, err
 		docs = 4
 	}
 	rep := &MicroReport{
-		Schema:    "pqgram/microbench/v1",
+		Schema:    "pqgram/microbench/v2",
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"time"
+
+	"pqgram/internal/forest"
+	"pqgram/internal/gen"
+	"pqgram/internal/obs"
+	"pqgram/internal/profile"
+)
+
+// PruningPoint is one threshold of the candidate-pruning experiment:
+// wall-clock and planner-counter measurements of the same lookup batch on
+// the exhaustive and the pruned path. Per-lookup quantities are averages
+// over the batch.
+type PruningPoint struct {
+	Tau                float64 `json:"tau"`
+	Matches            int     `json:"matches"`              // per lookup
+	ExhaustiveNsPerOp  float64 `json:"exhaustive_ns_per_op"` //
+	PrunedNsPerOp      float64 `json:"pruned_ns_per_op"`     //
+	Speedup            float64 `json:"speedup"`              // exhaustive / pruned
+	ExhaustiveExamined float64 `json:"exhaustive_examined"`  // candidates per lookup
+	PrunedExamined     float64 `json:"pruned_examined"`      // candidates per lookup
+	PrunedSizeKills    float64 `json:"pruned_size_kills"`    // per lookup
+	PrunedAbandonKills float64 `json:"pruned_abandon_kills"` // per lookup
+}
+
+// Pruning regenerates the candidate-pruning experiment: an XMark-shaped
+// collection is queried with perturbed members across a threshold sweep,
+// once with the exhaustive planner and once with the pruned one. Both
+// paths must return identical results (the run errors out otherwise); the
+// recorded quantities are the lookup time, the number of candidate trees
+// examined, and the planner's kill counters, per threshold. This is the
+// experiment behind EXPERIMENTS.md §"Candidate pruning" and the pruning
+// section of the BENCH_pr4.json report.
+func Pruning(numDocs, totalNodes, queries, iters int, taus []float64) (*Result, []PruningPoint, error) {
+	if queries < 1 {
+		queries = 1
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	docs := gen.XMarkForest(baseSeed+53, numDocs, totalNodes)
+	f := forest.New(P33)
+	batch := make([]forest.Doc, len(docs))
+	for i, d := range docs {
+		batch[i] = forest.Doc{ID: fmt.Sprintf("doc-%04d", i), Tree: d}
+	}
+	if err := f.AddAll(batch, 0); err != nil {
+		return nil, nil, err
+	}
+	col := obs.NewCollector()
+	f.SetCollector(col)
+	defer f.SetCollector(nil)
+	defer f.SetPlanMode(forest.PlanAuto)
+
+	rng := rand.New(rand.NewSource(baseSeed + 59))
+	qs := make([]profile.Index, queries)
+	for i := range qs {
+		q, _, err := gen.Perturb(rng, docs[(i*len(docs))/queries], 8, gen.DefaultMix)
+		if err != nil {
+			return nil, nil, err
+		}
+		qs[i] = profile.BuildIndex(q, P33)
+	}
+	ops := float64(iters * queries)
+
+	run := func(mode forest.PlanMode, tau float64) (float64, map[string]int64, [][]forest.Match) {
+		f.SetPlanMode(mode)
+		before := col.Snapshot()
+		var res [][]forest.Match
+		t0 := time.Now()
+		for it := 0; it < iters; it++ {
+			res = res[:0]
+			for _, q := range qs {
+				res = append(res, f.LookupIndex(q, tau))
+			}
+		}
+		elapsed := time.Since(t0)
+		return float64(elapsed.Nanoseconds()) / ops, col.Snapshot().CounterDeltas(before), res
+	}
+
+	res := &Result{
+		Title: "Candidate pruning: threshold-aware planner vs exhaustive lookup",
+		Comment: fmt.Sprintf("%d XMark-shaped docs (~%d total nodes), %d perturbed-member queries x %d iterations per point",
+			len(docs), totalNodes, queries, iters),
+		Header: []string{"exhaustive", "pruned", "speedup", "cand(ex)", "cand(pr)", "size-kills", "abandons", "matches"},
+	}
+	points := make([]PruningPoint, 0, len(taus))
+	for _, tau := range taus {
+		exNS, exD, exRes := run(forest.PlanExhaustive, tau)
+		prNS, prD, prRes := run(forest.PlanPruned, tau)
+		if !reflect.DeepEqual(exRes, prRes) {
+			return nil, nil, fmt.Errorf("pruned and exhaustive lookups disagree at tau=%g", tau)
+		}
+		matches := 0
+		for _, r := range exRes {
+			matches += len(r)
+		}
+		pt := PruningPoint{
+			Tau:                tau,
+			Matches:            matches / len(exRes),
+			ExhaustiveNsPerOp:  exNS,
+			PrunedNsPerOp:      prNS,
+			Speedup:            exNS / prNS,
+			ExhaustiveExamined: float64(exD["forest_lookup_candidates_examined"]) / ops,
+			PrunedExamined:     float64(prD["forest_lookup_candidates_examined"]) / ops,
+			PrunedSizeKills:    float64(prD["forest_lookup_pruned_size"]) / ops,
+			PrunedAbandonKills: float64(prD["forest_lookup_pruned_abandon"]) / ops,
+		}
+		points = append(points, pt)
+		res.Rows = append(res.Rows, Row{
+			Label: fmt.Sprintf("tau=%.2f", tau),
+			Values: []string{
+				ms(time.Duration(exNS)), ms(time.Duration(prNS)),
+				fmt.Sprintf("%.1fx", pt.Speedup),
+				fmt.Sprintf("%.0f", pt.ExhaustiveExamined),
+				fmt.Sprintf("%.0f", pt.PrunedExamined),
+				fmt.Sprintf("%.0f", pt.PrunedSizeKills),
+				fmt.Sprintf("%.0f", pt.PrunedAbandonKills),
+				fmt.Sprintf("%d", pt.Matches),
+			},
+		})
+	}
+	if cross := PruningCrossover(points); cross > 0 {
+		res.Comment += fmt.Sprintf("; pruned path faster up to tau=%.2f", cross)
+	}
+	return res, points, nil
+}
+
+// PruningCrossover returns the largest measured tau for which the pruned
+// path was at least as fast as the exhaustive one, or 0 if it never was.
+func PruningCrossover(points []PruningPoint) float64 {
+	cross := 0.0
+	for _, p := range points {
+		if p.Speedup >= 1 && p.Tau > cross {
+			cross = p.Tau
+		}
+	}
+	return cross
+}
+
+// DefaultPruningTaus is the threshold sweep of the pruning experiment.
+var DefaultPruningTaus = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+
+// PruningSmoke is the CI guard: a reduced sweep that fails if the pruned
+// path is ever slower than the exhaustive one by more than maxRatio at any
+// threshold, or if it ever examines more candidates. It exists so a
+// planner regression (a bound that stops pruning, a scratch pool that
+// stops pooling) breaks `make check` instead of silently rotting.
+func PruningSmoke(maxRatio float64) (*Result, error) {
+	res, points, err := Pruning(96, 64000, 4, 3, DefaultPruningTaus)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range points {
+		if p.PrunedNsPerOp > maxRatio*p.ExhaustiveNsPerOp {
+			return res, fmt.Errorf("pruned lookup %.1fx slower than exhaustive at tau=%.2f (limit %.1fx)",
+				p.PrunedNsPerOp/p.ExhaustiveNsPerOp, p.Tau, maxRatio)
+		}
+		if p.PrunedExamined > p.ExhaustiveExamined {
+			return res, fmt.Errorf("pruned lookup examined %.0f candidates, exhaustive %.0f at tau=%.2f",
+				p.PrunedExamined, p.ExhaustiveExamined, p.Tau)
+		}
+	}
+	return res, nil
+}

@@ -103,6 +103,10 @@ type Index struct {
 	// observed (the default). Hot paths load it once at entry; see
 	// metrics.go.
 	obs atomic.Pointer[metrics]
+
+	// plan is the query-planning mode (PlanMode); see planner.go. The
+	// zero value is PlanAuto.
+	plan atomic.Int32
 }
 
 // New creates an empty forest index with the given pq-gram parameters.
@@ -445,7 +449,11 @@ func (f *Index) Lookup(query *tree.Tree, tau float64) []Match {
 	return f.LookupIndex(profile.BuildIndex(query, f.pr), tau)
 }
 
-// LookupIndex is Lookup for a precomputed query index.
+// LookupIndex is Lookup for a precomputed query index. The candidate
+// strategy is a planner decision (see PlanMode in planner.go): by default
+// the threshold-aware pruned path handles queries it can provably answer
+// identically, and the exhaustive overlap accumulation covers the rest
+// (τ ≥ 1, empty query bags, tiny collections).
 func (f *Index) LookupIndex(q profile.Index, tau float64) []Match {
 	m := f.obs.Load()
 	var t0 time.Time
@@ -455,29 +463,50 @@ func (f *Index) LookupIndex(q profile.Index, tau float64) []Match {
 	qSize := q.Size()
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	overlaps := f.overlapsLocked(q)
 	var out []Match
-	if tau > 1 {
+	switch {
+	case tau > 1:
 		// Trees sharing no pq-gram (distance exactly 1) can qualify only
 		// for thresholds above 1; scan the whole forest then.
+		overlaps := f.overlapsLocked(q)
+		if m != nil {
+			m.lookupCandidates.Add(int64(len(overlaps)))
+		}
 		for id, e := range f.trees {
 			if d := distanceFrom(qSize, int(e.size.Load()), overlaps[id]); d < tau {
 				out = append(out, Match{TreeID: id, Distance: d})
 			}
 		}
-	} else {
-		for id, ov := range overlaps {
-			if d := distanceFrom(qSize, int(f.trees[id].size.Load()), ov); d < tau {
-				out = append(out, Match{TreeID: id, Distance: d})
-			}
-		}
+		sortMatches(out)
+	case f.usePrunedLocked(qSize, tau):
+		out = f.lookupPrunedLocked(q, qSize, tau, m)
+	default:
+		out = f.lookupExhaustiveLocked(q, qSize, tau, m)
 	}
-	sortMatches(out)
 	if m != nil {
 		m.lookups.Inc()
 		m.lookupMatches.Add(int64(len(out)))
 		m.lookupNS.ObserveSince(t0)
 	}
+	return out
+}
+
+// lookupExhaustiveLocked accumulates the full overlap of every tree
+// sharing at least one tuple with the query and scores them all — the
+// reference lookup the pruned path must match. It requires f.mu held
+// (read suffices) and tau ≤ 1.
+func (f *Index) lookupExhaustiveLocked(q profile.Index, qSize int, tau float64, m *metrics) []Match {
+	overlaps := f.overlapsLocked(q)
+	if m != nil {
+		m.lookupCandidates.Add(int64(len(overlaps)))
+	}
+	var out []Match
+	for id, ov := range overlaps {
+		if d := distanceFrom(qSize, int(f.trees[id].size.Load()), ov); d < tau {
+			out = append(out, Match{TreeID: id, Distance: d})
+		}
+	}
+	sortMatches(out)
 	return out
 }
 
@@ -494,6 +523,9 @@ func (f *Index) LookupTop(query *tree.Tree, k int) []Match {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	overlaps := f.overlapsLocked(q)
+	if m != nil {
+		m.lookupCandidates.Add(int64(len(overlaps)))
+	}
 	out := make([]Match, 0, len(f.trees))
 	for id, e := range f.trees {
 		out = append(out, Match{TreeID: id, Distance: distanceFrom(qSize, int(e.size.Load()), overlaps[id])})
@@ -623,12 +655,11 @@ func (f *Index) DistanceTo(query *tree.Tree, id string) (float64, error) {
 	return q.Distance(e.idx), nil
 }
 
+// distanceFrom is the shared scoring expression; it delegates to
+// profile.DistanceFrom so the planner's pruning bounds provably evaluate
+// the exact formula the scoring path does.
 func distanceFrom(qSize, tSize, overlap int) float64 {
-	u := qSize + tSize
-	if u == 0 {
-		return 0
-	}
-	return 1 - 2*float64(overlap)/float64(u)
+	return profile.DistanceFrom(qSize, tSize, overlap)
 }
 
 func sortMatches(ms []Match) {

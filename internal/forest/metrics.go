@@ -3,6 +3,7 @@
 // pointer, so the uninstrumented fast path costs a single nil check per
 // operation and the instrumented path records through preresolved pointers
 // without touching the registry.
+
 package forest
 
 import (
@@ -22,6 +23,13 @@ type metrics struct {
 	lookupMatches *obs.Counter   // forest_lookup_matches
 	batchLookups  *obs.Counter   // forest_batch_lookups (LookupMany calls)
 
+	// Query-planner visibility (planner.go): how many candidate trees a
+	// lookup actually touched, and how many of those the bounds killed.
+	lookupCandidates    *obs.Counter // forest_lookup_candidates_examined
+	lookupPrunedSize    *obs.Counter // forest_lookup_pruned_size (size window)
+	lookupPrunedAbandon *obs.Counter // forest_lookup_pruned_abandon (overlap bound)
+	joinPrunedSize      *obs.Counter // forest_join_pruned_size (pair emissions skipped)
+
 	distOps *obs.Counter   // forest_dist_ops
 	distNS  *obs.Histogram // forest_dist_ns
 
@@ -34,11 +42,11 @@ type metrics struct {
 	updateGramsPlus  *obs.Counter   // forest_update_grams_plus
 	updateGramsMinus *obs.Counter   // forest_update_grams_minus
 
-	adds     *obs.Counter // forest_adds (trees added, incl. bulk)
-	removes  *obs.Counter // forest_removes
-	puts     *obs.Counter // forest_puts
-	bulkOps  *obs.Counter // forest_bulk_ops (AddAll/AddIndexes batches)
-	poolDepth *obs.Gauge  // forest_pool_depth (pending items in worker pools)
+	adds      *obs.Counter // forest_adds (trees added, incl. bulk)
+	removes   *obs.Counter // forest_removes
+	puts      *obs.Counter // forest_puts
+	bulkOps   *obs.Counter // forest_bulk_ops (AddAll/AddIndexes batches)
+	poolDepth *obs.Gauge   // forest_pool_depth (pending items in worker pools)
 }
 
 // SetCollector attaches (or, with nil, detaches) a metrics collector. It
@@ -54,25 +62,29 @@ func (f *Index) SetCollector(c *obs.Collector) {
 		return
 	}
 	m := &metrics{
-		col:              c,
-		lookups:          c.Counter("forest_lookups"),
-		lookupNS:         c.Histogram("forest_lookup_ns"),
-		lookupMatches:    c.Counter("forest_lookup_matches"),
-		batchLookups:     c.Counter("forest_batch_lookups"),
-		distOps:          c.Counter("forest_dist_ops"),
-		distNS:           c.Histogram("forest_dist_ns"),
-		joins:            c.Counter("forest_joins"),
-		joinNS:           c.Histogram("forest_join_ns"),
-		joinPairs:        c.Counter("forest_join_pairs"),
-		updates:          c.Counter("forest_updates"),
-		updateNS:         c.Histogram("forest_update_ns"),
-		updateGramsPlus:  c.Counter("forest_update_grams_plus"),
-		updateGramsMinus: c.Counter("forest_update_grams_minus"),
-		adds:             c.Counter("forest_adds"),
-		removes:          c.Counter("forest_removes"),
-		puts:             c.Counter("forest_puts"),
-		bulkOps:          c.Counter("forest_bulk_ops"),
-		poolDepth:        c.Gauge("forest_pool_depth"),
+		col:                 c,
+		lookups:             c.Counter("forest_lookups"),
+		lookupNS:            c.Histogram("forest_lookup_ns"),
+		lookupMatches:       c.Counter("forest_lookup_matches"),
+		batchLookups:        c.Counter("forest_batch_lookups"),
+		lookupCandidates:    c.Counter("forest_lookup_candidates_examined"),
+		lookupPrunedSize:    c.Counter("forest_lookup_pruned_size"),
+		lookupPrunedAbandon: c.Counter("forest_lookup_pruned_abandon"),
+		joinPrunedSize:      c.Counter("forest_join_pruned_size"),
+		distOps:             c.Counter("forest_dist_ops"),
+		distNS:              c.Histogram("forest_dist_ns"),
+		joins:               c.Counter("forest_joins"),
+		joinNS:              c.Histogram("forest_join_ns"),
+		joinPairs:           c.Counter("forest_join_pairs"),
+		updates:             c.Counter("forest_updates"),
+		updateNS:            c.Histogram("forest_update_ns"),
+		updateGramsPlus:     c.Counter("forest_update_grams_plus"),
+		updateGramsMinus:    c.Counter("forest_update_grams_minus"),
+		adds:                c.Counter("forest_adds"),
+		removes:             c.Counter("forest_removes"),
+		puts:                c.Counter("forest_puts"),
+		bulkOps:             c.Counter("forest_bulk_ops"),
+		poolDepth:           c.Gauge("forest_pool_depth"),
 	}
 	c.RegisterFunc("forest_stripe_load", f.StripeLoad)
 	f.obs.Store(m)

@@ -2,6 +2,7 @@
 // pool, a fan-out similarity join, and batched lookups. All of them are
 // deterministic — the same inputs produce identical results at any worker
 // count — so callers can scale with GOMAXPROCS without changing behavior.
+
 package forest
 
 import (
@@ -225,11 +226,13 @@ func (f *Index) SimilarityJoin(tau float64) []Pair {
 // (< 1 means GOMAXPROCS). The result is identical at every worker count.
 func (f *Index) SimilarityJoinWorkers(tau float64, workers int) (pairs []Pair) {
 	workers = normWorkers(workers)
+	var prunedPairs atomic.Int64
 	if m := f.obs.Load(); m != nil {
 		t0 := time.Now()
 		defer func() {
 			m.joins.Inc()
 			m.joinPairs.Add(int64(len(pairs)))
+			m.joinPrunedSize.Add(prunedPairs.Load())
 			m.joinNS.ObserveSince(t0)
 		}()
 	}
@@ -244,7 +247,14 @@ func (f *Index) SimilarityJoinWorkers(tau float64, workers int) (pairs []Pair) {
 	// reducers own disjoint pair partitions, merge the per-worker
 	// fragments and score them. Overlap counts are integers, so the
 	// grouping order cannot change any result.
+	//
+	// Unless the planner is PlanExhaustive, pair emission applies the
+	// size filter of planner.go: a pair whose bag sizes cannot be within
+	// tau even at maximal overlap never enters an accumulator. The filter
+	// evaluates the exact scoring expression, so the surviving pairs —
+	// and therefore the join result — are identical with it on or off.
 	type pairKey struct{ a, b string }
+	filter := f.PlanMode() != PlanExhaustive
 	sizes := make(map[string]int, len(f.trees))
 	for id, e := range f.trees {
 		sizes[id] = int(e.size.Load())
@@ -260,6 +270,8 @@ func (f *Index) SimilarityJoinWorkers(tau float64, workers int) (pairs []Pair) {
 	accumulate := func(from, stride int, emit func(part int, k pairKey, ov int)) {
 		var ids []string
 		var part []int
+		var szs []int
+		pruned := int64(0)
 		for si := from; si < numShards; si += stride {
 			s := &f.shards[si]
 			s.mu.RLock()
@@ -273,11 +285,23 @@ func (f *Index) SimilarityJoinWorkers(tau float64, workers int) (pairs []Pair) {
 				}
 				sort.Strings(ids)
 				part = part[:0]
+				szs = szs[:0]
 				for _, id := range ids {
 					part = append(part, idPart(id, workers))
+					szs = append(szs, sizes[id])
 				}
 				for i := 0; i < len(ids); i++ {
 					for j := i + 1; j < len(ids); j++ {
+						if filter {
+							maxOv := szs[i]
+							if szs[j] < maxOv {
+								maxOv = szs[j]
+							}
+							if distanceFrom(szs[i], szs[j], maxOv) >= tau {
+								pruned++
+								continue
+							}
+						}
 						ov := m[ids[i]]
 						if c := m[ids[j]]; c < ov {
 							ov = c
@@ -288,6 +312,7 @@ func (f *Index) SimilarityJoinWorkers(tau float64, workers int) (pairs []Pair) {
 			}
 			s.mu.RUnlock()
 		}
+		prunedPairs.Add(pruned)
 	}
 	if workers == 1 {
 		// Serial fast path: one accumulator map, no shuffle.

@@ -1,0 +1,265 @@
+// Threshold-aware query planning for approximate lookups. The pq-gram
+// distance gives hard algebraic bounds (profile.SizeWindow and
+// profile.MinOverlap, derived from Definition 3): a candidate within
+// threshold τ of the query must have a bag size inside a window around the
+// query's, and must share at least o_min tuples with it. The pruned lookup
+// path exploits both instead of accumulating the full overlap of every
+// tree that shares even one posting:
+//
+//  1. Size filter — a candidate whose cached bag size falls outside the
+//     window is rejected the first time a posting mentions it, before any
+//     overlap is accumulated.
+//  2. Rare-first traversal with early abandon — the query's tuples are
+//     processed in ascending posting-list length; each candidate carries
+//     (overlap so far, most the remaining tuples could add) and is dropped
+//     the moment the sum falls below its o_min. Once the remaining tuples
+//     cannot carry any new candidate past the bound, candidate generation
+//     stops and the survivors are finished by probing their bags directly,
+//     skipping the longest posting lists entirely.
+//  3. Pooled scratch — the traversal state (tuple order, suffix bounds,
+//     candidate accumulators) is reused across lookups, so the pruned path
+//     allocates for the survivors, not for every posting it touches.
+//
+// Pruning decisions only ever evaluate the exact scoring expression
+// (profile.DistanceFrom) at integer boundaries, so the pruned path returns
+// byte-identical results to the exhaustive one; the differential tests in
+// planner_test.go hold it to that.
+
+package forest
+
+import (
+	"sort"
+	"sync"
+
+	"pqgram/internal/profile"
+)
+
+// PlanMode selects how Lookup, LookupMany and SimilarityJoin gather
+// candidates. The zero value PlanAuto is the default.
+type PlanMode int32
+
+const (
+	// PlanAuto picks the threshold-aware pruned path when the bounds can
+	// pay for themselves — τ < 1, a non-empty query index, and at least
+	// prunedMinTrees indexed — and the exhaustive path otherwise.
+	PlanAuto PlanMode = iota
+	// PlanExhaustive always accumulates the full overlap of every tree
+	// sharing at least one tuple with the query (the pre-planner
+	// behavior) and disables the join's size filter. Benchmarks and the
+	// differential tests use it as the reference path.
+	PlanExhaustive
+	// PlanPruned uses the threshold-aware path whenever it is sound
+	// (0 < τ ≤ 1 and a non-empty query index), regardless of collection
+	// size.
+	PlanPruned
+)
+
+// prunedMinTrees is the smallest collection for which PlanAuto chooses the
+// pruned path; below it the exhaustive accumulation is already cheap and
+// the planner's bound computations are pure overhead.
+const prunedMinTrees = 16
+
+// SetPlanMode selects the query-planning mode. It may be called at any
+// time, including concurrently with lookups; in-flight operations keep the
+// mode they observed at entry.
+func (f *Index) SetPlanMode(mode PlanMode) { f.plan.Store(int32(mode)) }
+
+// PlanMode returns the current query-planning mode.
+func (f *Index) PlanMode() PlanMode { return PlanMode(f.plan.Load()) }
+
+// usePrunedLocked is the planner decision for one lookup. It requires
+// f.mu held (read suffices). The pruned path is sound only for τ ≤ 1
+// (above that, trees sharing no tuple qualify and postings cannot
+// enumerate them) and a non-empty query bag.
+func (f *Index) usePrunedLocked(qSize int, tau float64) bool {
+	if tau <= 0 || tau > 1 || qSize == 0 {
+		return false
+	}
+	switch f.PlanMode() {
+	case PlanExhaustive:
+		return false
+	case PlanPruned:
+		return true
+	default:
+		return tau < 1 && len(f.trees) >= prunedMinTrees
+	}
+}
+
+// queryTuple is one distinct label-tuple of the query during a pruned
+// lookup: its multiplicity in the query bag and the length of its posting
+// list at planning time.
+type queryTuple struct {
+	lt      profile.LabelTuple
+	qc      int
+	listLen int
+}
+
+// candState is the pruned path's per-candidate accumulator. ov < 0 marks a
+// candidate that was rejected (size filter) or abandoned (overlap bound)
+// and must not be touched again.
+type candState struct {
+	ov   int // overlap accumulated so far; -1 = dead
+	need int // o_min for this candidate's size
+	size int // cached bag size at first touch
+}
+
+// lookupScratch is the pooled per-query traversal state of the pruned
+// path.
+type lookupScratch struct {
+	tuples  []queryTuple
+	suffix  []int
+	byShard [numShards][]int32
+	cands   map[string]candState
+}
+
+var scratchPool = sync.Pool{
+	New: func() any { return &lookupScratch{cands: make(map[string]candState)} },
+}
+
+func (sc *lookupScratch) release() {
+	sc.tuples = sc.tuples[:0]
+	sc.suffix = sc.suffix[:0]
+	for i := range sc.byShard {
+		sc.byShard[i] = sc.byShard[i][:0]
+	}
+	clear(sc.cands)
+	scratchPool.Put(sc)
+}
+
+// lookupPrunedLocked is the threshold-aware lookup. It requires f.mu held
+// (read suffices) and 0 < tau ≤ 1, qSize > 0. The result is identical to
+// lookupExhaustiveLocked on the same index state.
+func (f *Index) lookupPrunedLocked(q profile.Index, qSize int, tau float64, m *metrics) []Match {
+	sc := scratchPool.Get().(*lookupScratch)
+	defer sc.release()
+
+	for lt, qc := range q {
+		sc.tuples = append(sc.tuples, queryTuple{lt: lt, qc: qc})
+	}
+	// Read every posting-list length, one stripe lock per touched stripe.
+	for i := range sc.tuples {
+		si := sc.tuples[i].lt.Shard(shardBits)
+		sc.byShard[si] = append(sc.byShard[si], int32(i))
+	}
+	for si := range sc.byShard {
+		if len(sc.byShard[si]) == 0 {
+			continue
+		}
+		s := &f.shards[si]
+		s.mu.RLock()
+		for _, ti := range sc.byShard[si] {
+			sc.tuples[ti].listLen = len(s.postings[sc.tuples[ti].lt])
+		}
+		s.mu.RUnlock()
+	}
+	// Rare first: ascending posting-list length, ties broken by tuple
+	// value so the traversal order is deterministic.
+	sort.Slice(sc.tuples, func(i, j int) bool {
+		if sc.tuples[i].listLen != sc.tuples[j].listLen {
+			return sc.tuples[i].listLen < sc.tuples[j].listLen
+		}
+		return sc.tuples[i].lt < sc.tuples[j].lt
+	})
+	// suffix[i] = the most overlap tuples i.. could still contribute.
+	n := len(sc.tuples)
+	if cap(sc.suffix) < n+1 {
+		sc.suffix = make([]int, n+1)
+	} else {
+		sc.suffix = sc.suffix[:n+1]
+	}
+	sc.suffix[n] = 0
+	for i := n - 1; i >= 0; i-- {
+		sc.suffix[i] = sc.suffix[i+1] + sc.tuples[i].qc
+	}
+
+	sizeLo, sizeHi := profile.SizeWindow(qSize, tau)
+	// The loosest per-candidate bound over the window; once the remaining
+	// tuples cannot reach even this, no new candidate can qualify.
+	needMin := profile.MinOverlap(qSize, sizeLo, tau)
+	var examined, prunedSize, prunedAbandon int64
+
+	// Phase 1 — candidate generation over the rarest posting lists.
+	verifyFrom := n
+	for i := 0; i < n; i++ {
+		if sc.suffix[i] < needMin {
+			verifyFrom = i
+			break
+		}
+		t := &sc.tuples[i]
+		if t.listLen == 0 {
+			continue
+		}
+		s := f.shardOf(t.lt)
+		s.mu.RLock()
+		for id, c := range s.postings[t.lt] {
+			st, seen := sc.cands[id]
+			if seen && st.ov < 0 {
+				continue
+			}
+			if !seen {
+				size := int(f.trees[id].size.Load())
+				if size < sizeLo || size > sizeHi {
+					sc.cands[id] = candState{ov: -1}
+					prunedSize++
+					continue
+				}
+				st = candState{size: size, need: profile.MinOverlap(qSize, size, tau)}
+			}
+			if c > t.qc {
+				c = t.qc
+			}
+			st.ov += c
+			if st.ov+sc.suffix[i+1] < st.need {
+				st.ov = -1
+				prunedAbandon++
+			}
+			sc.cands[id] = st
+		}
+		s.mu.RUnlock()
+	}
+
+	// Phase 2 — finish the survivors against their bags, skipping the
+	// longest posting lists; abandon as soon as the bound closes.
+	var out []Match
+	for id, st := range sc.cands {
+		if st.ov < 0 {
+			continue
+		}
+		ov := st.ov
+		if verifyFrom < n {
+			e := f.trees[id]
+			e.mu.RLock()
+			for j := verifyFrom; j < n; j++ {
+				if ov+sc.suffix[j] < st.need {
+					ov = -1
+					break
+				}
+				if c := e.idx[sc.tuples[j].lt]; c > 0 {
+					if c > sc.tuples[j].qc {
+						c = sc.tuples[j].qc
+					}
+					ov += c
+				}
+			}
+			e.mu.RUnlock()
+			if ov < 0 {
+				prunedAbandon++
+				continue
+			}
+		}
+		// Only candidates that make it here are fully scored; size-killed
+		// and abandoned ones land in their own counters, so the three
+		// buckets partition every candidate the traversal touched.
+		examined++
+		if d := distanceFrom(qSize, st.size, ov); d < tau {
+			out = append(out, Match{TreeID: id, Distance: d})
+		}
+	}
+	sortMatches(out)
+	if m != nil {
+		m.lookupCandidates.Add(examined)
+		m.lookupPrunedSize.Add(prunedSize)
+		m.lookupPrunedAbandon.Add(prunedAbandon)
+	}
+	return out
+}

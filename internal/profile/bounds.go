@@ -1,0 +1,140 @@
+package profile
+
+import "math"
+
+// Threshold bounds derived from the pq-gram distance (Definition 3):
+//
+//	dist(T, T') = 1 − 2·|I ∩ I'| / (|I| + |I'|)
+//
+// For a fixed threshold τ the formula is a hard algebraic filter: a
+// candidate can satisfy dist < τ only if its bag size lies in a window
+// around the query's, and only if the bag overlap reaches a minimum that
+// grows with the combined size. Lookup planners use these bounds to skip
+// candidates before — or while — accumulating their overlap.
+//
+// Every function here decides feasibility by evaluating DistanceFrom, the
+// exact expression the scoring path evaluates, so a candidate pruned by a
+// bound is provably one the exhaustive path would have rejected: the float
+// estimates only seed the search, the boundaries are fixed up against the
+// real formula. That is what makes pruned and exhaustive lookups
+// byte-identical.
+
+// DistanceFrom computes the pq-gram distance from the two bag sizes and
+// the bag overlap, without materializing either bag:
+//
+//	1 − 2·overlap / (size1 + size2)
+//
+// It is the single scoring expression shared by the forest's lookup, join
+// and planner bounds; Index.Distance agrees with it by construction. Two
+// empty bags have distance 0.
+func DistanceFrom(size1, size2, overlap int) float64 {
+	u := size1 + size2
+	if u == 0 {
+		return 0
+	}
+	return 1 - 2*float64(overlap)/float64(u)
+}
+
+// maxOverlap is the largest overlap two bags of the given sizes can have.
+func maxOverlap(size1, size2 int) int {
+	if size1 < size2 {
+		return size1
+	}
+	return size2
+}
+
+// sizeFeasible reports whether a candidate bag of size t can possibly be
+// within distance tau of a query bag of size q: the best case is full
+// containment of the smaller bag, overlap = min(q, t).
+func sizeFeasible(q, t int, tau float64) bool {
+	return DistanceFrom(q, t, maxOverlap(q, t)) < tau
+}
+
+// SizeWindow returns the inclusive range [lo, hi] of candidate bag sizes
+// |I'| that can be strictly within distance tau of a query bag of size
+// qSize. Candidates outside the window cannot qualify no matter how many
+// tuples they share. Algebraically (for 0 < τ < 1):
+//
+//	qSize·(1−τ)/(1+τ)  ≤  |I'|  ≤  qSize·(1+τ)/(1−τ)
+//
+// For τ ≥ 1 the upper bound is unbounded and hi is math.MaxInt. An empty
+// window is returned as lo > hi (e.g. τ ≤ 0, where no distance can be
+// strictly below the threshold). The boundaries are verified against
+// DistanceFrom, so the window is exact, not an estimate.
+func SizeWindow(qSize int, tau float64) (lo, hi int) {
+	if tau <= 0 {
+		return 1, 0
+	}
+	// Lower edge: distance at t ≤ qSize improves as t grows; find the
+	// smallest feasible t starting from the algebraic estimate.
+	lo = int(float64(qSize) * (1 - tau) / (1 + tau))
+	if lo < 0 {
+		lo = 0
+	}
+	for lo > 0 && sizeFeasible(qSize, lo-1, tau) {
+		lo--
+	}
+	for lo <= qSize && !sizeFeasible(qSize, lo, tau) {
+		lo++
+	}
+	// Upper edge: distance at t ≥ qSize worsens as t grows.
+	if tau >= 1 {
+		if !sizeFeasible(qSize, qSize+1, tau) {
+			// Only reachable for qSize = 0, τ = 1: a non-empty candidate
+			// is at distance exactly 1 from an empty query.
+			return lo, qSize
+		}
+		return lo, math.MaxInt
+	}
+	est := float64(qSize) * (1 + tau) / (1 - tau)
+	if est >= float64(math.MaxInt/2) {
+		// τ close enough to 1 that the algebraic bound overflows; an
+		// unbounded window is merely loose, never wrong.
+		return lo, math.MaxInt
+	}
+	hi = int(est) + 1
+	if hi < qSize {
+		hi = qSize
+	}
+	for sizeFeasible(qSize, hi+1, tau) {
+		hi++
+	}
+	for hi >= lo && !sizeFeasible(qSize, hi, tau) {
+		hi--
+	}
+	return lo, hi
+}
+
+// MinOverlap returns the smallest bag overlap o_min for which two bags of
+// the given sizes are strictly within distance tau — the pruning bound
+//
+//	o_min = ⌈(1−τ)·(|I| + |I'|)/2⌉ (adjusted to the strict inequality)
+//
+// A candidate whose achievable overlap (accumulated so far plus the most
+// the remaining tuples could add) falls below o_min can be abandoned. The
+// returned value may exceed min(size1, size2), in which case no overlap
+// qualifies at all. The boundary is verified against DistanceFrom.
+func MinOverlap(size1, size2 int, tau float64) int {
+	u := size1 + size2
+	if u == 0 {
+		// Two empty bags are at distance 0; they qualify iff 0 < tau.
+		if tau > 0 {
+			return 0
+		}
+		return 1
+	}
+	o := int(math.Ceil((1 - tau) * float64(u) / 2))
+	if o < 0 {
+		o = 0
+	}
+	if o > u {
+		o = u
+	}
+	for o > 0 && DistanceFrom(size1, size2, o-1) < tau {
+		o--
+	}
+	for o <= u && DistanceFrom(size1, size2, o) >= tau {
+		o++
+	}
+	return o
+}

@@ -1,0 +1,117 @@
+package profile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDistanceFromMatchesIndexDistance pins the shared scoring expression
+// to Index.Distance on random bags: the planner bounds are only sound if
+// both paths evaluate the identical formula.
+func TestDistanceFromMatchesIndexDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for it := 0; it < 500; it++ {
+		a := make(Index)
+		b := make(Index)
+		for i := 0; i < rng.Intn(40); i++ {
+			a[LabelTuple(rng.Intn(30))] += 1 + rng.Intn(3)
+		}
+		for i := 0; i < rng.Intn(40); i++ {
+			b[LabelTuple(rng.Intn(30))] += 1 + rng.Intn(3)
+		}
+		want := a.Distance(b)
+		got := DistanceFrom(a.Size(), b.Size(), a.IntersectSize(b))
+		if got != want {
+			t.Fatalf("DistanceFrom=%v, Index.Distance=%v (sizes %d,%d overlap %d)",
+				got, want, a.Size(), b.Size(), a.IntersectSize(b))
+		}
+	}
+}
+
+// bruteFeasible is the defining property of the size window: some overlap
+// (necessarily ≤ min of the sizes) puts the pair strictly below tau.
+func bruteFeasible(q, t int, tau float64) bool {
+	m := q
+	if t < m {
+		m = t
+	}
+	return DistanceFrom(q, t, m) < tau
+}
+
+// TestSizeWindowExact sweeps query sizes and thresholds and checks every
+// candidate size near the window edges against the brute-force criterion:
+// the window must contain exactly the feasible sizes.
+func TestSizeWindowExact(t *testing.T) {
+	taus := []float64{0.001, 0.1, 0.25, 1.0 / 3, 0.5, 0.7, 2.0 / 3, 0.9, 0.999, 1}
+	for _, tau := range taus {
+		for q := 0; q <= 120; q++ {
+			lo, hi := SizeWindow(q, tau)
+			limit := 4 * (q + 4)
+			for s := 0; s <= limit; s++ {
+				in := lo <= s && s <= hi
+				if want := bruteFeasible(q, s, tau); in != want {
+					t.Fatalf("SizeWindow(%d, %v)=[%d,%d]: size %d in-window=%v, feasible=%v",
+						q, tau, lo, hi, s, in, want)
+				}
+			}
+			// τ ≥ 1 admits arbitrarily large candidates — except the
+			// empty query at exactly τ = 1, where any non-empty
+			// candidate sits at distance exactly 1.
+			if tau >= 1 && q > 0 && hi != math.MaxInt {
+				t.Fatalf("SizeWindow(%d, %v) hi=%d, want unbounded", q, tau, hi)
+			}
+		}
+	}
+}
+
+// TestSizeWindowEmpty checks the degenerate thresholds: τ ≤ 0 admits
+// nothing (the distance is never negative), reported as lo > hi.
+func TestSizeWindowEmpty(t *testing.T) {
+	for _, tau := range []float64{-1, 0} {
+		if lo, hi := SizeWindow(50, tau); lo <= hi {
+			t.Fatalf("SizeWindow(50, %v)=[%d,%d], want empty", tau, lo, hi)
+		}
+	}
+}
+
+// TestMinOverlapExact checks o_min against the brute-force minimum on a
+// sweep of size pairs and thresholds: every overlap ≥ o_min scores below
+// tau, every overlap < o_min does not.
+func TestMinOverlapExact(t *testing.T) {
+	taus := []float64{0, 0.1, 0.25, 1.0 / 3, 0.5, 2.0 / 3, 0.9, 1}
+	for _, tau := range taus {
+		for a := 0; a <= 60; a++ {
+			for b := 0; b <= 60; b += 1 + a%3 {
+				need := MinOverlap(a, b, tau)
+				u := a + b
+				for ov := 0; ov <= u; ov++ {
+					below := DistanceFrom(a, b, ov) < tau
+					if below != (ov >= need) {
+						t.Fatalf("MinOverlap(%d,%d,%v)=%d: overlap %d below-tau=%v",
+							a, b, tau, need, ov, below)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMinOverlapMonotoneInSize pins the property the planner's phase-1
+// cutoff relies on: o_min never shrinks as the candidate size grows, so
+// the window's lower edge carries the loosest bound.
+func TestMinOverlapMonotoneInSize(t *testing.T) {
+	for _, tau := range []float64{0.1, 0.5, 0.9} {
+		for q := 1; q <= 80; q++ {
+			prev := -1
+			for s := 0; s <= 200; s++ {
+				need := MinOverlap(q, s, tau)
+				if need < prev {
+					t.Fatalf("MinOverlap(%d,%d,%v)=%d < MinOverlap at size %d (%d)",
+						q, s, tau, need, s-1, prev)
+				}
+				prev = need
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@
 // is package-global: SetCollector swaps an atomic pointer, and an
 // uninstrumented build costs one atomic load. Per-gram work is never
 // instrumented — the counters are fed once per build from the finished bag.
+
 package profile
 
 import (

@@ -1,6 +1,7 @@
 // Instrumentation of the durable store: journal append/replay/compaction
 // counts, bytes and latencies. Like the forest, metrics are opt-in through
 // a nil-safe collector resolved once into preallocated handles.
+
 package store
 
 import (
