@@ -1,15 +1,27 @@
-# Development targets. `make check` is the gate a change must pass: vet,
-# build, the full test suite under the race detector, a short fuzz pass
-# over every fuzz target (seed corpora plus FUZZTIME of generation), and a
+# Development targets. `make check` is the gate a change must pass:
+# formatting, vet, the pqlint invariant suite (see internal/lint), build,
+# the full test suite under the race detector, a short fuzz pass over
+# every fuzz target (seed corpora plus FUZZTIME of generation), and a
 # single-iteration sweep of every benchmark so perf code cannot silently
 # rot. Override the fuzz duration with e.g. `make check FUZZTIME=30s`.
 
 GO      ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet build test fuzz bench bench-smoke bench-json
+.PHONY: check fmt-check lint vet build test fuzz bench bench-smoke bench-json
 
-check: vet build test fuzz bench-smoke
+check: fmt-check vet lint build test fuzz bench-smoke
+
+# gofmt guard: fails listing the unformatted files instead of rewriting
+# them, so CI and `make check` reject what `gofmt -w` would change.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# The repository's own static-analysis suite: crash-safety, concurrency
+# and determinism invariants (ARCHITECTURE.md, "Enforced invariants").
+lint:
+	$(GO) run ./cmd/pqlint ./...
 
 vet:
 	$(GO) vet ./...

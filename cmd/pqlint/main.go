@@ -1,0 +1,162 @@
+// Command pqlint runs the repository's static-analysis suite: five
+// analyzers that enforce the crash-safety, concurrency and determinism
+// invariants the index's correctness arguments rest on (see internal/lint
+// and the "Enforced invariants" section of ARCHITECTURE.md). It is built
+// only on the standard library — the module keeps zero external
+// dependencies — and is the `make lint` gate of `make check` and CI.
+//
+// Usage:
+//
+//	pqlint [-only a,b] [-skip a,b] [-json] [-list] [packages...]
+//
+// Packages default to ./... relative to the enclosing module. The exit
+// code is 0 when the tree is clean, 1 when any finding is reported, and
+// 2 on usage or load errors. Findings on a line can be suppressed by a
+// //pqlint:allow <analyzer> comment on that line or the line above.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pqgram/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pqlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		only     = fs.String("only", "", "comma-separated analyzers to run (default: all)")
+		skip     = fs.String("skip", "", "comma-separated analyzers to skip")
+		jsonOut  = fs.Bool("json", false, "emit findings as a JSON array")
+		list     = fs.Bool("list", false, "list the analyzers and exit")
+		moduleDr = fs.String("C", ".", "directory whose enclosing module is linted")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: pqlint [flags] [packages...]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(stderr, "  %-20s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stderr, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*only, *skip)
+	if err != nil {
+		fmt.Fprintln(stderr, "pqlint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := lint.NewLoader(*moduleDr)
+	if err != nil {
+		fmt.Fprintln(stderr, "pqlint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "pqlint:", err)
+		return 2
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for i := range diags {
+		if rel, err := relTo(loader.ModuleDir, diags[i].File); err == nil {
+			diags[i].File = rel
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "pqlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(stdout, "pqlint: %d finding(s)\n", len(diags))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(only, skip string) ([]*lint.Analyzer, error) {
+	analyzers := lint.All()
+	if only != "" {
+		chosen, err := lint.ByName(splitNames(only))
+		if err != nil {
+			return nil, err
+		}
+		analyzers = chosen
+	}
+	if skip != "" {
+		skipped, err := lint.ByName(splitNames(skip))
+		if err != nil {
+			return nil, err
+		}
+		drop := make(map[string]bool)
+		for _, a := range skipped {
+			drop[a.Name] = true
+		}
+		kept := analyzers[:0:0]
+		for _, a := range analyzers {
+			if !drop[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+	if len(analyzers) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return analyzers, nil
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func relTo(base, path string) (string, error) {
+	rel, err := filepath.Rel(base, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path, fmt.Errorf("outside module")
+	}
+	return rel, nil
+}

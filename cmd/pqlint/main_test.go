@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pqgram/internal/lint"
+)
+
+// TestSelfLint is the gate the tree must hold: pqlint over the whole
+// module exits 0. Any invariant regression fails this test before it
+// fails CI.
+func TestSelfLint(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", "../..", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("pqlint ./... = exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, &out, &errb)
+	}
+}
+
+// TestFixtureFindings proves the driver reports findings with module-
+// relative file positions and a non-zero exit on a dirty package.
+func TestFixtureFindings(t *testing.T) {
+	const fixture = "./internal/lint/testdata/src/internal/store/errcheckfix"
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", "../..", "-json", fixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("pqlint %s = exit %d, want 1\nstderr:\n%s", fixture, code, &errb)
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("bad -json output: %v\n%s", err, &out)
+	}
+	if len(diags) != 5 {
+		t.Fatalf("got %d findings, want 5:\n%s", len(diags), &out)
+	}
+	const wantFile = "internal/lint/testdata/src/internal/store/errcheckfix/errcheckfix.go"
+	lastLine := 0
+	for _, d := range diags {
+		if d.Analyzer != "errcheck-durability" {
+			t.Errorf("finding by %q, want errcheck-durability", d.Analyzer)
+		}
+		if d.File != wantFile {
+			t.Errorf("finding in %q, want module-relative %q", d.File, wantFile)
+		}
+		if d.Line <= lastLine {
+			t.Errorf("findings not sorted by line: %d after %d", d.Line, lastLine)
+		}
+		lastLine = d.Line
+	}
+}
+
+// TestOnlySkipsOtherAnalyzers: with -only detcheck the errcheck fixture
+// is clean, so selection really restricts the run.
+func TestOnlySkipsOtherAnalyzers(t *testing.T) {
+	const fixture = "./internal/lint/testdata/src/internal/store/errcheckfix"
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", "../..", "-only", "detcheck", fixture}, &out, &errb); code != 0 {
+		t.Fatalf("pqlint -only detcheck %s = exit %d, want 0\nstdout:\n%s\nstderr:\n%s", fixture, code, &out, &errb)
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("pqlint -list = exit %d, want 0", code)
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing %q:\n%s", a.Name, &out)
+		}
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-only", "nosuch"}, &out, &errb); code != 2 {
+		t.Errorf("pqlint -only nosuch = exit %d, want 2", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-only", "fsiocheck", "-skip", "fsiocheck"}, &out, &errb); code != 2 {
+		t.Errorf("pqlint -only fsiocheck -skip fsiocheck = exit %d, want 2", code)
+	}
+}

@@ -262,6 +262,7 @@ func (f *Index) SimilarityJoinWorkers(tau float64, workers int) (pairs []Pair) {
 	score := func(total map[pairKey]int, out []Pair) []Pair {
 		for k, ov := range total {
 			if d := distanceFrom(sizes[k.a], sizes[k.b], ov); d < tau {
+				//pqlint:allow detcheck joinAllPairsLocked sortPairs-es the merged result before returning
 				out = append(out, Pair{A: k.a, B: k.b, Distance: d})
 			}
 		}

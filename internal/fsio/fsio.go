@@ -65,14 +65,22 @@ func Open(fsys FS, name string) (File, error) {
 	return fsys.OpenFile(name, os.O_RDONLY, 0)
 }
 
-// ReadFile reads the whole file, like os.ReadFile.
+// ReadFile reads the whole file, like os.ReadFile. A Close error is
+// reported even after a successful read: on the durability paths this
+// package serves, a failing handle is a signal the caller must see.
 func ReadFile(fsys FS, name string) ([]byte, error) {
 	f, err := Open(fsys, name)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return io.ReadAll(f)
+	data, err := io.ReadAll(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
 }
 
 // WriteFile replaces name with data, like os.WriteFile.

@@ -8,6 +8,7 @@ var OS FS = osFS{}
 type osFS struct{}
 
 func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	//pqlint:allow fsiocheck osFS is the one legitimate os passthrough
 	f, err := os.OpenFile(name, flag, perm)
 	if err != nil {
 		return nil, err
@@ -16,6 +17,7 @@ func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
 }
 
 func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	//pqlint:allow fsiocheck osFS is the one legitimate os passthrough
 	f, err := os.CreateTemp(dir, pattern)
 	if err != nil {
 		return nil, err
@@ -23,8 +25,8 @@ func (osFS) CreateTemp(dir, pattern string) (File, error) {
 	return f, nil
 }
 
-func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
-func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) } //pqlint:allow fsiocheck osFS is the one legitimate os passthrough
+func (osFS) Remove(name string) error             { return os.Remove(name) }             //pqlint:allow fsiocheck osFS is the one legitimate os passthrough
 func (osFS) Stat(name string) (os.FileInfo, error) {
 	return os.Stat(name)
 }

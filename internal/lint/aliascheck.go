@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AliasCheck enforces the no-aliasing contract of the exported index
+// surface (the PR 1 TreeIndex bug class): an exported function or method
+// of the index, profile, store or core packages must not return an
+// internal slice or map field directly. A caller mutating the returned
+// value would corrupt index state behind the locks, and a concurrent
+// reader would race with internal writers the locks no longer cover.
+var AliasCheck = &Analyzer{
+	Name: "aliascheck",
+	Doc:  "exported index/profile/store API must not return internal slice/map fields without copying",
+	Run:  runAliasCheck,
+}
+
+// aliasScopes are the packages whose exported API carries the contract.
+// internal/tree is deliberately out of scope: its Node accessors hand out
+// live structure by design — the tree is the mutable input, not index
+// state guarded by invariants.
+var aliasScopes = []string{
+	"internal/forest",
+	"internal/profile",
+	"internal/store",
+	"internal/core",
+}
+
+func runAliasCheck(p *Pass) {
+	inScope := p.Pkg.IsModuleRoot()
+	for _, s := range aliasScopes {
+		inScope = inScope || p.Pkg.Within(s)
+	}
+	if !inScope {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() || !receiverExported(fd) {
+				continue
+			}
+			checkReturns(p, fd)
+		}
+	}
+}
+
+// receiverExported reports whether the declaration is a plain function or
+// a method on an exported type — methods of unexported types are not
+// reachable API.
+func receiverExported(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+func checkReturns(p *Pass, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // returns inside belong to the closure
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			sel, ok := ast.Unparen(res).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			selection, ok := info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				continue
+			}
+			kind := ""
+			switch selection.Type().Underlying().(type) {
+			case *types.Slice:
+				kind = "slice"
+			case *types.Map:
+				kind = "map"
+			default:
+				continue
+			}
+			p.ReportHintf(res.Pos(),
+				"return a copy (append([]T(nil), x...), a Clone method, or rebuild the map) so callers cannot mutate index state through the alias",
+				"exported %s returns internal %s field %s without copying", fd.Name.Name, kind, types.ExprString(sel))
+		}
+		return true
+	})
+}

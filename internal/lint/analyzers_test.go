@@ -1,0 +1,39 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pqgram/internal/lint"
+	"pqgram/internal/lint/linttest"
+)
+
+// Each analyzer is checked against a fixture package whose directory
+// mirrors the real tree under testdata/src, so the path-segment scoping
+// (Package.Within) behaves exactly as it does on production packages.
+
+func TestFsioCheck(t *testing.T) {
+	linttest.Run(t, "testdata/src/internal/store/fsiofix", lint.FsioCheck)
+}
+
+func TestErrcheckDurability(t *testing.T) {
+	linttest.Run(t, "testdata/src/internal/store/errcheckfix", lint.ErrcheckDurability)
+}
+
+func TestObsCheck(t *testing.T) {
+	linttest.Run(t, "testdata/src/internal/forest/obsfix", lint.ObsCheck)
+}
+
+func TestDetCheck(t *testing.T) {
+	linttest.Run(t, "testdata/src/internal/forest/detfix", lint.DetCheck)
+}
+
+func TestAliasCheck(t *testing.T) {
+	linttest.Run(t, "testdata/src/internal/profile/aliasfix", lint.AliasCheck)
+}
+
+// TestAllowSemantics proves the escape hatch is honored on the comment's
+// own line and the next line only, that naming the wrong analyzer does
+// not suppress, and that unknown or missing names are findings.
+func TestAllowSemantics(t *testing.T) {
+	linttest.Run(t, "testdata/src/internal/store/allowfix", lint.ErrcheckDurability)
+}

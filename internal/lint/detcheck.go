@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetCheck enforces the determinism contract of results and encodings:
+// lookup/join results are byte-for-byte identical at any worker count and
+// every persisted encoding is canonical, so iterating a Go map (whose
+// order is deliberately randomized) may not feed a returned slice or an
+// output stream unless the data is sorted on the way. The two flagged
+// shapes are
+//
+//   - `for k := range m { out = append(out, ...) }` where out is returned
+//     and no sort call touches it afterwards, and
+//   - any write to an io.Writer-like destination from inside the body of
+//     a range over a map.
+//
+// The canonical fix is the collect-sort-emit pattern; order-insensitive
+// reductions (sums, map-to-map merges) are not flagged.
+var DetCheck = &Analyzer{
+	Name: "detcheck",
+	Doc:  "map iteration must not feed returned slices or output streams without a sort",
+	Run:  runDetCheck,
+}
+
+// detScopes: the result-producing packages and every codec that persists
+// bytes (the journal and snapshot writers live in internal/store).
+var detScopes = []string{
+	"internal/forest",
+	"internal/profile",
+	"internal/store",
+	"internal/edit",
+	"internal/jsonconv",
+	"internal/xmlconv",
+}
+
+func runDetCheck(p *Pass) {
+	inScope := false
+	for _, s := range detScopes {
+		inScope = inScope || p.Pkg.Within(s)
+	}
+	if !inScope {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFuncDeterminism(p, n.Body, n.Type)
+				}
+			case *ast.FuncLit:
+				checkFuncDeterminism(p, n.Body, n.Type)
+			}
+			return true
+		})
+	}
+}
+
+// checkFuncDeterminism inspects one function body (closures are handled
+// as their own functions and skipped here).
+func checkFuncDeterminism(p *Pass, body *ast.BlockStmt, ftype *ast.FuncType) {
+	info := p.Pkg.Info
+	returned := returnedVars(info, body, ftype)
+	inspectShallow(body, func(n ast.Node) {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		t := info.TypeOf(rng.X)
+		if t == nil {
+			return
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return
+		}
+		checkMapRangeBody(p, body, rng, returned)
+	})
+}
+
+// checkMapRangeBody flags nondeterministic appends and writes inside the
+// body of one range-over-map.
+func checkMapRangeBody(p *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, returned map[types.Object]bool) {
+	info := p.Pkg.Info
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || calleeName(call) != "append" || i >= len(n.Lhs) {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.ObjectOf(id)
+				if obj == nil || !returned[obj] {
+					continue
+				}
+				if sortedAfter(info, fnBody, rng, obj) {
+					continue
+				}
+				p.ReportHintf(n.Pos(),
+					"map iteration order is randomized; sort the slice after the loop (or collect sorted keys first) so the returned result is deterministic",
+					"append to returned slice %q inside range over map without a following sort", id.Name)
+			}
+		case *ast.CallExpr:
+			if isOutputCall(info, n) {
+				p.ReportHintf(n.Pos(),
+					"collect the keys, sort them, then emit in sorted order — encodings written in map order differ from run to run",
+					"output written inside range over map: %s", types.ExprString(n.Fun))
+			}
+		}
+		return true
+	})
+}
+
+// returnedVars collects the objects whose value escapes as a result:
+// named results plus every plain identifier appearing in a return
+// statement of this function (closures excluded).
+func returnedVars(info *types.Info, body *ast.BlockStmt, ftype *ast.FuncType) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if ftype.Results != nil {
+		for _, field := range ftype.Results.List {
+			for _, name := range field.Names {
+				if obj := info.ObjectOf(name); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	inspectShallow(body, func(n ast.Node) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		for _, res := range ret.Results {
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	})
+	return out
+}
+
+// sortedAfter reports whether, after the range statement, the function
+// calls something sort-shaped on obj: a call whose name contains "sort"
+// (sort.Slice, sort.Strings, slices.SortFunc, sortMatches, ...) taking
+// the variable as an argument or receiver.
+func sortedAfter(info *types.Info, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	inspectShallow(fnBody, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return
+		}
+		// Match on the full callee text so both sortMatches(out) and
+		// sort.Strings(out) / slices.SortFunc(out, ...) qualify.
+		if !strings.Contains(strings.ToLower(types.ExprString(call.Fun)), "sort") {
+			return
+		}
+		args := call.Args
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			args = append(args[:len(args):len(args)], sel.X)
+		}
+		for _, arg := range args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.ObjectOf(id) == obj {
+				found = true
+				return
+			}
+		}
+	})
+	return found
+}
+
+// writeLike method names on any receiver count as output.
+var writeMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"WriteTo":     true,
+}
+
+// isOutputCall reports whether the call emits bytes to a destination
+// whose content order matters: a Write*/Fprint*/Print*/Encode* call, or
+// any call handed an argument with a Write([]byte) (int, error) method
+// (io.Writer and friends, *bytes.Buffer, the codec helpers).
+func isOutputCall(info *types.Info, call *ast.CallExpr) bool {
+	name := calleeName(call)
+	if writeMethods[name] || strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Encode") {
+		return true
+	}
+	for _, arg := range call.Args {
+		t := info.TypeOf(arg)
+		if t != nil && hasWriteMethod(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasWriteMethod(t types.Type) bool {
+	if lookupWrite(t) {
+		return true
+	}
+	if _, ok := t.(*types.Pointer); !ok && !types.IsInterface(t) {
+		return lookupWrite(types.NewPointer(t))
+	}
+	return false
+}
+
+func lookupWrite(t types.Type) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Write")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	return sig.Params().Len() == 1 && sig.Results().Len() == 2
+}
+
+// inspectShallow walks the body like ast.Inspect but does not descend
+// into nested function literals — they are analyzed as functions of
+// their own.
+func inspectShallow(body *ast.BlockStmt, fn func(n ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrcheckDurability enforces the durability error contract of
+// internal/store and internal/fsio: the error results of Sync, Close,
+// Rename, Remove, Truncate and rollback-style calls must not be discarded
+// with a bare call, a defer, or `_ =`. A swallowed error on this path can
+// acknowledge an operation whose bytes never became durable.
+//
+// One shape is exempt: cleanup immediately before returning an error
+// (`f.Close(); return err`) — the operation already failed and the
+// original error is the one the caller must see. Genuinely best-effort
+// discards (e.g. removing a temp file whose rename already decided the
+// outcome) must say so with //pqlint:allow errcheck-durability.
+var ErrcheckDurability = &Analyzer{
+	Name: "errcheck-durability",
+	Doc:  "Sync/Close/Rename/Remove/Truncate/rollback errors in store and fsio must be handled",
+	Run:  runErrcheckDurability,
+}
+
+var durabilityCalls = map[string]bool{
+	"Sync":     true,
+	"Close":    true,
+	"Rename":   true,
+	"Remove":   true,
+	"Truncate": true,
+}
+
+func durabilityCall(name string) bool {
+	return durabilityCalls[name] || strings.Contains(strings.ToLower(name), "rollback")
+}
+
+func runErrcheckDurability(p *Pass) {
+	if !p.Pkg.Within("internal/store") && !p.Pkg.Within("internal/fsio") {
+		return
+	}
+	info := p.Pkg.Info
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			for _, list := range stmtLists(n) {
+				for i, stmt := range list {
+					call, deferred := discardedCall(stmt)
+					if call == nil {
+						continue
+					}
+					name := calleeName(call)
+					if !durabilityCall(name) {
+						continue
+					}
+					tv, ok := info.Types[call]
+					if !ok || !types.Identical(tv.Type, errType) {
+						continue
+					}
+					// Failure-path cleanup: a discard immediately followed
+					// by `return <err>` in the same block is reporting the
+					// error that caused it; the close is best-effort by
+					// construction. Defers never qualify — they outlive
+					// the statement order the exemption reasons about.
+					if !deferred && i+1 < len(list) && returnsError(info, list[i+1], errType) {
+						continue
+					}
+					p.ReportHintf(call.Pos(),
+						"check the error (rolling back or poisoning the store if the disk state is now unknown); use //pqlint:allow errcheck-durability only for provably best-effort cleanup",
+						"error from %s is discarded on the durability path", types.ExprString(call.Fun))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// discardedCall returns the call whose results stmt throws away: a bare
+// call statement, a deferred call, or an assignment of every result to
+// blank.
+func discardedCall(stmt ast.Stmt) (call *ast.CallExpr, deferred bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		c, _ := s.X.(*ast.CallExpr)
+		return c, false
+	case *ast.DeferStmt:
+		return s.Call, true
+	case *ast.GoStmt:
+		return s.Call, true
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 {
+			return nil, false
+		}
+		c, ok := s.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return nil, false
+		}
+		for _, lhs := range s.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name != "_" {
+				return nil, false
+			}
+		}
+		return c, false
+	}
+	return nil, false
+}
+
+// returnsError reports whether stmt is a return carrying a non-nil
+// error-typed value (an err variable, a wrapped fmt.Errorf, ...).
+func returnsError(info *types.Info, stmt ast.Stmt, errType types.Type) bool {
+	ret, ok := stmt.(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	for _, res := range ret.Results {
+		if id, ok := ast.Unparen(res).(*ast.Ident); ok && info.ObjectOf(id) == types.Universe.Lookup("nil") {
+			continue
+		}
+		tv, ok := info.Types[res]
+		if ok && tv.Type != nil && types.AssignableTo(tv.Type, errType) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FsioCheck enforces the fault-injection coverage invariant of the
+// persistence layer: inside internal/store and internal/fsio, every
+// filesystem mutation must flow through the fsio.FS interface, never the
+// os package directly. A mutation that bypasses fsio is invisible to the
+// crash-consistency harness — the durability proof no longer covers it.
+// The fsio.OS passthrough itself is the one legitimate caller and carries
+// //pqlint:allow fsiocheck comments.
+var FsioCheck = &Analyzer{
+	Name: "fsiocheck",
+	Doc:  "store/fsio code must mutate the filesystem through fsio.FS, not the os package",
+	Run:  runFsioCheck,
+}
+
+// osMutators are the os entry points that change filesystem state. Reads
+// (os.Open, os.Stat, os.ReadFile) are not listed: they cannot lose data,
+// and the store's read paths already go through fsio for fault coverage.
+var osMutators = map[string]bool{
+	"Create":     true,
+	"CreateTemp": true,
+	"OpenFile":   true,
+	"Rename":     true,
+	"Remove":     true,
+	"RemoveAll":  true,
+	"WriteFile":  true,
+	"Truncate":   true,
+	"Mkdir":      true,
+	"MkdirAll":   true,
+}
+
+func runFsioCheck(p *Pass) {
+	if !p.Pkg.Within("internal/store") && !p.Pkg.Within("internal/fsio") {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "os" {
+				return true
+			}
+			if osMutators[sel.Sel.Name] {
+				p.ReportHintf(call.Pos(),
+					"route the mutation through the fsio.FS the store was opened with, so fault injection and the crash-consistency harness cover it",
+					"direct call to os.%s bypasses the fsio layer", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

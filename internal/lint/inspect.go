@@ -1,0 +1,167 @@
+// Shared AST and type predicates for the analyzers: ancestor-stack
+// traversal, nil-comparison matching, and recognition of the repo's
+// metric-handle types.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// walkStack traverses the file, calling fn for every node with the stack
+// of its ancestors (outermost first, n excluded). Returning false prunes
+// the subtree below n.
+func walkStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := fn(n, stack)
+		if keep {
+			stack = append(stack, n)
+		}
+		return keep
+	})
+}
+
+// calleeName returns the bare name of the function or method a call
+// invokes, or "".
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// isNilComparison reports whether expr is `x <op> nil` or `nil <op> x`
+// where x denotes the given object.
+func isNilComparison(info *types.Info, expr ast.Expr, op token.Token, obj types.Object) bool {
+	bin, ok := ast.Unparen(expr).(*ast.BinaryExpr)
+	if !ok || bin.Op != op {
+		return false
+	}
+	matches := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && info.ObjectOf(id) == obj
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil" && info.ObjectOf(id) == types.Universe.Lookup("nil")
+	}
+	return (matches(bin.X) && isNil(bin.Y)) || (isNil(bin.X) && matches(bin.Y))
+}
+
+// guaranteesNonNil reports whether cond being true proves obj != nil:
+// the comparison itself, or a conjunction containing one.
+func guaranteesNonNil(info *types.Info, cond ast.Expr, obj types.Object) bool {
+	if isNilComparison(info, cond, token.NEQ, obj) {
+		return true
+	}
+	if bin, ok := ast.Unparen(cond).(*ast.BinaryExpr); ok && bin.Op == token.LAND {
+		return guaranteesNonNil(info, bin.X, obj) || guaranteesNonNil(info, bin.Y, obj)
+	}
+	return false
+}
+
+// triggersOnNil reports whether cond is true whenever obj == nil: the
+// comparison itself, or a disjunction containing one. An if with such a
+// condition and a terminating body guards everything after it.
+func triggersOnNil(info *types.Info, cond ast.Expr, obj types.Object) bool {
+	if isNilComparison(info, cond, token.EQL, obj) {
+		return true
+	}
+	if bin, ok := ast.Unparen(cond).(*ast.BinaryExpr); ok && bin.Op == token.LOR {
+		return triggersOnNil(info, bin.X, obj) || triggersOnNil(info, bin.Y, obj)
+	}
+	return false
+}
+
+// terminates reports whether the block always leaves the enclosing scope:
+// its last statement is a return, a branch, or a panic call.
+func terminates(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok == token.CONTINUE || last.Tok == token.BREAK || last.Tok == token.GOTO
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		return ok && calleeName(call) == "panic"
+	}
+	return false
+}
+
+// stmtLists yields the statement list a node carries, if any — blocks
+// plus the bare lists of switch/select clauses.
+func stmtLists(n ast.Node) [][]ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return [][]ast.Stmt{n.List}
+	case *ast.CaseClause:
+		return [][]ast.Stmt{n.Body}
+	case *ast.CommClause:
+		return [][]ast.Stmt{n.Body}
+	}
+	return nil
+}
+
+// obsHandle reports whether t is a pointer to one of internal/obs's
+// metric handle types (*obs.Counter, *obs.Gauge, *obs.Histogram). The
+// collector itself is not a handle: a bare *obs.Collector is nil-safe
+// and safe for concurrent use, so holding one in a plain field is fine.
+func obsHandle(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !pathWithin(obj.Pkg().Path(), "internal/obs") {
+		return false
+	}
+	switch obj.Name() {
+	case "Counter", "Gauge", "Histogram":
+		return true
+	}
+	return false
+}
+
+// metricsStructPtr reports whether t is a pointer to a struct holding at
+// least one obs metric handle — the shape of the preresolved metrics
+// structs the instrumented packages keep behind atomic.Pointer.
+func metricsStructPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	st, ok := ptr.Elem().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if obsHandle(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// pathWithin reports whether the import path contains rel as a
+// path-segment run (e.g. pathWithin("pqgram/internal/obs", "internal/obs")).
+func pathWithin(path, rel string) bool {
+	return strings.Contains("/"+path+"/", "/"+rel+"/")
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWithin(t *testing.T) {
+	cases := []struct {
+		path, rel string
+		want      bool
+	}{
+		{"pqgram/internal/store", "internal/store", true},
+		{"pqgram/internal/store/sub", "internal/store", true},
+		{"pqgram/internal/lint/testdata/src/internal/store/errcheckfix", "internal/store", true},
+		{"pqgram/internal/storex", "internal/store", false},
+		{"pqgram/internal/fsio", "internal/store", false},
+		{"pqgram", "internal/store", false},
+	}
+	for _, c := range cases {
+		p := &Package{Path: c.path}
+		if got := p.Within(c.rel); got != c.want {
+			t.Errorf("Within(%q, %q) = %v, want %v", c.path, c.rel, got, c.want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	got, err := ByName([]string{"fsiocheck", "detcheck"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "fsiocheck" || got[1].Name != "detcheck" {
+		t.Errorf("ByName returned %v", Names(got))
+	}
+	if _, err := ByName([]string{"nosuch"}); err == nil {
+		t.Error("ByName(nosuch) succeeded, want error")
+	} else if !strings.Contains(err.Error(), "nosuch") {
+		t.Errorf("error %q does not name the unknown analyzer", err)
+	}
+}
+
+func TestAllRegistered(t *testing.T) {
+	want := []string{"fsiocheck", "obscheck", "aliascheck", "errcheck-durability", "detcheck"}
+	got := Names(All())
+	if len(got) != len(want) {
+		t.Fatalf("All() = %v, want %v", got, want)
+	}
+	have := make(map[string]bool, len(got))
+	for _, n := range got {
+		have[n] = true
+	}
+	for _, n := range want {
+		if !have[n] {
+			t.Errorf("analyzer %q missing from All()", n)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "detcheck", File: "a.go", Line: 3, Col: 7, Message: "boom", Hint: "sort it"}
+	got := d.String()
+	if !strings.HasPrefix(got, "a.go:3:7: [detcheck] boom") || !strings.Contains(got, "hint: sort it") {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,135 @@
+// Package linttest checks analyzers against fixture packages under
+// testdata, in the style of golang.org/x/tools/go/analysis/analysistest
+// but built only on the standard library: a fixture source line states
+// the diagnostics it expects in a trailing comment
+//
+//	f.Close() // want `error from f\.Close is discarded`
+//
+// and Run fails the test for every produced diagnostic no want matches
+// and every want no diagnostic satisfies.
+//
+// Expectations are regular expressions matched against the diagnostic
+// message, written between double quotes or backquotes after the word
+// "want"; several on one line mean several diagnostics on that line. The
+// text between the quotes is taken verbatim (no Go unescaping), so `\.`
+// is the regexp escape for a literal dot. Because extraction stops at
+// the closing delimiter, a pattern cannot itself contain that delimiter
+// — match quoted message fragments with `.` instead.
+//
+// Fixtures live under testdata/src/... with their real directory as the
+// import path, e.g. testdata/src/internal/store/errcheckfix, so the
+// path-segment scoping of the analyzers (Package.Within) sees the same
+// "internal/store" run the production tree has.
+package linttest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"pqgram/internal/lint"
+)
+
+// want is one expectation: a regexp that some diagnostic on this line
+// must match.
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var (
+	wantRe = regexp.MustCompile("\\bwant((?:\\s+(?:\"[^\"]*\"|`[^`]*`))+)")
+	exprRe = regexp.MustCompile("\"([^\"]*)\"|`([^`]*)`")
+)
+
+// Run loads the single fixture package in dir, runs the analyzers over
+// it through lint.Run (so //pqlint:allow suppression applies exactly as
+// in production), and matches the diagnostics against the fixture's
+// want comments.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	diags, wants, err := run(dir, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if !consume(wants[key{d.File, d.Line}], d.Message) {
+			t.Errorf("unexpected diagnostic at %s:%d: [%s] %s", filepath.Base(d.File), d.Line, d.Analyzer, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("no diagnostic at %s:%d matched %q", filepath.Base(k.file), k.line, w.re.String())
+			}
+		}
+	}
+}
+
+type key struct {
+	file string
+	line int
+}
+
+func run(dir string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, map[key][]*want, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	loader, err := lint.NewLoader(abs)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkgs, err := loader.Load(abs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("loading fixture %s: %w", dir, err)
+	}
+	wants := make(map[key][]*want)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := pkg.Fset.Position(c.Pos())
+					for _, w := range parseWants(c.Text) {
+						re, err := regexp.Compile(w)
+						if err != nil {
+							return nil, nil, fmt.Errorf("%s:%d: bad want pattern %q: %w", pos.Filename, pos.Line, w, err)
+						}
+						k := key{pos.Filename, pos.Line}
+						wants[k] = append(wants[k], &want{re: re})
+					}
+				}
+			}
+		}
+	}
+	return lint.Run(pkgs, analyzers), wants, nil
+}
+
+// parseWants extracts the expectation patterns of one comment, verbatim
+// (the text between the quotes is the regexp — no unescaping).
+func parseWants(comment string) []string {
+	m := wantRe.FindStringSubmatch(comment)
+	if m == nil {
+		return nil
+	}
+	var out []string
+	for _, q := range exprRe.FindAllStringSubmatch(m[1], -1) {
+		if q[1] != "" {
+			out = append(out, q[1])
+		} else {
+			out = append(out, q[2])
+		}
+	}
+	return out
+}
+
+func consume(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,80 @@
+// Fixture for detcheck: iterating a map (randomized order) must not feed
+// a returned slice or an output stream without an intervening sort.
+package detfix
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func badKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to returned slice "out" inside range over map without a following sort`
+	}
+	return out
+}
+
+// collect-sort-return is the canonical fix.
+func goodKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// A sort-shaped helper counts too.
+func goodHelperSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sortKeys(out)
+	return out
+}
+
+func sortKeys(ks []string) { sort.Strings(ks) }
+
+// Order-insensitive reductions are not flagged.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// A slice that never escapes as a result is not flagged.
+func localOnly(m map[string]int) int {
+	var tmp []string
+	for k := range m {
+		tmp = append(tmp, k)
+	}
+	return len(tmp)
+}
+
+func badWrite(w io.Writer, m map[string]int) error {
+	for k, v := range m {
+		if _, err := fmt.Fprintf(w, "%s=%d\n", k, v); err != nil { // want `output written inside range over map`
+			return err
+		}
+	}
+	return nil
+}
+
+func goodWrite(w io.Writer, m map[string]int) error {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s=%d\n", k, m[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

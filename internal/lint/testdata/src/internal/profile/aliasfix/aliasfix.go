@@ -1,0 +1,36 @@
+// Fixture for aliascheck: exported API must not return internal slice or
+// map fields without copying.
+package aliasfix
+
+type Profile struct {
+	bag []uint64
+	idx map[uint64]int
+}
+
+func (p *Profile) Bag() []uint64 {
+	return p.bag // want `exported Bag returns internal slice field p\.bag without copying`
+}
+
+func (p *Profile) Index() map[uint64]int {
+	return p.idx // want `exported Index returns internal map field p\.idx without copying`
+}
+
+func Bags(p *Profile) []uint64 {
+	return p.bag // want `exported Bags returns internal slice field p\.bag without copying`
+}
+
+// Copying before returning satisfies the contract.
+func (p *Profile) BagCopy() []uint64 {
+	return append([]uint64(nil), p.bag...)
+}
+
+// Scalars are not aliases.
+func (p *Profile) Len() int { return len(p.bag) }
+
+// Methods on unexported types are not reachable API.
+type hidden struct{ bag []uint64 }
+
+func (h *hidden) Bag() []uint64 { return h.bag }
+
+// Unexported functions may share internal state freely.
+func (p *Profile) share() []uint64 { return p.bag }

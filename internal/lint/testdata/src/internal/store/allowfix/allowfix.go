@@ -1,0 +1,48 @@
+// Fixture for the //pqlint:allow suppression semantics: a comment covers
+// its own line and the next line only, and a malformed or unknown name
+// is a finding in its own right.
+package allowfix
+
+import "os"
+
+// A trailing comment suppresses its own line.
+func sameLine(f *os.File) {
+	f.Close() //pqlint:allow errcheck-durability fixture: best-effort
+}
+
+// A comment line suppresses the line below it.
+func lineAbove(f *os.File) {
+	//pqlint:allow errcheck-durability fixture: best-effort
+	f.Close()
+}
+
+// Two lines above is out of range: the finding survives.
+func tooFar(f *os.File) {
+	//pqlint:allow errcheck-durability fixture: best-effort
+
+	f.Close() // want `error from f\.Close is discarded on the durability path`
+}
+
+// Naming a different (valid) analyzer does not suppress this one.
+func wrongAnalyzer(f *os.File) {
+	//pqlint:allow detcheck fixture: names the wrong analyzer
+	f.Close() // want `error from f\.Close is discarded on the durability path`
+}
+
+// An unknown analyzer name is reported and suppresses nothing.
+func unknownName(f *os.File) {
+	//pqlint:allow nosuchcheck fixture // want `unknown analyzer "nosuchcheck" in //pqlint:allow comment`
+	f.Close() // want `error from f\.Close is discarded on the durability path`
+}
+
+// An allow comment naming no analyzer at all is reported.
+func emptyAllow(f *os.File) {
+	/* want `names no analyzer` */ //pqlint:allow
+	f.Close()                      // want `error from f\.Close is discarded on the durability path`
+}
+
+// A comma list suppresses every named analyzer.
+func commaList(f *os.File) {
+	//pqlint:allow errcheck-durability,fsiocheck fixture: both named
+	f.Close()
+}

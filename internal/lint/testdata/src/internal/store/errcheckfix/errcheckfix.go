@@ -1,0 +1,52 @@
+// Fixture for errcheck-durability: discarded Sync/Close/rollback errors
+// on the durability path.
+package errcheckfix
+
+import "os"
+
+type journal struct{}
+
+func (j *journal) rollback() error { return nil }
+
+func bare(f *os.File) {
+	f.Close() // want `error from f\.Close is discarded on the durability path`
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // want `error from f\.Close is discarded on the durability path`
+}
+
+func blankAssign(f *os.File) {
+	_ = f.Sync() // want `error from f\.Sync is discarded on the durability path`
+}
+
+func rollbackBare(j *journal) {
+	j.rollback() // want `error from j\.rollback is discarded on the durability path`
+}
+
+// Failure-path cleanup is exempt: the discard is immediately followed by
+// returning the error that caused it.
+func failurePath(f *os.File, err error) error {
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// A deferred close is never exempt, even right before an error return:
+// it runs outside the statement order the exemption reasons about.
+func deferredNotExempt(f *os.File, err error) error {
+	if err != nil {
+		defer f.Close() // want `error from f\.Close is discarded on the durability path`
+		return err
+	}
+	return nil
+}
+
+func handled(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,39 @@
+// Fixture for fsiocheck: filesystem mutations inside internal/store must
+// flow through fsio.FS, never the os package directly.
+package fsiofix
+
+import "os"
+
+func createDirect(path string) error {
+	f, err := os.Create(path) // want `direct call to os\.Create bypasses the fsio layer`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func renameDirect(a, b string) error {
+	return os.Rename(a, b) // want `direct call to os\.Rename bypasses the fsio layer`
+}
+
+func writeDirect(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `direct call to os\.WriteFile bypasses the fsio layer`
+}
+
+func mkdirDirect(path string) error {
+	return os.MkdirAll(path, 0o755) // want `direct call to os\.MkdirAll bypasses the fsio layer`
+}
+
+// Reads cannot lose data and are not flagged.
+func readOK(path string) ([]byte, error) {
+	if _, err := os.Stat(path); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}
+
+// The sanctioned passthrough shape: suppressed with a named reason.
+func allowedPassthrough(path string) error {
+	//pqlint:allow fsiocheck fixture models the fsio.OS passthrough
+	return os.Remove(path)
+}

@@ -63,13 +63,13 @@ func fuzzReplayFixture(f *testing.F) (base, wal []byte) {
 func FuzzJournalReplay(f *testing.F) {
 	base, wal := fuzzReplayFixture(f)
 
-	f.Add(wal)                                    // the intact journal
-	f.Add(wal[:len(wal)-3])                       // torn final record
-	f.Add(wal[:journalHeaderLen])                 // header only
-	f.Add([]byte{})                               // journal never created
-	f.Add([]byte("PQGJ"))                         // torn header
-	f.Add([]byte("PQGJ\x01garbage-v1-journal"))   // pre-versioning journal
-	f.Add(append([]byte(nil), base[:9]...))       // base magic where a journal should be
+	f.Add(wal)                                  // the intact journal
+	f.Add(wal[:len(wal)-3])                     // torn final record
+	f.Add(wal[:journalHeaderLen])               // header only
+	f.Add([]byte{})                             // journal never created
+	f.Add([]byte("PQGJ"))                       // torn header
+	f.Add([]byte("PQGJ\x01garbage-v1-journal")) // pre-versioning journal
+	f.Add(append([]byte(nil), base[:9]...))     // base magic where a journal should be
 	stale := append([]byte(nil), wal...)
 	stale[5] ^= 0xff // wrong base crc in the header
 	f.Add(stale)

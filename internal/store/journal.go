@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -577,9 +578,18 @@ func readString(r *bytes.Reader) (string, error) {
 
 func writeBag(buf *bytes.Buffer, idx profile.Index) {
 	putUvarint(buf, uint64(len(idx)))
-	for lt, c := range idx {
-		putUvarint(buf, uint64(lt))
-		putUvarint(buf, uint64(c))
+	// Canonical order: a journal record, like the base snapshot, must be
+	// byte-identical for identical logical content. Emitting in map order
+	// would make the journal — and therefore the crc of a later Compact's
+	// input trace — differ between runs of the same workload.
+	tuples := make([]uint64, 0, len(idx))
+	for lt := range idx {
+		tuples = append(tuples, uint64(lt))
+	}
+	sort.Slice(tuples, func(i, j int) bool { return tuples[i] < tuples[j] })
+	for _, lt := range tuples {
+		putUvarint(buf, lt)
+		putUvarint(buf, uint64(idx[profile.LabelTuple(lt)]))
 	}
 }
 

@@ -221,10 +221,13 @@ func saveFileCRC(fsys fsio.FS, path string, f *forest.Index) (crc uint32, rename
 	closed := false
 	defer func() {
 		if !closed {
-			tmp.Close()
+			// Failure-path cleanup: the write already returned its error and
+			// the temp file is about to be removed, so this close cannot
+			// lose durable state.
+			tmp.Close() //pqlint:allow errcheck-durability failure-path cleanup of a doomed temp file
 		}
 		// Best effort; after a successful rename the name is gone already.
-		fsys.Remove(tmpName)
+		fsys.Remove(tmpName) //pqlint:allow errcheck-durability best-effort removal; after rename the name no longer exists
 	}()
 	crc, err = saveCRC(tmp, f)
 	if err != nil {
@@ -265,8 +268,17 @@ func loadFileCRC(fsys fsio.FS, path string) (*forest.Index, uint32, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	defer fh.Close()
-	return loadCRC(fh)
+	f, crc, err := loadCRC(fh)
+	if cerr := fh.Close(); err == nil && cerr != nil {
+		// The snapshot was read and checksummed, but a close failing even
+		// on a read-only handle signals an unhealthy device; surface it
+		// rather than hand back state from hardware that is misbehaving.
+		return nil, 0, cerr
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, crc, nil
 }
 
 func dirOf(path string) string {
