@@ -15,6 +15,7 @@
 //	pqbench -exp ablate-pq           # (p,q) quality ablation
 //	pqbench -exp pruning             # candidate-pruning planner sweep
 //	pqbench -exp pruning-smoke       # CI guard: pruned must stay within 2x
+//	pqbench -exp topk                # top-k: VP-tree metric index vs exhaustive
 //	pqbench -exp micro               # instrumented end-to-end micro suite
 //
 // The -scale flag multiplies the default workload sizes (0.1 for a quick
@@ -100,6 +101,9 @@ func run(exp string, scale float64, n int, seed int64, jsonPath string) error {
 		{"pruning", func() (*bench.Result, error) {
 			return firstErr(bench.Pruning(s(256), s(240000), 6, 3, bench.DefaultPruningTaus))
 		}},
+		{"topk", func() (*bench.Result, error) {
+			return firstErr(bench.TopK(16, 16, s(240000), 6, 3, bench.DefaultTopKKs))
+		}},
 		{"micro", func() (*bench.Result, error) {
 			col := obs.NewCollector()
 			res, rep, err := bench.Micro(n, seed, col)
@@ -108,18 +112,26 @@ func run(exp string, scale float64, n int, seed int64, jsonPath string) error {
 			}
 			if jsonPath != "" {
 				// The machine-readable report also carries the pruning
-				// sweep, so one artifact records both the op timings and
-				// the planner's speedup curve.
+				// and top-k sweeps, so one artifact records the op
+				// timings and both planner speedup curves.
 				pres, points, err := bench.Pruning(128, 120000, 6, 3, bench.DefaultPruningTaus)
 				if err != nil {
 					return nil, err
 				}
 				rep.Pruning = points
+				tres, tpoints, err := bench.TopK(16, 16, 240000, 6, 3, bench.DefaultTopKKs)
+				if err != nil {
+					return nil, err
+				}
+				rep.TopK = tpoints
 				if err := rep.WriteFile(jsonPath); err != nil {
 					return nil, err
 				}
 				fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
 				if err := pres.Print(os.Stdout); err != nil {
+					return nil, err
+				}
+				if err := tres.Print(os.Stdout); err != nil {
 					return nil, err
 				}
 			}

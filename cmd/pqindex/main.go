@@ -8,6 +8,7 @@
 //	pqindex remove -index idx.pqg -id doc.xml
 //	pqindex update -index idx.pqg -id doc.xml -log changes.log doc-new.xml
 //	pqindex lookup -index idx.pqg [-tau 0.5 | -top 5] query.xml [more.xml ...]
+//	pqindex topk   -index idx.pqg [-k 5] [-plan metric] query.xml [more.xml ...]
 //	pqindex dist   a.xml b.xml [-p 3 -q 3]
 //	pqindex info   -index idx.pqg
 //
@@ -46,6 +47,8 @@ func main() {
 		err = runUpdate(args)
 	case "lookup":
 		err = runLookup(args)
+	case "topk":
+		err = runTopK(args)
 	case "join":
 		err = runJoin(args)
 	case "dist":
@@ -68,7 +71,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pqindex {build|add|remove|update|lookup|join|dist|diff|info|compact|verify} [flags] [files]")
+	fmt.Fprintln(os.Stderr, "usage: pqindex {build|add|remove|update|lookup|topk|join|dist|diff|info|compact|verify} [flags] [files]")
 	os.Exit(2)
 }
 
@@ -76,6 +79,7 @@ func usage() {
 func runCompact(args []string) error {
 	fs := flag.NewFlagSet("compact", flag.ExitOnError)
 	idxPath := fs.String("index", "", "index file")
+	metric := fs.Bool("metric", false, "also build the VP-tree metric index so compaction persists it (.vpt sidecar); later opens then restore it instead of rebuilding")
 	fs.Parse(args)
 	if *idxPath == "" {
 		return fmt.Errorf("compact needs -index")
@@ -85,12 +89,25 @@ func runCompact(args []string) error {
 		return err
 	}
 	defer st.Close()
+	if *metric {
+		// Any metric-planned lookup builds the VP-tree; the query document
+		// is irrelevant, only the build side effect matters.
+		warm, err := pqgram.ParseXMLString("<warmup/>")
+		if err != nil {
+			return err
+		}
+		st.Forest().SetPlanMode(pqgram.PlanMetric)
+		st.Forest().LookupTopK(warm, 1)
+	}
 	before, _ := st.JournalSize()
 	if err := st.Compact(); err != nil {
 		return err
 	}
 	after, _ := st.JournalSize()
 	fmt.Printf("compacted: journal %d -> %d bytes\n", before, after)
+	if *metric && st.Forest().MetricReady() {
+		fmt.Println("metric index persisted (.vpt sidecar)")
+	}
 	return nil
 }
 
@@ -134,6 +151,12 @@ func printRecovery(r pqgram.RecoveryInfo) {
 	}
 	if r.JournalReset {
 		fmt.Printf("recovery: reset unrecognized journal (%d bytes discarded)\n", r.DiscardedBytes)
+	}
+	if r.MetricRestored {
+		fmt.Println("recovery: restored VP-tree metric index from its sidecar")
+	}
+	if r.MetricDiscarded {
+		fmt.Println("recovery: discarded stale or corrupt metric sidecar (top-k lookups rebuild it lazily)")
 	}
 }
 
@@ -337,6 +360,66 @@ func runLookup(args []string) error {
 		}
 		if len(matches) == 0 {
 			fmt.Println("no matches")
+		}
+	}
+	return nil
+}
+
+// runTopK answers k-nearest-neighbour queries. Unlike `lookup -top`,
+// which leaves the candidate strategy to the planner's default, it
+// exposes the plan choice: -plan metric descends the VP-tree metric
+// index (restored from the .vpt sidecar when the store has one, built
+// lazily otherwise), -plan exhaustive scores every document through the
+// postings, -plan auto lets the planner decide per query. Rankings are
+// identical in every mode; only the work differs.
+func runTopK(args []string) error {
+	fs := flag.NewFlagSet("topk", flag.ExitOnError)
+	idxPath := fs.String("index", "", "index file")
+	k := fs.Int("k", 5, "number of nearest documents to return")
+	plan := fs.String("plan", "metric", "candidate strategy: metric, exhaustive or auto")
+	stats := fs.Bool("stats", false, "print an op report (metrics snapshot) to stderr when done")
+	fs.Parse(args)
+	if *idxPath == "" || fs.NArg() == 0 || *k < 1 {
+		return fmt.Errorf("topk needs -index, -k >= 1 and at least one query document")
+	}
+	st, err := pqgram.OpenStore(*idxPath)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	if *stats {
+		defer maybeReport(*stats, attachStats(st))
+	}
+	f := st.Forest()
+	switch *plan {
+	case "metric":
+		f.SetPlanMode(pqgram.PlanMetric)
+	case "exhaustive":
+		f.SetPlanMode(pqgram.PlanExhaustive)
+	case "auto":
+		f.SetPlanMode(pqgram.PlanAuto)
+	default:
+		return fmt.Errorf("topk: unknown -plan %q (want metric, exhaustive or auto)", *plan)
+	}
+	for i, path := range fs.Args() {
+		q, err := parseDoc(path)
+		if err != nil {
+			return err
+		}
+		if fs.NArg() > 1 {
+			fmt.Printf("%s:\n", path)
+		}
+		matches := f.LookupTopK(q, *k)
+		for _, m := range matches {
+			fmt.Printf("%.4f  %s\n", m.Distance, m.TreeID)
+		}
+		if len(matches) == 0 {
+			fmt.Println("no matches")
+		}
+		if i == 0 && *plan == "metric" && !f.MetricReady() {
+			// Can only happen if the build was raced away by Close;
+			// surface it rather than silently falling back forever.
+			fmt.Fprintln(os.Stderr, "topk: metric index not built; answered by exhaustive scan")
 		}
 	}
 	return nil

@@ -9,6 +9,7 @@
 //	DELETE /docs/{id}                              drop a document
 //	POST   /docs/{id}/edits    {"xml","ids","log"} incremental update
 //	POST   /lookup             {"xml","tau","top"} approximate lookup
+//	POST   /topk               {"xml","k"}         k nearest via the metric index
 //	GET    /stats                                  index statistics
 //	GET    /debug/metrics                          live metrics snapshot
 //	GET    /debug/vars                             expvar (includes "pqgram")
@@ -50,7 +51,17 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-request logging")
 	index := flag.String("index", "", "back the service with a persistent store at this path (journaled; survives restarts)")
 	syncWrites := flag.Bool("sync", false, "with -index: fsync every journaled mutation before acknowledging it")
+	plan := flag.String("plan", "auto", "query planner mode: auto, exhaustive, pruned or metric")
 	flag.Parse()
+
+	planModes := map[string]pqgram.PlanMode{
+		"auto": pqgram.PlanAuto, "exhaustive": pqgram.PlanExhaustive,
+		"pruned": pqgram.PlanPruned, "metric": pqgram.PlanMetric,
+	}
+	planMode, ok := planModes[*plan]
+	if !ok {
+		log.Fatalf("unknown -plan %q (want auto, exhaustive, pruned or metric)", *plan)
+	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	if *quiet || *demo {
@@ -95,12 +106,16 @@ func main() {
 		f.SetCollector(col)
 	}
 
+	f.SetPlanMode(planMode)
+
 	srv := newServer(f, col, logger)
 	srv.store = st
 	if !*demo {
 		log.Printf("pq-gram index service listening on %s", *addr)
 		log.Fatal(http.ListenAndServe(*addr, srv))
 	}
+	// The demo showcases the metric path: /topk descends the VP-tree.
+	f.SetPlanMode(pqgram.PlanMetric)
 	runDemo(srv)
 }
 
@@ -129,6 +144,7 @@ func newServer(f *pqgram.Forest, col *pqgram.Collector, logger *slog.Logger) *se
 	s := &server{forest: f, col: col, logger: logger, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/docs/", s.handleDocs)
 	s.mux.HandleFunc("/lookup", s.handleLookup)
+	s.mux.HandleFunc("/topk", s.handleTopK)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/debug/metrics", s.handleMetrics)
 	s.mux.Handle("/debug/vars", expvar.Handler())
@@ -343,6 +359,45 @@ func (s *server) handleLookup(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, matches)
 }
 
+type topKRequest struct {
+	XML string `json:"xml"`
+	K   int    `json:"k"`
+}
+
+// handleTopK answers k-nearest-neighbour queries. The candidate strategy
+// is the planner's (see -plan): in metric mode the first query builds the
+// VP-tree metric index, which is then maintained incrementally by every
+// mutation; the response reports whether it is built so operators can see
+// which path answered.
+func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req topKRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if req.K <= 0 {
+		req.K = 5
+	}
+	query, err := pqgram.ParseXMLString(req.XML)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad query document: %v", err)
+		return
+	}
+	matches := s.forest.LookupTopK(query, req.K)
+	if matches == nil {
+		matches = []pqgram.Match{}
+	}
+	writeJSON(w, map[string]any{
+		"k":       req.K,
+		"matches": matches,
+		"metric":  s.forest.MetricReady(),
+	})
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	pr := s.forest.Params()
 	writeJSON(w, map[string]any{
@@ -428,6 +483,19 @@ func runDemo(h http.Handler) {
 	fmt.Println("nearest documents to the noisy copy of doc-0:")
 	for _, m := range matches {
 		fmt.Printf("  %-8s %.3f\n", m.TreeID, m.Distance)
+	}
+
+	// Ask the metric endpoint for the two nearest neighbours; the demo
+	// forest runs in metric mode, so this descends the VP-tree.
+	tb, _ := json.Marshal(topKRequest{XML: mustXML(query), K: 2})
+	tout := client("POST", "/topk", tb)
+	fmt.Printf("top-%v via /topk (metric index built: %v):\n", tout["k"], tout["metric"])
+	if ms, ok := tout["matches"].([]any); ok {
+		for _, m := range ms {
+			if mm, ok := m.(map[string]any); ok {
+				fmt.Printf("  %-8s %.3f\n", mm["TreeID"], mm["Distance"])
+			}
+		}
 	}
 
 	stats := client("GET", "/stats", nil)

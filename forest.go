@@ -31,8 +31,10 @@ type Pair = forest.Pair
 // PlanMode selects how Forest lookups and joins gather candidates:
 // PlanAuto (the default) uses the threshold-aware pruned path when the
 // distance bounds can pay for themselves, PlanExhaustive always
-// accumulates full overlaps, PlanPruned forces the pruned path whenever it
-// is sound. Results are identical in every mode; only the work differs.
+// accumulates full overlaps, PlanPruned forces the pruned path whenever
+// it is sound, and PlanMetric answers top-k lookups (Forest.LookupTopK,
+// Forest.LookupNearest) through the VP-tree metric index, building it on
+// first use. Results are identical in every mode; only the work differs.
 // Select with Forest.SetPlanMode.
 type PlanMode = forest.PlanMode
 
@@ -41,6 +43,7 @@ const (
 	PlanAuto       = forest.PlanAuto
 	PlanExhaustive = forest.PlanExhaustive
 	PlanPruned     = forest.PlanPruned
+	PlanMetric     = forest.PlanMetric
 )
 
 // NewForest creates an empty forest index.

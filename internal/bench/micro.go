@@ -25,10 +25,10 @@ type MicroOp struct {
 
 // MicroReport is the machine-readable output of the micro suite:
 // wall-clock ns/op per operation, the full metrics snapshot the
-// instrumented run produced, and (since v2) the candidate-pruning
-// threshold sweep of pruning.go. This is the artifact `make bench-json`
-// writes (BENCH_pr2.json, then BENCH_pr4.json), the repo's perf
-// trajectory.
+// instrumented run produced, (since v2) the candidate-pruning threshold
+// sweep of pruning.go, and the top-k metric-vs-exhaustive sweep of
+// topk.go. This is the artifact `make bench-json` writes (BENCH_pr2.json,
+// then BENCH_pr4.json, then BENCH_pr6.json), the repo's perf trajectory.
 type MicroReport struct {
 	Schema    string         `json:"schema"` // "pqgram/microbench/v2"
 	Timestamp string         `json:"timestamp"`
@@ -41,6 +41,7 @@ type MicroReport struct {
 	Ops       []MicroOp      `json:"ops"`
 	Metrics   obs.Snapshot   `json:"metrics"`
 	Pruning   []PruningPoint `json:"pruning,omitempty"` // pruned-vs-exhaustive lookup sweep
+	TopK      []TopKPoint    `json:"topk,omitempty"`    // metric-vs-exhaustive top-k sweep
 }
 
 // WriteFile writes the report as indented JSON.

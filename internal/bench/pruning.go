@@ -57,19 +57,37 @@ func Pruning(numDocs, totalNodes, queries, iters int, taus []float64) (*Result, 
 	defer f.SetCollector(nil)
 	defer f.SetPlanMode(forest.PlanAuto)
 
-	rng := rand.New(rand.NewSource(baseSeed + 59))
-	qs := make([]profile.Index, queries)
-	for i := range qs {
-		q, _, err := gen.Perturb(rng, docs[(i*len(docs))/queries], 8, gen.DefaultMix)
-		if err != nil {
-			return nil, nil, err
+	mkQueries := func(seed int64) ([]profile.Index, error) {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]profile.Index, queries)
+		for i := range out {
+			q, _, err := gen.Perturb(rng, docs[(i*len(docs))/queries], 8, gen.DefaultMix)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = profile.BuildIndex(q, P33)
 		}
-		qs[i] = profile.BuildIndex(q, P33)
+		return out, nil
+	}
+	qs, err := mkQueries(baseSeed + 59)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The warm-up set is drawn from a distinct seed: warming with the very
+	// queries that are then measured would let pooled scratch and cache
+	// state tuned to those exact queries flatter the measured path, and the
+	// smoke guard would compare a cold path against a pre-chewed one.
+	warm, err := mkQueries(baseSeed + 61)
+	if err != nil {
+		return nil, nil, err
 	}
 	ops := float64(iters * queries)
 
 	run := func(mode forest.PlanMode, tau float64) (float64, map[string]int64, [][]forest.Match) {
 		f.SetPlanMode(mode)
+		for _, q := range warm {
+			f.LookupIndex(q, tau)
+		}
 		before := col.Snapshot()
 		var res [][]forest.Match
 		t0 := time.Now()

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"time"
+
+	"pqgram/internal/forest"
+	"pqgram/internal/gen"
+	"pqgram/internal/obs"
+	"pqgram/internal/profile"
+	"pqgram/internal/tree"
+)
+
+// TopKPoint is one k of the top-k experiment: wall-clock and counter
+// measurements of the same lookup batch on the exhaustive postings scan
+// and the VP-tree metric path. Per-lookup quantities are averages over
+// the batch.
+type TopKPoint struct {
+	K                  int     `json:"k"`
+	ExhaustiveNsPerOp  float64 `json:"exhaustive_ns_per_op"`
+	MetricNsPerOp      float64 `json:"metric_ns_per_op"`
+	Speedup            float64 `json:"speedup"`                // exhaustive / metric
+	ExhaustiveExamined float64 `json:"exhaustive_examined"`    // candidates per lookup
+	MetricNodesVisited float64 `json:"metric_nodes_visited"`   // distance computations per lookup
+	MetricPruned       float64 `json:"metric_pruned_triangle"` // subtrees skipped per lookup
+}
+
+// DefaultTopKKs is the k sweep of the top-k experiment.
+var DefaultTopKKs = []int{1, 2, 5, 10, 25, 100}
+
+// TopK regenerates the top-k / kNN experiment: a clustered collection of
+// numBases XMark base documents × versions perturbed near-duplicates each
+// (the dedup workload the metric index exists for) is queried with fresh
+// perturbations of the bases across a k sweep, once with the exhaustive
+// planner and once with the VP-tree. Both paths must return identical
+// rankings (the run errors out otherwise).
+//
+// The corpus is clustered on purpose: on mutually dissimilar documents
+// the pairwise distances concentrate in a narrow band and no exact metric
+// index can prune (concentration of measure) — near-duplicate clusters
+// are where the triangle bound has room to work. For small k the VP-tree
+// must visit fewer nodes than the exhaustive scan examines candidates;
+// the run errors out if it does not, so `pqbench -exp topk` doubles as a
+// regression guard. This is the experiment behind EXPERIMENTS.md §"Top-k
+// lookups" and the topk section of the BENCH_pr6.json report.
+func TopK(numBases, versions, totalNodes, queries, iters int, ks []int) (*Result, []TopKPoint, error) {
+	if numBases < 1 || versions < 1 {
+		return nil, nil, fmt.Errorf("bench: need at least one base and one version")
+	}
+	if queries < 1 {
+		queries = 1
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	numDocs := numBases * versions
+	perDoc := totalNodes / numDocs
+	if perDoc < 16 {
+		perDoc = 16
+	}
+	rng := rand.New(rand.NewSource(baseSeed + 67))
+	bases := make([]*tree.Tree, numBases)
+	batch := make([]forest.Doc, 0, numDocs)
+	for b := 0; b < numBases; b++ {
+		bases[b] = gen.XMark(baseSeed+int64(1000+b), perDoc)
+		for v := 0; v < versions; v++ {
+			doc := bases[b]
+			if v > 0 {
+				var err error
+				doc, _, err = gen.Perturb(rng, bases[b], 1+rng.Intn(8), gen.DefaultMix)
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			batch = append(batch, forest.Doc{ID: fmt.Sprintf("doc-%03d-%02d", b, v), Tree: doc})
+		}
+	}
+	f := forest.New(P33)
+	if err := f.AddAll(batch, 0); err != nil {
+		return nil, nil, err
+	}
+	col := obs.NewCollector()
+	f.SetCollector(col)
+	defer f.SetCollector(nil)
+	defer f.SetPlanMode(forest.PlanAuto)
+
+	mkQueries := func(seed int64) ([]profile.Index, error) {
+		qrng := rand.New(rand.NewSource(seed))
+		out := make([]profile.Index, queries)
+		for i := range out {
+			q, _, err := gen.Perturb(qrng, bases[(i*numBases)/queries], 1+qrng.Intn(6), gen.DefaultMix)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = profile.BuildIndex(q, P33)
+		}
+		return out, nil
+	}
+	qs, err := mkQueries(baseSeed + 71)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Distinct warm-up seed, for the same reason as in Pruning: measuring
+	// with the queries that primed the caches would flatter whichever path
+	// runs second.
+	warm, err := mkQueries(baseSeed + 73)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Build the VP-tree up front so its one-time construction cost is not
+	// charged to the first measured k.
+	f.SetPlanMode(forest.PlanMetric)
+	f.LookupIndexTopK(qs[0], 1)
+
+	ops := float64(iters * queries)
+	run := func(mode forest.PlanMode, k int) (float64, map[string]int64, [][]forest.Match) {
+		f.SetPlanMode(mode)
+		for _, q := range warm {
+			f.LookupIndexTopK(q, k)
+		}
+		before := col.Snapshot()
+		var res [][]forest.Match
+		t0 := time.Now()
+		for it := 0; it < iters; it++ {
+			res = res[:0]
+			for _, q := range qs {
+				res = append(res, f.LookupIndexTopK(q, k))
+			}
+		}
+		elapsed := time.Since(t0)
+		return float64(elapsed.Nanoseconds()) / ops, col.Snapshot().CounterDeltas(before), res
+	}
+
+	res := &Result{
+		Title: "Top-k lookup: VP-tree metric index vs exhaustive scan",
+		Comment: fmt.Sprintf("%d docs (%d bases x %d near-duplicate versions, ~%d nodes each), %d perturbed-base queries x %d iterations per k",
+			numDocs, numBases, versions, perDoc, queries, iters),
+		Header: []string{"exhaustive", "metric", "speedup", "cand(ex)", "visited(vp)", "pruned-subtrees"},
+	}
+	points := make([]TopKPoint, 0, len(ks))
+	for _, k := range ks {
+		exNS, exD, exRes := run(forest.PlanExhaustive, k)
+		mtNS, mtD, mtRes := run(forest.PlanMetric, k)
+		if !reflect.DeepEqual(exRes, mtRes) {
+			return nil, nil, fmt.Errorf("metric and exhaustive top-%d lookups disagree", k)
+		}
+		pt := TopKPoint{
+			K:                  k,
+			ExhaustiveNsPerOp:  exNS,
+			MetricNsPerOp:      mtNS,
+			Speedup:            exNS / mtNS,
+			ExhaustiveExamined: float64(exD["forest_lookup_candidates_examined"]) / ops,
+			MetricNodesVisited: float64(mtD["forest_metric_nodes_visited"]) / ops,
+			MetricPruned:       float64(mtD["forest_metric_pruned_triangle"]) / ops,
+		}
+		if k <= 10 && numDocs >= 64 && pt.MetricNodesVisited >= pt.ExhaustiveExamined {
+			return nil, nil, fmt.Errorf("metric top-%d visited %.0f nodes, exhaustive examined %.0f — the VP-tree stopped pruning",
+				k, pt.MetricNodesVisited, pt.ExhaustiveExamined)
+		}
+		points = append(points, pt)
+		res.Rows = append(res.Rows, Row{
+			Label: fmt.Sprintf("k=%d", k),
+			Values: []string{
+				ms(time.Duration(exNS)), ms(time.Duration(mtNS)),
+				fmt.Sprintf("%.1fx", pt.Speedup),
+				fmt.Sprintf("%.0f", pt.ExhaustiveExamined),
+				fmt.Sprintf("%.0f", pt.MetricNodesVisited),
+				fmt.Sprintf("%.0f", pt.MetricPruned),
+			},
+		})
+	}
+	return res, points, nil
+}

@@ -17,3 +17,8 @@ func CorruptBagForTest(f *Index, id string) {
 
 // NumShardsForTest exposes the stripe count for shard-distribution tests.
 const NumShardsForTest = numShards
+
+// SortMatchesForTest exposes the canonical (distance, id) result order so
+// differential tests can rank their independently computed references
+// with the exact comparator the lookup paths use.
+func SortMatchesForTest(ms []Match) { sortMatches(ms) }

@@ -107,6 +107,12 @@ type Index struct {
 	// plan is the query-planning mode (PlanMode); see planner.go. The
 	// zero value is PlanAuto.
 	plan atomic.Int32
+
+	// metric is the VP-tree top-k index (metric.go). It starts unbuilt
+	// and free; once built it is maintained incrementally by every
+	// mutation. Its lock nests strictly after the registry, entry and
+	// shard locks.
+	metric metricIndex
 }
 
 // New creates an empty forest index with the given pq-gram parameters.
@@ -188,6 +194,7 @@ func (f *Index) addIndexLocked(id string, idx profile.Index) error {
 	for lt, c := range idx {
 		f.shardOf(lt).add(lt, id, c)
 	}
+	f.metric.add(id, idx)
 	if m := f.obs.Load(); m != nil {
 		m.adds.Inc()
 	}
@@ -210,6 +217,7 @@ func (f *Index) removeLocked(id string) error {
 		f.shardOf(lt).remove(lt, id)
 	}
 	delete(f.trees, id)
+	f.metric.remove(id)
 	if m := f.obs.Load(); m != nil {
 		m.removes.Inc()
 	}
@@ -383,7 +391,10 @@ func (f *Index) applyDeltasEntry(e *treeEntry, id string, iPlus, iMinus profile.
 		s.add(lt, id, c)
 		s.mu.Unlock()
 	}
-	return nil
+	// The metric copy is maintained while e.mu is still held, so deltas to
+	// the same document reach the metric index in the order they reached
+	// the bag.
+	return f.metric.applyDeltas(id, iPlus, iMinus)
 }
 
 // SelfCheck verifies the internal consistency of the index: the inverted
@@ -432,6 +443,11 @@ func (f *Index) SelfCheck() error {
 	}
 	if total != len(want) {
 		return fmt.Errorf("forest: %d posting keys, want %d", total, len(want))
+	}
+	if f.metric.built {
+		if err := f.metricSelfCheckLocked(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -511,35 +527,10 @@ func (f *Index) lookupExhaustiveLocked(q profile.Index, qSize int, tau float64, 
 }
 
 // LookupTop returns the k nearest trees by pq-gram distance (fewer if the
-// forest is smaller), sorted by ascending distance.
+// forest is smaller), sorted by ascending distance. It is LookupTopK
+// under the planner's candidate strategy; see metric.go.
 func (f *Index) LookupTop(query *tree.Tree, k int) []Match {
-	m := f.obs.Load()
-	var t0 time.Time
-	if m != nil {
-		t0 = time.Now()
-	}
-	q := profile.BuildIndex(query, f.pr)
-	qSize := q.Size()
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	overlaps := f.overlapsLocked(q)
-	if m != nil {
-		m.lookupCandidates.Add(int64(len(overlaps)))
-	}
-	out := make([]Match, 0, len(f.trees))
-	for id, e := range f.trees {
-		out = append(out, Match{TreeID: id, Distance: distanceFrom(qSize, int(e.size.Load()), overlaps[id])})
-	}
-	sortMatches(out)
-	if k < len(out) {
-		out = out[:k]
-	}
-	if m != nil {
-		m.lookups.Inc()
-		m.lookupMatches.Add(int64(len(out)))
-		m.lookupNS.ObserveSince(t0)
-	}
-	return out
+	return f.LookupIndexTopK(profile.BuildIndex(query, f.pr), k)
 }
 
 // overlapsLocked accumulates |I(query) ∩ I(T)| per tree via the postings.

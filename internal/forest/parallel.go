@@ -105,6 +105,7 @@ func (f *Index) AddIndexes(ids []string, bags []profile.Index, workers int) erro
 		e := &treeEntry{idx: bags[i]}
 		e.size.Store(int64(bags[i].Size()))
 		f.trees[id] = e
+		f.metric.add(id, bags[i])
 	}
 	if m := f.obs.Load(); m != nil {
 		m.bulkOps.Inc()

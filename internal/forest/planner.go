@@ -52,6 +52,10 @@ const (
 	// (0 < τ ≤ 1 and a non-empty query index), regardless of collection
 	// size.
 	PlanPruned
+	// PlanMetric answers top-k lookups through the VP-tree metric index
+	// (metric.go), building it on first use; threshold lookups keep the
+	// PlanAuto strategy. Results are identical in every mode.
+	PlanMetric
 )
 
 // prunedMinTrees is the smallest collection for which PlanAuto chooses the
@@ -82,6 +86,28 @@ func (f *Index) usePrunedLocked(qSize int, tau float64) bool {
 		return true
 	default:
 		return tau < 1 && len(f.trees) >= prunedMinTrees
+	}
+}
+
+// useMetricLocked is the planner decision for one top-k lookup (k > 0).
+// It requires f.mu held (read suffices). PlanMetric forces the VP-tree,
+// PlanExhaustive forbids it; PlanAuto and PlanPruned descend the tree
+// when the collection is large enough to amortize the descent and k is a
+// small fraction of it — for k near the collection size nearly every
+// document is in the answer and the postings scan is already optimal.
+// Once the metric index is built (and therefore paid for and maintained),
+// the auto mode uses it for any k below the collection size.
+func (f *Index) useMetricLocked(k int) bool {
+	switch f.PlanMode() {
+	case PlanExhaustive:
+		return false
+	case PlanMetric:
+		return true
+	default:
+		if f.metric.built {
+			return k < len(f.trees)
+		}
+		return len(f.trees) >= metricMinTrees && k*metricKFactor <= len(f.trees)
 	}
 }
 

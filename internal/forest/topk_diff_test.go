@@ -1,0 +1,412 @@
+// Differential and metamorphic battery for top-k lookups: the VP-tree
+// metric path must return results byte-identical to the brute-force
+// k-smallest scan — same IDs, same float distances, same (distance, id)
+// tie-breaks — on every seed, every k shape, and under concurrent
+// incremental maintenance. The brute-force reference here is computed
+// from scratch via per-tree Index.Distance, so it shares no code with
+// either planner path.
+
+package forest_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"pqgram/internal/forest"
+	"pqgram/internal/gen"
+	"pqgram/internal/obs"
+	"pqgram/internal/profile"
+	"pqgram/internal/tree"
+)
+
+// bruteTopK is the independent reference: score every indexed tree with
+// Index.Distance on a copied bag, sort by (distance, id), truncate to k.
+func bruteTopK(f *forest.Index, q profile.Index, k int) []forest.Match {
+	if k <= 0 {
+		return nil
+	}
+	var out []forest.Match
+	for _, id := range f.IDs() {
+		out = append(out, forest.Match{TreeID: id, Distance: q.Distance(f.TreeIndex(id))})
+	}
+	forest.SortMatchesForTest(out)
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// topkAllModes runs the same top-k query through every planner mode plus
+// the independent brute force and fails on any divergence.
+func topkAllModes(t *testing.T, f *forest.Index, q profile.Index, k int, ctx string) []forest.Match {
+	t.Helper()
+	want := bruteTopK(f, q, k)
+	modes := []struct {
+		name string
+		mode forest.PlanMode
+	}{
+		{"exhaustive", forest.PlanExhaustive},
+		{"metric", forest.PlanMetric},
+		{"auto", forest.PlanAuto},
+		{"pruned", forest.PlanPruned},
+	}
+	for _, m := range modes {
+		f.SetPlanMode(m.mode)
+		got := f.LookupIndexTopK(q, k)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: %s top-%d diverged from brute force\ngot:  %v\nwant: %v",
+				ctx, m.name, k, got, want)
+		}
+	}
+	f.SetPlanMode(forest.PlanAuto)
+	return want
+}
+
+// TestTopKDifferential is the randomized sweep: 200 seeds, each building
+// a random forest (mixed generators, duplicate documents, occasionally a
+// forest of identical trees so every distance ties) and querying it with
+// members, perturbed members and unrelated trees at k ∈ {1, 5, |D|,
+// |D|+1}. Every planner mode must match the independent brute force
+// exactly, top-k must be a prefix of top-(k+1), and top-|D| must agree
+// with the full threshold lookup at τ = ∞.
+func TestTopKDifferential(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nDocs := rng.Intn(41) // 0..40: includes the empty forest
+		identical := seed%23 == 0 && nDocs > 0
+		f := forest.New(p33)
+		var member *tree.Tree
+		for i := 0; i < nDocs; i++ {
+			var doc *tree.Tree
+			switch {
+			case identical:
+				doc = tree.MustParse("a(b(c d) e)")
+			case i > 0 && rng.Intn(5) == 0:
+				doc = gen.RandomTree(rand.New(rand.NewSource(seed*100)), 10) // duplicate cluster
+			case rng.Intn(3) == 0:
+				doc = gen.RandomTree(rng, 2+rng.Intn(60))
+			case rng.Intn(2) == 0:
+				doc = gen.DBLP(seed*31+int64(i%4), 20+rng.Intn(80))
+			default:
+				doc = gen.XMark(seed*37+int64(i%3), 20+rng.Intn(80))
+			}
+			if err := f.Add(fmt.Sprintf("doc-%03d", i), doc); err != nil {
+				t.Fatal(err)
+			}
+			if member == nil {
+				member = doc
+			}
+		}
+		queries := []*tree.Tree{gen.RandomTree(rng, 1+rng.Intn(50))}
+		if member != nil {
+			queries = append(queries, member)
+			if q, _, err := gen.Perturb(rng, member, 1+rng.Intn(12), gen.DefaultMix); err == nil {
+				queries = append(queries, q)
+			}
+		}
+		for qi, query := range queries {
+			q := profile.BuildIndex(query, p33)
+			ctx := fmt.Sprintf("seed %d query %d (|D|=%d)", seed, qi, nDocs)
+			for _, k := range []int{1, 5, nDocs, nDocs + 1} {
+				topkAllModes(t, f, q, k, ctx)
+			}
+			// Metamorphic: top-k is a prefix of top-(k+1).
+			k := 1 + rng.Intn(nDocs+2)
+			small, big := topkAllModes(t, f, q, k, ctx), topkAllModes(t, f, q, k+1, ctx)
+			if len(small) > len(big) || !reflect.DeepEqual(small, big[:len(small)]) {
+				t.Fatalf("%s: top-%d is not a prefix of top-%d\ntop-k:   %v\ntop-k+1: %v",
+					ctx, k, k+1, small, big)
+			}
+			// Metamorphic: top-|D| is the τ=∞ threshold lookup, ranked.
+			all := topkAllModes(t, f, q, nDocs, ctx)
+			full := f.LookupIndex(q, 2)
+			if nDocs == 0 {
+				full = nil
+			}
+			if !reflect.DeepEqual(all, full) {
+				t.Fatalf("%s: top-|D| disagrees with Lookup(τ=∞)\ntopk:   %v\nlookup: %v", ctx, all, full)
+			}
+		}
+		if err := f.SelfCheck(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestTopKEdgeCases pins the boundary inputs individually: k ≤ 0, empty
+// forest, empty query bag, duplicate trees (distance ties broken by ID),
+// and k beyond the collection.
+func TestTopKEdgeCases(t *testing.T) {
+	empty := forest.New(p33)
+	if got := empty.LookupTopK(tree.MustParse("a(b)"), 3); got != nil {
+		t.Fatalf("top-k on empty forest = %v, want nil", got)
+	}
+	if _, ok := empty.LookupNearest(tree.MustParse("a")); ok {
+		t.Fatal("nearest on empty forest reported a match")
+	}
+	twins := buildForest(t, map[string]*tree.Tree{
+		"t1": tree.MustParse("a(b c)"), "t2": tree.MustParse("a(b c)"), "t3": tree.MustParse("x(y)"),
+	})
+	q := profile.BuildIndex(tree.MustParse("a(b c)"), p33)
+	for _, k := range []int{-1, 0} {
+		twins.SetPlanMode(forest.PlanMetric)
+		if got := twins.LookupIndexTopK(q, k); got != nil {
+			t.Fatalf("top-%d = %v, want nil", k, got)
+		}
+	}
+	got := topkAllModes(t, twins, q, 2, "twins")
+	if len(got) != 2 || got[0].Distance != 0 || got[1].Distance != 0 ||
+		got[0].TreeID != "t1" || got[1].TreeID != "t2" {
+		t.Fatalf("duplicate trees not tie-broken by ID: %v", got)
+	}
+	topkAllModes(t, twins, profile.Index{}, 2, "twins, empty query")
+	topkAllModes(t, twins, q, 10, "twins, k beyond |D|")
+	if m, ok := twins.LookupNearest(tree.MustParse("a(b c)")); !ok || m.TreeID != "t1" || m.Distance != 0 {
+		t.Fatalf("nearest = %v, %v; want t1 at 0", m, ok)
+	}
+}
+
+// TestTopKIncrementalMaintenance drives the metric index through its
+// maintenance paths — buffered adds past the flush threshold, removes
+// (tombstones), incremental updates of both buffered and tree-resident
+// documents, and dirty-subtree rebuilds — re-verifying exactness and the
+// structural invariants after every phase.
+func TestTopKIncrementalMaintenance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := forest.New(p33)
+	docs := make(map[string]*tree.Tree)
+	for i := 0; i < 80; i++ {
+		id := fmt.Sprintf("doc-%03d", i)
+		docs[id] = gen.RandomTree(rng, 5+rng.Intn(40))
+		if err := f.Add(id, docs[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query := gen.RandomTree(rng, 20)
+	q := profile.BuildIndex(query, p33)
+	// Force the build, then mutate: the structure must stay exact through
+	// every incremental phase.
+	f.SetPlanMode(forest.PlanMetric)
+	f.LookupIndexTopK(q, 5)
+	if !f.MetricReady() {
+		t.Fatal("metric index not built after a PlanMetric lookup")
+	}
+	check := func(phase string) {
+		t.Helper()
+		for _, k := range []int{1, 7, 40, 200} {
+			topkAllModes(t, f, q, k, phase)
+		}
+		f.SetPlanMode(forest.PlanMetric)
+		if err := f.SelfCheck(); err != nil {
+			t.Fatalf("%s: %v", phase, err)
+		}
+	}
+	// Buffered adds, several times past the flush threshold.
+	for i := 80; i < 200; i++ {
+		id := fmt.Sprintf("doc-%03d", i)
+		docs[id] = gen.RandomTree(rng, 5+rng.Intn(40))
+		if err := f.Add(id, docs[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("after buffered adds")
+	// Tombstone more than half the tree to force dirty-subtree rebuilds.
+	for i := 0; i < 150; i += 1 {
+		id := fmt.Sprintf("doc-%03d", i)
+		if err := f.Remove(id); err != nil {
+			t.Fatal(err)
+		}
+		delete(docs, id)
+	}
+	check("after mass removal")
+	// Incremental updates: some documents are freshly buffered, some are
+	// tree residents; both must keep their metric copy in sync.
+	for i := 150; i < 190; i++ {
+		id := fmt.Sprintf("doc-%03d", i)
+		_, log, err := gen.RandomScript(rng, docs[id], 1+rng.Intn(6), gen.DefaultMix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Update(id, docs[id], log); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("after incremental updates")
+	// Re-add under previously removed IDs, then update those too.
+	for i := 0; i < 30; i++ {
+		id := fmt.Sprintf("doc-%03d", i)
+		docs[id] = gen.RandomTree(rng, 5+rng.Intn(40))
+		if err := f.Add(id, docs[id]); err != nil {
+			t.Fatal(err)
+		}
+		_, log, err := gen.RandomScript(rng, docs[id], 1+rng.Intn(4), gen.DefaultMix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Update(id, docs[id], log); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("after re-adds and updates")
+}
+
+// TestTopKUnderConcurrentUpdates runs metric-planned top-k lookups
+// concurrently with AddAll batches, removes and incremental updates under
+// the race detector, then verifies post-quiescence exactness in every
+// planner mode.
+func TestTopKUnderConcurrentUpdates(t *testing.T) {
+	f := forest.New(p33)
+	f.SetPlanMode(forest.PlanMetric)
+	rng := rand.New(rand.NewSource(11))
+	seedDocs := make([]forest.Doc, 24)
+	for i := range seedDocs {
+		seedDocs[i] = forest.Doc{ID: fmt.Sprintf("seed-%02d", i), Tree: gen.DBLP(int64(i%3), 40+i)}
+	}
+	if err := f.AddAll(seedDocs, 2); err != nil {
+		t.Fatal(err)
+	}
+	query, _, err := gen.Perturb(rng, seedDocs[0].Tree, 3, gen.DefaultMix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := profile.BuildIndex(query, p33)
+	f.LookupIndexTopK(q, 3) // build the metric index before the storm
+
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				got := f.LookupIndexTopK(q, 1+(w+i)%9)
+				for j := 1; j < len(got); j++ {
+					if got[j].Distance < got[j-1].Distance ||
+						(got[j].Distance == got[j-1].Distance && got[j].TreeID <= got[j-1].TreeID) {
+						t.Errorf("unsorted top-k under concurrency: %v", got)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for b := 0; b < 4; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(int64(100 + b)))
+			batch := make([]forest.Doc, 6)
+			for i := range batch {
+				batch[i] = forest.Doc{
+					ID:   fmt.Sprintf("batch-%d-%02d", b, i),
+					Tree: gen.DBLP(int64(b*6+i), 30+i*7),
+				}
+			}
+			if err := f.AddAll(batch, 2); err != nil {
+				t.Error(err)
+				return
+			}
+			// Each writer owns seed docs i ≡ b (mod 4): update or churn.
+			for i := b; i < len(seedDocs); i += 4 {
+				doc := seedDocs[i].Tree
+				_, log, err := gen.RandomScript(wrng, doc, 1+wrng.Intn(5), gen.DefaultMix)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := f.Update(seedDocs[i].ID, doc, log); err != nil {
+					t.Error(err)
+					return
+				}
+				if wrng.Intn(2) == 0 {
+					if err := f.Remove(seedDocs[i].ID); err != nil {
+						t.Error(err)
+						return
+					}
+					if err := f.Add(seedDocs[i].ID, doc); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(b)
+	}
+	wg.Wait()
+	if err := f.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 5, 24, 48, 100} {
+		topkAllModes(t, f, q, k, "post-concurrency")
+	}
+}
+
+// TestTopKPrunesObservably attaches a collector and checks that on a
+// clustered corpus with a near-duplicate query the VP-tree visits
+// strictly fewer nodes than the exhaustive scan examines candidates, and
+// that the triangle bound reports actual pruning work.
+//
+// The corpus is 16 XMark base documents with 8 perturbed versions each —
+// the dedup shape top-k queries exist for. On corpora of mutually
+// dissimilar documents the k-th best distance sits in the bulk of the
+// distance distribution and no exact metric index can prune
+// (concentration of measure); with version clusters the k nearest are
+// genuinely near and the triangle bound bites.
+func TestTopKPrunesObservably(t *testing.T) {
+	f := forest.New(p33)
+	rng := rand.New(rand.NewSource(5))
+	bases := gen.XMarkForest(3, 16, 16*60)
+	var docs []*tree.Tree
+	for _, b := range bases {
+		for v := 0; v < 8; v++ {
+			doc := b
+			if v > 0 {
+				var err error
+				doc, _, err = gen.Perturb(rng, b, 1+rng.Intn(5), gen.XMLSafeMix)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			docs = append(docs, doc)
+		}
+	}
+	for i, d := range docs {
+		if err := f.Add(fmt.Sprintf("doc-%03d", i), d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query, _, err := gen.Perturb(rng, bases[5], 3, gen.XMLSafeMix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := profile.BuildIndex(query, p33)
+
+	col := obs.NewCollector()
+	f.SetCollector(col)
+	defer f.SetCollector(nil)
+
+	f.SetPlanMode(forest.PlanExhaustive)
+	before := col.Snapshot()
+	f.LookupIndexTopK(q, 5)
+	mid := col.Snapshot()
+	f.SetPlanMode(forest.PlanMetric)
+	f.LookupIndexTopK(q, 5) // first call may build; second measures steady state
+	mid2 := col.Snapshot()
+	f.LookupIndexTopK(q, 5)
+	after := col.Snapshot()
+
+	exDelta := mid.CounterDeltas(before)
+	prDelta := after.CounterDeltas(mid2)
+	exExamined := exDelta["forest_lookup_candidates_examined"]
+	visited := prDelta["forest_metric_nodes_visited"]
+	if exExamined != 128 {
+		t.Fatalf("exhaustive top-k examined %d candidates, want 128", exExamined)
+	}
+	if visited == 0 || visited >= exExamined {
+		t.Fatalf("metric top-k visited %d nodes, exhaustive examined %d — no pruning", visited, exExamined)
+	}
+	if prDelta["forest_metric_pruned_triangle"] == 0 {
+		t.Fatal("metric top-k reported no triangle pruning")
+	}
+}

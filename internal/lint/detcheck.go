@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -10,19 +11,24 @@ import (
 // lookup/join results are byte-for-byte identical at any worker count and
 // every persisted encoding is canonical, so iterating a Go map (whose
 // order is deliberately randomized) may not feed a returned slice or an
-// output stream unless the data is sorted on the way. The two flagged
-// shapes are
+// output stream unless the data is sorted on the way, and a top-k
+// ranking drained from a heap must be sorted with the total, tie-broken
+// comparator before it escapes (a binary heap orders only its root — the
+// rest of the backing array is an arbitrary permutation that depends on
+// insertion order). The three flagged shapes are
 //
 //   - `for k := range m { out = append(out, ...) }` where out is returned
-//     and no sort call touches it afterwards, and
+//     and no sort call touches it afterwards,
 //   - any write to an io.Writer-like destination from inside the body of
-//     a range over a map.
+//     a range over a map, and
+//   - a returned slice filled from a heap (copy from it, append of its
+//     elements, or a direct alias of it) with no sort call afterwards.
 //
 // The canonical fix is the collect-sort-emit pattern; order-insensitive
 // reductions (sums, map-to-map merges) are not flagged.
 var DetCheck = &Analyzer{
 	Name: "detcheck",
-	Doc:  "map iteration must not feed returned slices or output streams without a sort",
+	Doc:  "map iteration and heap drains must not feed returned slices or output streams without a sort",
 	Run:  runDetCheck,
 }
 
@@ -66,18 +72,132 @@ func checkFuncDeterminism(p *Pass, body *ast.BlockStmt, ftype *ast.FuncType) {
 	info := p.Pkg.Info
 	returned := returnedVars(info, body, ftype)
 	inspectShallow(body, func(n ast.Node) {
-		rng, ok := n.(*ast.RangeStmt)
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			t := info.TypeOf(n.X)
+			if t == nil {
+				return
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				checkMapRangeBody(p, body, n, returned)
+				return
+			}
+			if isHeapExpr(n.X) {
+				checkHeapRangeBody(p, body, n, returned)
+			}
+		case *ast.AssignStmt:
+			checkHeapAssign(p, body, n, returned)
+		case *ast.CallExpr:
+			checkHeapCopy(p, body, n, returned)
+		}
+	})
+}
+
+// isHeapExpr reports whether the expression's text names a heap — the
+// repo's convention for bounded top-k selection state (vpSearch.heap,
+// container/heap calls). Text matching is deliberate: the invariant is
+// about intent, and every partial-selection structure here says so in
+// its name.
+func isHeapExpr(x ast.Expr) bool {
+	return strings.Contains(strings.ToLower(types.ExprString(ast.Unparen(x))), "heap")
+}
+
+const heapHint = "a binary heap orders only its root; sort the drained slice with the total, tie-broken comparator (sortMatches: ascending distance, ties by ID) before it escapes"
+
+// checkHeapAssign flags `out = append(out, <heap element>)` and
+// `out := <heap slice>` where out is returned and never sorted after: the
+// heap's backing array is an arbitrary permutation past index 0, so a
+// ranking built from it is nondeterministic until the final sort.
+func checkHeapAssign(p *Pass, fnBody *ast.BlockStmt, n *ast.AssignStmt, returned map[types.Object]bool) {
+	info := p.Pkg.Info
+	for i, rhs := range n.Rhs {
+		if i >= len(n.Lhs) {
+			break
+		}
+		id, ok := n.Lhs[i].(*ast.Ident)
 		if !ok {
-			return
+			continue
 		}
-		t := info.TypeOf(rng.X)
-		if t == nil {
-			return
+		obj := info.ObjectOf(id)
+		if obj == nil || !returned[obj] {
+			continue
 		}
-		if _, isMap := t.Underlying().(*types.Map); !isMap {
-			return
+		src := ast.Unparen(rhs)
+		heapFed := false
+		switch src := src.(type) {
+		case *ast.CallExpr:
+			if calleeName(src) == "append" {
+				for _, arg := range src.Args[1:] {
+					heapFed = heapFed || isHeapExpr(arg)
+				}
+			}
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.SliceExpr:
+			// Direct aliases of the heap (out := s.heap, out := s.heap[:k]).
+			// Other expressions merely mentioning it — make() sized by
+			// len(s.heap), arithmetic on it — are not drains.
+			heapFed = isHeapExpr(src)
 		}
-		checkMapRangeBody(p, body, rng, returned)
+		if !heapFed || sortedAfter(info, fnBody, n.End(), obj) {
+			continue
+		}
+		p.ReportHintf(n.Pos(), heapHint,
+			"top-k ranking %q drained from a heap without a following sort", id.Name)
+	}
+}
+
+// checkHeapCopy flags `copy(out, <heap slice>)` where out is returned and
+// never sorted after — the drain shape of lookupTopMetricLocked.
+func checkHeapCopy(p *Pass, fnBody *ast.BlockStmt, call *ast.CallExpr, returned map[types.Object]bool) {
+	info := p.Pkg.Info
+	if calleeName(call) != "copy" || len(call.Args) != 2 || !isHeapExpr(call.Args[1]) {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil || !returned[obj] || sortedAfter(info, fnBody, call.End(), obj) {
+		return
+	}
+	p.ReportHintf(call.Pos(), heapHint,
+		"top-k ranking %q drained from a heap without a following sort", id.Name)
+}
+
+// checkHeapRangeBody flags appends to a returned slice from inside a
+// range over a heap, unless the slice is sorted after the loop. Appends
+// whose source is itself heap-shaped are left to checkHeapAssign.
+func checkHeapRangeBody(p *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, returned map[types.Object]bool) {
+	info := p.Pkg.Info
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || calleeName(call) != "append" || i >= len(asg.Lhs) {
+				continue
+			}
+			srcIsHeap := false
+			for _, arg := range call.Args[1:] {
+				srcIsHeap = srcIsHeap || isHeapExpr(arg)
+			}
+			if srcIsHeap {
+				continue
+			}
+			id, ok := asg.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.ObjectOf(id)
+			if obj == nil || !returned[obj] || sortedAfter(info, fnBody, rng.End(), obj) {
+				continue
+			}
+			p.ReportHintf(asg.Pos(), heapHint,
+				"top-k ranking %q drained from a heap without a following sort", id.Name)
+		}
+		return true
 	})
 }
 
@@ -101,7 +221,7 @@ func checkMapRangeBody(p *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, retur
 				if obj == nil || !returned[obj] {
 					continue
 				}
-				if sortedAfter(info, fnBody, rng, obj) {
+				if sortedAfter(info, fnBody, rng.End(), obj) {
 					continue
 				}
 				p.ReportHintf(n.Pos(),
@@ -149,15 +269,15 @@ func returnedVars(info *types.Info, body *ast.BlockStmt, ftype *ast.FuncType) ma
 	return out
 }
 
-// sortedAfter reports whether, after the range statement, the function
+// sortedAfter reports whether, after the given position, the function
 // calls something sort-shaped on obj: a call whose name contains "sort"
 // (sort.Slice, sort.Strings, slices.SortFunc, sortMatches, ...) taking
 // the variable as an argument or receiver.
-func sortedAfter(info *types.Info, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+func sortedAfter(info *types.Info, fnBody *ast.BlockStmt, after token.Pos, obj types.Object) bool {
 	found := false
 	inspectShallow(fnBody, func(n ast.Node) {
 		call, ok := n.(*ast.CallExpr)
-		if !ok || call.Pos() < rng.End() || found {
+		if !ok || call.Pos() < after || found {
 			return
 		}
 		// Match on the full callee text so both sortMatches(out) and

@@ -21,8 +21,9 @@
 //   - errcheck-durability: Sync/Close/Rename/Remove/Truncate/rollback
 //     errors on the durability path must not be discarded.
 //   - detcheck: iteration over a map must not feed a returned slice or an
-//     output stream without an intervening sort (the nondeterminism bug
-//     class).
+//     output stream without an intervening sort, and a top-k ranking
+//     drained from a heap must be sorted with the tie-broken comparator
+//     before it is returned (the nondeterminism bug class).
 //
 // # Suppression
 //

@@ -1,5 +1,7 @@
 // Fixture for detcheck: iterating a map (randomized order) must not feed
-// a returned slice or an output stream without an intervening sort.
+// a returned slice or an output stream without an intervening sort, and
+// a top-k ranking drained from a heap must be sorted (tie-broken) before
+// it is returned.
 package detfix
 
 import (
@@ -77,4 +79,69 @@ func goodWrite(w io.Writer, m map[string]int) error {
 		}
 	}
 	return nil
+}
+
+// --- top-k ranking drains ---------------------------------------------
+
+// match mirrors the forest's Match: a ranking entry ordered by distance
+// with ties broken by ID.
+type match struct {
+	ID   string
+	Dist float64
+}
+
+// search mirrors vpSearch: a bounded max-heap of the best k seen, whose
+// backing array beyond index 0 is an arbitrary permutation.
+type search struct {
+	heap []match
+}
+
+func badHeapCopy(s *search) []match {
+	out := make([]match, len(s.heap))
+	copy(out, s.heap) // want `top-k ranking "out" drained from a heap without a following sort`
+	return out
+}
+
+// copy-then-sort is the canonical drain (lookupTopMetricLocked's shape).
+func goodHeapCopy(s *search) []match {
+	out := make([]match, len(s.heap))
+	copy(out, s.heap)
+	sortRanking(out)
+	return out
+}
+
+func badHeapAppend(s *search) []match {
+	var out []match
+	for _, m := range s.heap {
+		out = append(out, m) // want `top-k ranking "out" drained from a heap without a following sort`
+	}
+	return out
+}
+
+func goodHeapAppend(s *search) []match {
+	var out []match
+	out = append(out, s.heap...)
+	sortRanking(out)
+	return out
+}
+
+func badHeapAlias(s *search) []match {
+	out := s.heap // want `top-k ranking "out" drained from a heap without a following sort`
+	return out
+}
+
+// A drain that never escapes as a result is not a ranking.
+func heapLocalOnly(s *search) int {
+	tmp := make([]match, len(s.heap))
+	copy(tmp, s.heap)
+	return len(tmp)
+}
+
+func sortRanking(ms []match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Dist != ms[j].Dist {
+			return ms[i].Dist < ms[j].Dist
+		}
+		return ms[i].ID < ms[j].ID
+	})
 }

@@ -1,0 +1,46 @@
+package profile
+
+// Metric-space view of pq-gram indexes.
+//
+// The normalized pq-gram distance of Definition 3,
+//
+//	dist(T, T') = 1 − 2·|I ∩ I'| / (|I| + |I'|),
+//
+// is only a *pseudo*-metric on trees and, worse for index structures, it
+// violates the triangle inequality: with I = {x}, I' = {y}, I'' = {x, y},
+// dist(I, I') = 1 but dist(I, I'') + dist(I'', I') = 1/3 + 1/3. A
+// vantage-point tree pruning on it directly would be unsound.
+//
+// The *absolute* bag distance
+//
+//	D(I, I') = |I| + |I'| − 2·|I ∩ I'| = Σ_t |I(t) − I'(t)|
+//
+// is the L1 distance between the multiplicity vectors, hence a true
+// metric (non-negative, symmetric, zero on equal bags, triangular). The
+// metric index is built over D; FuzzDistanceMetric in metric_test.go
+// fuzzes exactly the properties the VP-tree pruning depends on. The two
+// distances determine each other given the bag sizes:
+//
+//	dist(T, T') = D(I, I') / (|I| + |I'|)        (0 when both are empty)
+//
+// so exact normalized nearest-neighbor queries can be answered with
+// triangle-inequality bounds on D plus size bounds (forest/metric.go).
+
+// MetricDistanceFrom computes the absolute pq-gram distance D from the
+// two bag sizes and the bag overlap:
+//
+//	D = size1 + size2 − 2·overlap
+//
+// It is related to the normalized distance by
+// DistanceFrom(s1, s2, ov) = MetricDistanceFrom(s1, s2, ov) / (s1 + s2).
+func MetricDistanceFrom(size1, size2, overlap int) int {
+	return size1 + size2 - 2*overlap
+}
+
+// MetricDistance returns the absolute pq-gram distance D(idx, other), the
+// L1 distance between the two multiplicity vectors. Unlike the normalized
+// Index.Distance it satisfies the triangle inequality, which makes it the
+// distance the metric index (internal/forest) organizes documents by.
+func (idx Index) MetricDistance(other Index) int {
+	return MetricDistanceFrom(idx.Size(), other.Size(), idx.IntersectSize(other))
+}

@@ -1,0 +1,119 @@
+package profile_test
+
+import (
+	"testing"
+
+	"pqgram/internal/profile"
+	"pqgram/internal/tree"
+)
+
+// decodeTree builds a deterministic tree from fuzz bytes: each byte
+// either descends into a new child, adds a sibling leaf, climbs back up,
+// or starts a new subtree at the root, with the label drawn from a small
+// alphabet so that bags genuinely collide.
+func decodeTree(data []byte) *tree.Tree {
+	labels := [...]string{"a", "b", "c", "d"}
+	if len(data) > 96 {
+		data = data[:96]
+	}
+	t := tree.New(labels[0])
+	cur := t.Root()
+	for _, b := range data {
+		l := labels[b&3]
+		switch (b >> 2) & 3 {
+		case 0:
+			cur = t.AddChild(cur, l)
+		case 1:
+			t.AddChild(cur, l)
+		case 2:
+			if p := cur.Parent(); p != nil {
+				cur = p
+			} else {
+				t.AddChild(cur, l)
+			}
+		default:
+			cur = t.AddChild(t.Root(), l)
+		}
+	}
+	return t
+}
+
+// FuzzDistanceMetric fuzzes the metric axioms of the absolute pq-gram
+// distance D on random tree triples: non-negativity, identity on equal
+// bags, symmetry, the triangle inequality — the invariant the VP-tree
+// pruning in internal/forest silently depends on — plus the exact
+// relation between D and the normalized Definition-3 distance. The
+// normalized distance itself violates the triangle inequality, which is
+// precisely why the metric index is built over D; the seed corpus pins
+// the known counterexample shape.
+func FuzzDistanceMetric(f *testing.F) {
+	f.Add([]byte{0, 1, 2}, []byte{5, 6}, []byte{9}, uint8(3), uint8(3))
+	f.Add([]byte{}, []byte{0}, []byte{0, 0}, uint8(1), uint8(1))
+	f.Add([]byte{13, 13, 13}, []byte{13, 13, 13}, []byte{2, 4, 8}, uint8(2), uint8(4))
+	f.Fuzz(func(t *testing.T, ab, bb, cb []byte, p, q uint8) {
+		pr := profile.Params{P: 1 + int(p%4), Q: 1 + int(q%4)}
+		ta, tb, tc := decodeTree(ab), decodeTree(bb), decodeTree(cb)
+		ia, ib, ic := profile.BuildIndex(ta, pr), profile.BuildIndex(tb, pr), profile.BuildIndex(tc, pr)
+
+		bags := []profile.Index{ia, ib, ic}
+		for _, x := range bags {
+			if d := x.MetricDistance(x); d != 0 {
+				t.Fatalf("D(x, x) = %d, want 0", d)
+			}
+			for _, y := range bags {
+				dxy := x.MetricDistance(y)
+				if dxy < 0 {
+					t.Fatalf("D = %d < 0", dxy)
+				}
+				if dyx := y.MetricDistance(x); dyx != dxy {
+					t.Fatalf("asymmetric: D(x,y)=%d, D(y,x)=%d", dxy, dyx)
+				}
+				if (dxy == 0) != x.Equal(y) {
+					t.Fatalf("D(x,y)=%d but bags equal=%v", dxy, x.Equal(y))
+				}
+				// D determines the normalized Definition-3 distance.
+				u := x.Size() + y.Size()
+				want := profile.DistanceFrom(x.Size(), y.Size(), (u-dxy)/2)
+				if got := x.Distance(y); got != want {
+					t.Fatalf("normalized distance %v, want %v from D=%d", got, want, dxy)
+				}
+				if profile.MetricDistanceFrom(x.Size(), y.Size(), x.IntersectSize(y)) != dxy {
+					t.Fatal("MetricDistanceFrom disagrees with MetricDistance")
+				}
+			}
+		}
+		// Triangle inequality on every ordering of the triple.
+		dab, dbc, dac := ia.MetricDistance(ib), ib.MetricDistance(ic), ia.MetricDistance(ic)
+		if dac > dab+dbc {
+			t.Fatalf("triangle violated: D(a,c)=%d > D(a,b)+D(b,c)=%d+%d", dac, dab, dbc)
+		}
+		if dab > dac+dbc {
+			t.Fatalf("triangle violated: D(a,b)=%d > D(a,c)+D(c,b)=%d+%d", dab, dac, dbc)
+		}
+		if dbc > dab+dac {
+			t.Fatalf("triangle violated: D(b,c)=%d > D(b,a)+D(a,c)=%d+%d", dbc, dab, dac)
+		}
+	})
+}
+
+// TestNormalizedDistanceIsNotAMetric pins the counterexample that forces
+// the VP-tree onto the absolute distance: three bags for which the
+// normalized pq-gram distance violates the triangle inequality. If a
+// refactor ever made the normalized distance look triangular enough to
+// build the index on, this test is the record of why it must not be.
+func TestNormalizedDistanceIsNotAMetric(t *testing.T) {
+	a := profile.Index{profile.TupleOfLabels("a", "a", "a"): 1}
+	b := profile.Index{profile.TupleOfLabels("b", "b", "b"): 1}
+	c := profile.Index{
+		profile.TupleOfLabels("a", "a", "a"): 1,
+		profile.TupleOfLabels("b", "b", "b"): 1,
+	}
+	dab, dac, dcb := a.Distance(b), a.Distance(c), c.Distance(b)
+	if dab <= dac+dcb {
+		t.Fatalf("expected a triangle violation, got %v ≤ %v + %v", dab, dac, dcb)
+	}
+	// The absolute distance on the same triple is triangular.
+	if a.MetricDistance(b) > a.MetricDistance(c)+c.MetricDistance(b) {
+		t.Fatal("absolute distance violated the triangle inequality")
+	}
+}

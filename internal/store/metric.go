@@ -1,0 +1,198 @@
+// Persistence of the VP-tree metric index (forest/metric.go) as a
+// sidecar next to the base snapshot. The sidecar stores only the tree
+// *shape* — preorder node ids plus routing integers; the bags are
+// reattached from the base on restore — so it stays a small fraction of
+// the snapshot and never duplicates checksummed content.
+//
+// Crash-consistency: like the journal, the sidecar embeds the crc32 of
+// the base snapshot it was dumped against. Compact writes it (atomically)
+// only after the new base has been renamed into place, so every crash
+// window resolves cleanly on open: a sidecar naming a different base is
+// simply discarded and the metric index rebuilds lazily — losing the
+// sidecar can cost a rebuild, never correctness.
+//
+// Layout (integers are unsigned varints unless noted):
+//
+//	magic "PQGV" | version byte | baseCRC (4 bytes big endian) | numNodes
+//	numNodes × ( idLen | id bytes | children byte |
+//	             radius | szMin | szMax | inLo | inHi | outLo | outHi )
+//	crc32-IEEE of everything above (4 bytes big endian)
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"pqgram/internal/forest"
+	"pqgram/internal/fsio"
+)
+
+var metricMagic = [4]byte{'P', 'Q', 'G', 'V'}
+
+const metricVersion = 1
+
+// metricPath is the sidecar name for a base snapshot path.
+func metricPath(base string) string { return base + ".vpt" }
+
+// saveMetric writes the dump bound to baseCRC.
+func saveMetric(w io.Writer, baseCRC uint32, dump []forest.MetricNodeDump) error {
+	cw := &crcWriter{w: bufio.NewWriter(w), h: crc32.NewIEEE()}
+	if _, err := cw.Write(metricMagic[:]); err != nil {
+		return err
+	}
+	if _, err := cw.Write([]byte{metricVersion}); err != nil {
+		return err
+	}
+	var base [4]byte
+	binary.BigEndian.PutUint32(base[:], baseCRC)
+	if _, err := cw.Write(base[:]); err != nil {
+		return err
+	}
+	putUvarint(cw, uint64(len(dump)))
+	for _, n := range dump {
+		putUvarint(cw, uint64(len(n.ID)))
+		if _, err := io.WriteString(cw, n.ID); err != nil {
+			return err
+		}
+		if _, err := cw.Write([]byte{n.Children}); err != nil {
+			return err
+		}
+		for _, v := range [...]int{n.Radius, n.SzMin, n.SzMax, n.InLo, n.InHi, n.OutLo, n.OutHi} {
+			if v < 0 {
+				return fmt.Errorf("store: negative metric field %d in node %q", v, n.ID)
+			}
+			putUvarint(cw, uint64(v))
+		}
+	}
+	if cw.err != nil {
+		return cw.err
+	}
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], cw.h.Sum32())
+	if _, err := cw.w.Write(sum[:]); err != nil {
+		return err
+	}
+	return cw.w.Flush()
+}
+
+// loadMetric reads a sidecar and verifies both checksums: the trailing
+// crc32 (bytes intact) and the embedded base binding (dump taken against
+// the snapshot identified by baseCRC). Any mismatch is an error; callers
+// treat every error as "no sidecar" and rebuild lazily.
+func loadMetric(r io.Reader, baseCRC uint32) ([]forest.MetricNodeDump, error) {
+	cr := &crcReader{r: bufio.NewReader(r), h: crc32.NewIEEE()}
+	var hdr [9]byte
+	if _, err := io.ReadFull(cr, hdr[:]); err != nil {
+		return nil, fmt.Errorf("store: reading metric header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != metricMagic {
+		return nil, fmt.Errorf("store: bad metric magic %q", hdr[:4])
+	}
+	if hdr[4] != metricVersion {
+		return nil, fmt.Errorf("store: unsupported metric version %d", hdr[4])
+	}
+	if got := binary.BigEndian.Uint32(hdr[5:9]); got != baseCRC {
+		return nil, fmt.Errorf("store: metric sidecar bound to base %08x, have %08x", got, baseCRC)
+	}
+	numNodes, err := getUvarint(cr, 1<<40)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading metric node count: %w", err)
+	}
+	// The declared count is untrusted until the data is actually read: cap
+	// the allocation hint so a corrupt header cannot exhaust memory.
+	hint := numNodes
+	if hint > 1<<16 {
+		hint = 1 << 16
+	}
+	dump := make([]forest.MetricNodeDump, 0, hint)
+	for i := uint64(0); i < numNodes; i++ {
+		idLen, err := getUvarint(cr, 1<<20)
+		if err != nil {
+			return nil, fmt.Errorf("store: metric node %d: reading id length: %w", i, err)
+		}
+		idBuf := make([]byte, idLen)
+		if _, err := io.ReadFull(cr, idBuf); err != nil {
+			return nil, fmt.Errorf("store: metric node %d: reading id: %w", i, err)
+		}
+		children, err := cr.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("store: metric node %q: reading children: %w", idBuf, err)
+		}
+		if children&^(forest.MetricChildInside|forest.MetricChildOutside) != 0 {
+			return nil, fmt.Errorf("store: metric node %q: unknown child flags %#x", idBuf, children)
+		}
+		n := forest.MetricNodeDump{ID: string(idBuf), Children: children}
+		for _, field := range [...]*int{&n.Radius, &n.SzMin, &n.SzMax, &n.InLo, &n.InHi, &n.OutLo, &n.OutHi} {
+			v, err := getUvarint(cr, 1<<50)
+			if err != nil {
+				return nil, fmt.Errorf("store: metric node %q: reading routing field: %w", idBuf, err)
+			}
+			*field = int(v)
+		}
+		dump = append(dump, n)
+	}
+	want := cr.h.Sum32()
+	var sum [4]byte
+	if _, err := io.ReadFull(cr.r, sum[:]); err != nil {
+		return nil, fmt.Errorf("store: reading metric checksum: %w", err)
+	}
+	if got := binary.BigEndian.Uint32(sum[:]); got != want {
+		return nil, fmt.Errorf("store: metric checksum mismatch: file %08x, computed %08x", got, want)
+	}
+	return dump, nil
+}
+
+// saveMetricFile atomically replaces the sidecar for base path via the
+// same temp-write/fsync/rename/dirsync protocol as the base snapshot.
+func saveMetricFile(fsys fsio.FS, path string, baseCRC uint32, dump []forest.MetricNodeDump) error {
+	dir := dirOf(path)
+	tmp, err := fsys.CreateTemp(dir, ".pqgram-vpt-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	closed := false
+	defer func() {
+		if !closed {
+			// Failure-path cleanup: the write already returned its error and
+			// the temp file is about to be removed, so this close cannot
+			// lose durable state.
+			tmp.Close() //pqlint:allow errcheck-durability failure-path cleanup of a doomed temp file
+		}
+		// Best effort; after a successful rename the name is gone already.
+		fsys.Remove(tmpName) //pqlint:allow errcheck-durability best-effort removal; after rename the name no longer exists
+	}()
+	if err := saveMetric(tmp, baseCRC, dump); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	closed = true
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmpName, metricPath(path)); err != nil {
+		return err
+	}
+	return fsio.SyncDir(fsys, dir)
+}
+
+// loadMetricFile reads the sidecar for base path, bound to baseCRC.
+func loadMetricFile(fsys fsio.FS, path string, baseCRC uint32) ([]forest.MetricNodeDump, error) {
+	fh, err := fsio.Open(fsys, metricPath(path))
+	if err != nil {
+		return nil, err
+	}
+	dump, err := loadMetric(fh, baseCRC)
+	if cerr := fh.Close(); err == nil && cerr != nil {
+		return nil, cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return dump, nil
+}

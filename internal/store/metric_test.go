@@ -1,0 +1,256 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pqgram/internal/forest"
+	"pqgram/internal/fsio"
+	"pqgram/internal/gen"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// metricFixture builds a store with a built VP-tree and a compacted
+// sidecar: 16 clustered XMark documents (4 bases × 4 perturbed versions,
+// the near-duplicate shape the metric index exists for).
+func metricFixture(t *testing.T) (*fsio.MemFS, *Store) {
+	t.Helper()
+	fs := fsio.NewMemFS()
+	s, err := CreateStoreFS(fs, "idx.pqg", p33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 4; b++ {
+		base := gen.XMark(int64(500+b), 40)
+		for v := 0; v < 4; v++ {
+			doc := base.Clone()
+			if v > 0 {
+				if _, _, err := gen.RandomScript(newRand(int64(b*10+v)), doc, v, gen.DefaultMix); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Add(fmt.Sprintf("doc-%d-%d", b, v), doc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s.Forest().SetPlanMode(forest.PlanMetric)
+	if ms := s.Forest().LookupTopK(gen.XMark(500, 40), 3); len(ms) != 3 {
+		t.Fatalf("warm-up top-k returned %d matches", len(ms))
+	}
+	if !s.Forest().MetricReady() {
+		t.Fatal("metric index not built after a PlanMetric lookup")
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	return fs, s
+}
+
+func topkDiff(t *testing.T, name string, got, want *forest.Index) {
+	t.Helper()
+	q := gen.XMark(991, 40)
+	got.SetPlanMode(forest.PlanMetric)
+	want.SetPlanMode(forest.PlanExhaustive)
+	for _, k := range []int{1, 3, 100} {
+		if g, w := got.LookupTopK(q, k), want.LookupTopK(q, k); !reflect.DeepEqual(g, w) {
+			t.Fatalf("%s: top-%d diverges: %v vs %v", name, k, g, w)
+		}
+	}
+}
+
+// TestMetricSidecarRoundTrip proves Compact persists the VP-tree and
+// OpenStore reattaches it without a rebuild: the reopened store reports
+// MetricRestored, is MetricReady before any lookup, passes SelfCheck, and
+// answers top-k identically to an exhaustive scan over a fresh forest.
+func TestMetricSidecarRoundTrip(t *testing.T) {
+	fs, s := metricFixture(t)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("idx.pqg.vpt"); err != nil {
+		t.Fatalf("no sidecar after compact: %v", err)
+	}
+
+	rs, err := OpenStoreFS(fs, "idx.pqg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	ri := rs.Recovery()
+	if !ri.MetricRestored || ri.MetricDiscarded {
+		t.Fatalf("sidecar not restored: %+v", ri)
+	}
+	if !rs.Forest().MetricReady() {
+		t.Fatal("metric index not ready after restore")
+	}
+	if err := rs.Forest().SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := LoadFileFS(fs, "idx.pqg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topkDiff(t, "restored", rs.Forest(), want)
+}
+
+// TestMetricSidecarReplayMaintains reopens a store whose journal holds
+// records appended after the sidecar was written: replay must maintain
+// the restored VP-tree incrementally, not invalidate it.
+func TestMetricSidecarReplayMaintains(t *testing.T) {
+	fs, s := metricFixture(t)
+	doc := gen.XMark(700, 35)
+	if err := s.Add("late-1", doc.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("doc-2-2"); err != nil {
+		t.Fatal(err)
+	}
+	_, log, err := gen.RandomScript(newRand(77), doc, 3, gen.DefaultMix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Update("late-1", doc, log); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rs, err := OpenStoreFS(fs, "idx.pqg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	ri := rs.Recovery()
+	if !ri.MetricRestored {
+		t.Fatalf("sidecar not restored: %+v", ri)
+	}
+	if ri.Records == 0 {
+		t.Fatal("expected journal records to replay onto the restored metric index")
+	}
+	if err := rs.Forest().SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := OpenStoreFS(fsCloneWithoutSidecar(t, fs), "idx.pqg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer want.Close()
+	topkDiff(t, "replayed", rs.Forest(), want.Forest())
+}
+
+// fsCloneWithoutSidecar clones the filesystem state minus the .vpt, so a
+// reference store recovers the same content with no restored metric index.
+func fsCloneWithoutSidecar(t *testing.T, fs *fsio.MemFS) *fsio.MemFS {
+	t.Helper()
+	clone := fs.CrashClone(fs.TraceLen(), 0)
+	if err := clone.Remove("idx.pqg.vpt"); err != nil {
+		t.Fatal(err)
+	}
+	return clone
+}
+
+// TestMetricSidecarStaleAndCorrupt exercises every discard path: a
+// sidecar bound to a different base, one with flipped bytes, and one
+// truncated mid-node. All must be dropped silently — recovery succeeds,
+// the metric index rebuilds lazily, and answers stay exact.
+func TestMetricSidecarStaleAndCorrupt(t *testing.T) {
+	corrupt := []struct {
+		name   string
+		mangle func(t *testing.T, fs *fsio.MemFS)
+	}{
+		{"stale-base", func(t *testing.T, fs *fsio.MemFS) {
+			data, err := fsio.ReadFile(fs, "idx.pqg.vpt")
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[5] ^= 0xff // embedded base crc
+			if err := fsio.WriteFile(fs, "idx.pqg.vpt", data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"flipped-byte", func(t *testing.T, fs *fsio.MemFS) {
+			data, err := fsio.ReadFile(fs, "idx.pqg.vpt")
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0x40
+			if err := fsio.WriteFile(fs, "idx.pqg.vpt", data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated", func(t *testing.T, fs *fsio.MemFS) {
+			data, err := fsio.ReadFile(fs, "idx.pqg.vpt")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fsio.WriteFile(fs, "idx.pqg.vpt", data[:len(data)*2/3], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range corrupt {
+		t.Run(tc.name, func(t *testing.T) {
+			fs, s := metricFixture(t)
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			tc.mangle(t, fs)
+			rs, err := OpenStoreFS(fs, "idx.pqg")
+			if err != nil {
+				t.Fatalf("recovery must not fail on a bad sidecar: %v", err)
+			}
+			defer rs.Close()
+			ri := rs.Recovery()
+			if ri.MetricRestored || !ri.MetricDiscarded {
+				t.Fatalf("bad sidecar not discarded: %+v", ri)
+			}
+			if rs.Forest().MetricReady() {
+				t.Fatal("metric index ready despite a discarded sidecar")
+			}
+			want, err := LoadFileFS(fs, "idx.pqg")
+			if err != nil {
+				t.Fatal(err)
+			}
+			topkDiff(t, tc.name, rs.Forest(), want)
+			if err := rs.Forest().SelfCheck(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestMetricSidecarAbsent pins the common path: a store that never built
+// the metric index writes no sidecar, and reopening it reports neither a
+// restore nor a discard.
+func TestMetricSidecarAbsent(t *testing.T) {
+	fs := fsio.NewMemFS()
+	s, err := CreateStoreFS(fs, "idx.pqg", p33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("a", gen.XMark(1, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("idx.pqg.vpt"); err == nil {
+		t.Fatal("sidecar written without a built metric index")
+	}
+	rs, err := OpenStoreFS(fs, "idx.pqg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if ri := rs.Recovery(); ri.MetricRestored || ri.MetricDiscarded {
+		t.Fatalf("phantom sidecar recovery: %+v", ri)
+	}
+}
