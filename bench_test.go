@@ -439,10 +439,13 @@ func BenchmarkForestLookupParallel(b *testing.B) {
 
 // BenchmarkLookup measures the cost of the instrumentation hooks on the
 // lookup hot path: the same query against the same forest with no collector
-// (the default one-nil-check fast path) and with a collector attached
-// (counter + latency histogram per op). The acceptance bar for the
-// observability layer is that "off" stays within noise of the seed and "on"
-// within a few percent of "off".
+// (the default one-nil-check fast path), with a collector attached
+// (counter + latency histogram per op), with a collector whose tracer
+// never samples the measured ops (one extra atomic load + nil check), and
+// with every lookup fully traced (the worst case: a span tree per op).
+// The acceptance bar is that "off" stays within noise of the seed,
+// "on" and "tracer=unsampled" within a few percent of "off", and only
+// "tracer=all" is allowed to pay for span allocation.
 func BenchmarkLookup(b *testing.B) {
 	f, docs := lookupFixture(256)
 	rng := rand.New(rand.NewSource(256))
@@ -460,6 +463,28 @@ func BenchmarkLookup(b *testing.B) {
 	b.Run("collector=on", func(b *testing.B) {
 		f.SetCollector(obs.NewCollector())
 		defer f.SetCollector(nil) // the fixture is shared across benchmarks
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = f.Lookup(query, 0.7)
+		}
+	})
+	b.Run("tracer=unsampled", func(b *testing.B) {
+		col := obs.NewCollector()
+		col.SetTracer(obs.NewTracer(1<<30, 8))
+		f.SetCollector(col)
+		defer f.SetCollector(nil)
+		f.Lookup(query, 0.7) // absorb the tracer's always-sampled first call
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = f.Lookup(query, 0.7)
+		}
+	})
+	b.Run("tracer=all", func(b *testing.B) {
+		col := obs.NewCollector()
+		col.SetTracer(obs.NewTracer(1, 64))
+		f.SetCollector(col)
+		defer f.SetCollector(nil)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = f.Lookup(query, 0.7)

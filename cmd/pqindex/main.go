@@ -9,6 +9,7 @@
 //	pqindex update -index idx.pqg -id doc.xml -log changes.log doc-new.xml
 //	pqindex lookup -index idx.pqg [-tau 0.5 | -top 5] query.xml [more.xml ...]
 //	pqindex topk   -index idx.pqg [-k 5] [-plan metric] query.xml [more.xml ...]
+//	pqindex explain -index idx.pqg {-tau 0.5 | -k 5} [-plan auto] [-timings] [-json] query.xml
 //	pqindex dist   a.xml b.xml [-p 3 -q 3]
 //	pqindex info   -index idx.pqg
 //
@@ -49,6 +50,8 @@ func main() {
 		err = runLookup(args)
 	case "topk":
 		err = runTopK(args)
+	case "explain":
+		err = runExplain(args)
 	case "join":
 		err = runJoin(args)
 	case "dist":
@@ -71,7 +74,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pqindex {build|add|remove|update|lookup|topk|join|dist|diff|info|compact|verify} [flags] [files]")
+	fmt.Fprintln(os.Stderr, "usage: pqindex {build|add|remove|update|lookup|topk|explain|join|dist|diff|info|compact|verify} [flags] [files]")
 	os.Exit(2)
 }
 

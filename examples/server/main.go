@@ -10,13 +10,19 @@
 //	POST   /docs/{id}/edits    {"xml","ids","log"} incremental update
 //	POST   /lookup             {"xml","tau","top"} approximate lookup
 //	POST   /topk               {"xml","k"}         k nearest via the metric index
+//	POST   /explain            {"xml","tau","k"}   run a query traced; plan + work counters
 //	GET    /stats                                  index statistics
-//	GET    /debug/metrics                          live metrics snapshot
+//	GET    /debug/metrics                          live metrics snapshot (?format=prom for Prometheus text)
+//	GET    /debug/trace[?n=16]                     most recent query traces from the ring buffer
 //	GET    /debug/vars                             expvar (includes "pqgram")
 //	GET    /debug/pprof/...                        CPU/heap/goroutine profiles
 //
 // Every request is logged (structured, via slog) with a request ID that is
-// echoed back in the X-Request-ID response header. Run without arguments to
+// echoed back in the X-Request-ID response header; /explain attaches the
+// same ID to the trace it publishes, so log lines and /debug/trace entries
+// correlate. A tracer (deterministic every-Nth sampling, bounded ring
+// buffer) is attached at startup, so a sample of ordinary /lookup and
+// /topk traffic shows up in /debug/trace too. Run without arguments to
 // start on :8080; with -demo the process starts the server on a random
 // port, exercises every endpoint with generated data, prints the results,
 // and exits.
@@ -36,6 +42,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -142,11 +149,18 @@ var expvarOnce sync.Once
 
 func newServer(f *pqgram.Forest, col *pqgram.Collector, logger *slog.Logger) *server {
 	s := &server{forest: f, col: col, logger: logger, mux: http.NewServeMux()}
+	// Sample every 16th traceable operation into a ring of recent traces;
+	// /explain traces its query unconditionally regardless of sampling.
+	if col.Tracer() == nil {
+		col.SetTracer(pqgram.NewTracer(16, 64))
+	}
 	s.mux.HandleFunc("/docs/", s.handleDocs)
 	s.mux.HandleFunc("/lookup", s.handleLookup)
 	s.mux.HandleFunc("/topk", s.handleTopK)
+	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/debug/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/trace", s.handleTrace)
 	s.mux.Handle("/debug/vars", expvar.Handler())
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -203,7 +217,73 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := pqgram.WritePrometheus(w, s.col.Snapshot()); err != nil {
+			s.logger.Error("prometheus exposition failed", "err", err)
+		}
+		return
+	}
 	writeJSON(w, s.col.Snapshot())
+}
+
+// handleTrace serves the tracer's ring buffer of recent traces, newest
+// first. /explain traces carry the request ID of the request that ran
+// them, correlating with the request log.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	n := 16
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 {
+			n = v
+		}
+	}
+	traces := s.col.Tracer().RecentTraces(n)
+	if traces == nil {
+		traces = []pqgram.TraceSnapshot{}
+	}
+	writeJSON(w, traces)
+}
+
+// explainRequest selects the query to explain: tau > 0 explains a
+// threshold lookup, otherwise k (default 5) explains a top-k lookup.
+type explainRequest struct {
+	XML string  `json:"xml"`
+	Tau float64 `json:"tau"`
+	K   int     `json:"k"`
+}
+
+// handleExplain runs one query with tracing forced on and returns the
+// plan decision plus the per-stage work-counter span tree. The trace is
+// also published into the tracer's ring buffer tagged with this request's
+// ID, so it can be retrieved again via /debug/trace and correlated with
+// the request log.
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req explainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	query, err := pqgram.ParseXMLString(req.XML)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad query document: %v", err)
+		return
+	}
+	var res pqgram.ExplainResult
+	if req.Tau > 0 {
+		res = s.forest.ExplainLookup(query, req.Tau)
+	} else {
+		if req.K <= 0 {
+			req.K = 5
+		}
+		res = s.forest.ExplainTopK(query, req.K)
+	}
+	reqID := w.Header().Get("X-Request-ID")
+	s.col.Tracer().Publish(pqgram.TraceSnapshot{ID: reqID, Root: res.Trace})
+	writeJSON(w, map[string]any{"id": reqID, "explain": res})
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -498,6 +578,25 @@ func runDemo(h http.Handler) {
 		}
 	}
 
+	// Explain the same query: which plan ran and how much work each stage
+	// did. The trace lands in the ring buffer, correlated by request ID.
+	eb, _ := json.Marshal(explainRequest{XML: mustXML(query), K: 2})
+	eout := client("POST", "/explain", eb)
+	if ex, ok := eout["explain"].(map[string]any); ok {
+		fmt.Printf("explain (id %v): op=%v plan=%v\n", eout["id"], ex["op"], ex["plan"])
+	}
+	tresp, err := http.Get(base + "/debug/trace?n=4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ring []pqgram.TraceSnapshot
+	json.NewDecoder(tresp.Body).Decode(&ring)
+	tresp.Body.Close()
+	if len(ring) > 0 {
+		fmt.Printf("trace ring holds %d recent traces, newest %q (id %v)\n",
+			len(ring), ring[0].Root.Name, ring[0].ID)
+	}
+
 	stats := client("GET", "/stats", nil)
 	fmt.Printf("stats: %v docs, %v pq-grams (p=%v q=%v)\n",
 		stats["docs"], stats["pqgrams"], stats["p"], stats["q"])
@@ -515,6 +614,14 @@ func runDemo(h http.Handler) {
 			fmt.Printf("lookup latency: p50=%vns p99=%vns\n", h["p50"], h["p99"])
 		}
 	}
+	presp, err := http.Get(base + "/debug/metrics?format=prom")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prom, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	fmt.Printf("prometheus exposition: %d bytes, %d families\n",
+		len(prom), bytes.Count(prom, []byte("# TYPE")))
 }
 
 func mustXML(t *pqgram.Tree) string {

@@ -26,6 +26,12 @@ type PruningPoint struct {
 	PrunedExamined     float64 `json:"pruned_examined"`      // candidates per lookup
 	PrunedSizeKills    float64 `json:"pruned_size_kills"`    // per lookup
 	PrunedAbandonKills float64 `json:"pruned_abandon_kills"` // per lookup
+
+	// TracedCounters are the exact work totals of one fully-traced pruned
+	// pass over the query batch (tracer sampling every lookup), keyed by
+	// registry counter name. The pass fails the experiment if the span
+	// attribution disagrees with the registry deltas.
+	TracedCounters map[string]int64 `json:"traced_counters,omitempty"`
 }
 
 // Pruning regenerates the candidate-pruning experiment: an XMark-shaped
@@ -118,6 +124,19 @@ func Pruning(numDocs, totalNodes, queries, iters int, taus []float64) (*Result, 
 		for _, r := range exRes {
 			matches += len(r)
 		}
+		f.SetPlanMode(forest.PlanPruned)
+		traced, err := tracedCounters(col, len(qs), func() {
+			for _, q := range qs {
+				f.LookupIndex(q, tau)
+			}
+		}, map[string]string{
+			"candidates":     "forest_lookup_candidates_examined",
+			"pruned_size":    "forest_lookup_pruned_size",
+			"pruned_abandon": "forest_lookup_pruned_abandon",
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("tau=%g: %w", tau, err)
+		}
 		pt := PruningPoint{
 			Tau:                tau,
 			Matches:            matches / len(exRes),
@@ -128,6 +147,7 @@ func Pruning(numDocs, totalNodes, queries, iters int, taus []float64) (*Result, 
 			PrunedExamined:     float64(prD["forest_lookup_candidates_examined"]) / ops,
 			PrunedSizeKills:    float64(prD["forest_lookup_pruned_size"]) / ops,
 			PrunedAbandonKills: float64(prD["forest_lookup_pruned_abandon"]) / ops,
+			TracedCounters:     traced,
 		}
 		points = append(points, pt)
 		res.Rows = append(res.Rows, Row{

@@ -25,6 +25,12 @@ type TopKPoint struct {
 	ExhaustiveExamined float64 `json:"exhaustive_examined"`    // candidates per lookup
 	MetricNodesVisited float64 `json:"metric_nodes_visited"`   // distance computations per lookup
 	MetricPruned       float64 `json:"metric_pruned_triangle"` // subtrees skipped per lookup
+
+	// TracedCounters are the exact work totals of one fully-traced metric
+	// pass over the query batch (tracer sampling every lookup), keyed by
+	// registry counter name. The pass fails the experiment if the span
+	// attribution disagrees with the registry deltas.
+	TracedCounters map[string]int64 `json:"traced_counters,omitempty"`
 }
 
 // DefaultTopKKs is the k sweep of the top-k experiment.
@@ -146,6 +152,18 @@ func TopK(numBases, versions, totalNodes, queries, iters int, ks []int) (*Result
 		if !reflect.DeepEqual(exRes, mtRes) {
 			return nil, nil, fmt.Errorf("metric and exhaustive top-%d lookups disagree", k)
 		}
+		f.SetPlanMode(forest.PlanMetric)
+		traced, err := tracedCounters(col, len(qs), func() {
+			for _, q := range qs {
+				f.LookupIndexTopK(q, k)
+			}
+		}, map[string]string{
+			"nodes_visited":   "forest_metric_nodes_visited",
+			"pruned_triangle": "forest_metric_pruned_triangle",
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("k=%d: %w", k, err)
+		}
 		pt := TopKPoint{
 			K:                  k,
 			ExhaustiveNsPerOp:  exNS,
@@ -154,6 +172,7 @@ func TopK(numBases, versions, totalNodes, queries, iters int, ks []int) (*Result
 			ExhaustiveExamined: float64(exD["forest_lookup_candidates_examined"]) / ops,
 			MetricNodesVisited: float64(mtD["forest_metric_nodes_visited"]) / ops,
 			MetricPruned:       float64(mtD["forest_metric_pruned_triangle"]) / ops,
+			TracedCounters:     traced,
 		}
 		if k <= 10 && numDocs >= 64 && pt.MetricNodesVisited >= pt.ExhaustiveExamined {
 			return nil, nil, fmt.Errorf("metric top-%d visited %.0f nodes, exhaustive examined %.0f — the VP-tree stopped pruning",

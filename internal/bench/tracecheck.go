@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"fmt"
+
+	"pqgram/internal/obs"
+)
+
+// tracedCounters runs one fully-traced pass of an experiment's query
+// batch and cross-checks the tracing layer against the metrics registry:
+// a tracer sampling every operation is attached, runBatch executes the
+// batch (publishing one trace per operation), and for every attr→counter
+// pair the attribute sums over the published span trees must equal the
+// registry counter deltas of the same pass. A disagreement means the
+// span attribution drifted from the counters it mirrors — exactly the
+// bug class this guard exists for — and fails the experiment.
+//
+// The returned map is keyed by registry counter name, so it drops into
+// the BENCH json next to the sampled averages as exact traced totals.
+func tracedCounters(col *obs.Collector, ops int, runBatch func(), attrToCounter map[string]string) (map[string]int64, error) {
+	// Capacity 2*ops keeps every sequence number of the pass on a unique
+	// ring slot, so no trace of the batch is evicted before it is read.
+	tr := obs.NewTracer(1, 2*ops+traceStripesSlack)
+	col.SetTracer(tr)
+	defer col.SetTracer(nil)
+	before := col.Snapshot()
+	runBatch()
+	deltas := col.Snapshot().CounterDeltas(before)
+	traces := tr.RecentTraces(ops)
+	if len(traces) != ops {
+		return nil, fmt.Errorf("bench: traced pass published %d traces, want %d", len(traces), ops)
+	}
+	out := make(map[string]int64, len(attrToCounter))
+	for attr, counter := range attrToCounter {
+		var sum int64
+		for _, t := range traces {
+			sum += t.Root.SumAttr(attr)
+		}
+		if sum != deltas[counter] {
+			return nil, fmt.Errorf("bench: traced attr %q sums to %d but registry counter %s moved by %d — span attribution disagrees with the metrics registry",
+				attr, sum, counter, deltas[counter])
+		}
+		out[counter] = sum
+	}
+	return out, nil
+}
+
+// traceStripesSlack rounds the tracer capacity up past the ring's stripe
+// granularity so a batch smaller than one stripe row still fits.
+const traceStripesSlack = 8

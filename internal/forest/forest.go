@@ -39,6 +39,7 @@ import (
 
 	"pqgram/internal/core"
 	"pqgram/internal/edit"
+	"pqgram/internal/obs"
 	"pqgram/internal/profile"
 	"pqgram/internal/tree"
 )
@@ -472,6 +473,21 @@ func (f *Index) Lookup(query *tree.Tree, tau float64) []Match {
 // (τ ≥ 1, empty query bags, tiny collections).
 func (f *Index) LookupIndex(q profile.Index, tau float64) []Match {
 	m := f.obs.Load()
+	var sp *obs.Span
+	if m != nil {
+		sp = m.col.StartTrace("forest.lookup")
+	}
+	out, _ := f.lookupIndexSpanned(q, tau, m, sp)
+	sp.Finish()
+	return out
+}
+
+// lookupIndexSpanned is the LookupIndex body with the trace span threaded
+// through: the span (nil-safe) receives the plan decision and per-stage
+// work attributes, and the chosen plan's name is returned for the explain
+// API. Metric recording lives here too, so explained queries count like
+// any other.
+func (f *Index) lookupIndexSpanned(q profile.Index, tau float64, m *metrics, sp *obs.Span) ([]Match, string) {
 	var t0 time.Time
 	if m != nil {
 		t0 = time.Now()
@@ -479,12 +495,19 @@ func (f *Index) LookupIndex(q profile.Index, tau float64) []Match {
 	qSize := q.Size()
 	f.mu.RLock()
 	defer f.mu.RUnlock()
+	sp.SetAttr("q_size", int64(qSize))
+	sp.SetAttr("trees", int64(len(f.trees)))
 	var out []Match
+	var plan string
 	switch {
 	case tau > 1:
 		// Trees sharing no pq-gram (distance exactly 1) can qualify only
 		// for thresholds above 1; scan the whole forest then.
-		overlaps := f.overlapsLocked(q)
+		plan = planScanAll
+		scan := sp.Child("scan")
+		overlaps, scanned := f.overlapsLocked(q)
+		scan.SetAttr("postings_scanned", scanned)
+		scan.SetAttr("candidates", int64(len(overlaps)))
 		if m != nil {
 			m.lookupCandidates.Add(int64(len(overlaps)))
 		}
@@ -494,25 +517,33 @@ func (f *Index) LookupIndex(q profile.Index, tau float64) []Match {
 			}
 		}
 		sortMatches(out)
+		scan.Finish()
 	case f.usePrunedLocked(qSize, tau):
-		out = f.lookupPrunedLocked(q, qSize, tau, m)
+		plan = planPruned
+		out = f.lookupPrunedLocked(q, qSize, tau, m, sp)
 	default:
-		out = f.lookupExhaustiveLocked(q, qSize, tau, m)
+		plan = planExhaustive
+		out = f.lookupExhaustiveLocked(q, qSize, tau, m, sp)
 	}
+	sp.SetAttr("plan", int64(planCode(plan)))
+	sp.SetAttr("matches", int64(len(out)))
 	if m != nil {
 		m.lookups.Inc()
 		m.lookupMatches.Add(int64(len(out)))
 		m.lookupNS.ObserveSince(t0)
 	}
-	return out
+	return out, plan
 }
 
 // lookupExhaustiveLocked accumulates the full overlap of every tree
 // sharing at least one tuple with the query and scores them all — the
 // reference lookup the pruned path must match. It requires f.mu held
 // (read suffices) and tau ≤ 1.
-func (f *Index) lookupExhaustiveLocked(q profile.Index, qSize int, tau float64, m *metrics) []Match {
-	overlaps := f.overlapsLocked(q)
+func (f *Index) lookupExhaustiveLocked(q profile.Index, qSize int, tau float64, m *metrics, sp *obs.Span) []Match {
+	scan := sp.Child("scan")
+	overlaps, scanned := f.overlapsLocked(q)
+	scan.SetAttr("postings_scanned", scanned)
+	scan.SetAttr("candidates", int64(len(overlaps)))
 	if m != nil {
 		m.lookupCandidates.Add(int64(len(overlaps)))
 	}
@@ -523,6 +554,7 @@ func (f *Index) lookupExhaustiveLocked(q profile.Index, qSize int, tau float64, 
 		}
 	}
 	sortMatches(out)
+	scan.Finish()
 	return out
 }
 
@@ -535,8 +567,9 @@ func (f *Index) LookupTop(query *tree.Tree, k int) []Match {
 
 // overlapsLocked accumulates |I(query) ∩ I(T)| per tree via the postings.
 // It requires f.mu held (read suffices); the query tuples are grouped by
-// shard so each stripe is locked once.
-func (f *Index) overlapsLocked(q profile.Index) map[string]int {
+// shard so each stripe is locked once. The second result is the number of
+// posting entries scanned — the scan stage's work attribute.
+func (f *Index) overlapsLocked(q profile.Index) (map[string]int, int64) {
 	type tupleCount struct {
 		lt profile.LabelTuple
 		c  int
@@ -547,6 +580,7 @@ func (f *Index) overlapsLocked(q profile.Index) map[string]int {
 		byShard[si] = append(byShard[si], tupleCount{lt, qc})
 	}
 	ov := make(map[string]int)
+	var scanned int64
 	for si := range byShard {
 		if len(byShard[si]) == 0 {
 			continue
@@ -554,6 +588,7 @@ func (f *Index) overlapsLocked(q profile.Index) map[string]int {
 		s := &f.shards[si]
 		s.mu.RLock()
 		for _, tc := range byShard[si] {
+			scanned += int64(len(s.postings[tc.lt]))
 			for id, c := range s.postings[tc.lt] {
 				if c < tc.c {
 					ov[id] += c
@@ -564,7 +599,7 @@ func (f *Index) overlapsLocked(q profile.Index) map[string]int {
 		}
 		s.mu.RUnlock()
 	}
-	return ov
+	return ov, scanned
 }
 
 // Pair is one result of a similarity join: two indexed trees and their

@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"pqgram/internal/core"
+	"pqgram/internal/obs"
 	"pqgram/internal/profile"
 	"pqgram/internal/tree"
 )
@@ -604,10 +605,11 @@ func (s *vpSearch) visit(n *vpNode) {
 // best-bound-first ordering and strict-inequality pruning. Requires f.mu
 // held (read suffices) and a built metric index. The result is identical
 // to lookupTopExhaustiveLocked on the same forest state.
-func (f *Index) lookupTopMetricLocked(q profile.Index, qSize, k int, m *metrics) []Match {
+func (f *Index) lookupTopMetricLocked(q profile.Index, qSize, k int, m *metrics, sp *obs.Span) []Match {
 	mi := &f.metric
 	mi.mu.RLock()
 	defer mi.mu.RUnlock()
+	descent := sp.Child("vp_descent")
 	s := &vpSearch{q: q, qSize: qSize, k: k}
 	for id, e := range mi.pending {
 		_, ov := metricDist(q, qSize, e.bag, e.size)
@@ -618,6 +620,10 @@ func (f *Index) lookupTopMetricLocked(q profile.Index, qSize, k int, m *metrics)
 	out := make([]Match, len(s.heap))
 	copy(out, s.heap)
 	sortMatches(out)
+	descent.SetAttr("pending", int64(len(mi.pending)))
+	descent.SetAttr("nodes_visited", s.visited)
+	descent.SetAttr("pruned_triangle", s.pruned)
+	descent.Finish()
 	if m != nil {
 		m.metricNodesVisited.Add(s.visited)
 		m.metricPrunedTriangle.Add(s.pruned)
@@ -679,6 +685,18 @@ func (f *Index) LookupTopK(query *tree.Tree, k int) []Match {
 // LookupIndexTopK is LookupTopK for a precomputed query index.
 func (f *Index) LookupIndexTopK(q profile.Index, k int) []Match {
 	m := f.obs.Load()
+	var sp *obs.Span
+	if m != nil {
+		sp = m.col.StartTrace("forest.topk")
+	}
+	out, _ := f.lookupIndexTopKSpanned(q, k, m, sp)
+	sp.Finish()
+	return out
+}
+
+// lookupIndexTopKSpanned is the LookupIndexTopK body with the trace span
+// threaded through; see lookupIndexSpanned.
+func (f *Index) lookupIndexTopKSpanned(q profile.Index, k int, m *metrics, sp *obs.Span) ([]Match, string) {
 	var t0 time.Time
 	if m != nil {
 		t0 = time.Now()
@@ -687,7 +705,7 @@ func (f *Index) LookupIndexTopK(q profile.Index, k int) []Match {
 	f.mu.RLock()
 	if k <= 0 || len(f.trees) == 0 {
 		f.mu.RUnlock()
-		return nil
+		return nil, planExhaustive
 	}
 	useMetric := f.useMetricLocked(k)
 	if useMetric && !f.metric.built {
@@ -695,13 +713,21 @@ func (f *Index) LookupIndexTopK(q profile.Index, k int) []Match {
 		f.buildMetric()
 		f.mu.RLock()
 	}
+	sp.SetAttr("q_size", int64(qSize))
+	sp.SetAttr("trees", int64(len(f.trees)))
+	sp.SetAttr("k", int64(k))
 	var out []Match
+	var plan string
 	if useMetric && f.metric.built && len(f.trees) > 0 {
-		out = f.lookupTopMetricLocked(q, qSize, k, m)
+		plan = planMetric
+		out = f.lookupTopMetricLocked(q, qSize, k, m, sp)
 	} else {
-		out = f.lookupTopExhaustiveLocked(q, qSize, k, m)
+		plan = planExhaustive
+		out = f.lookupTopExhaustiveLocked(q, qSize, k, m, sp)
 	}
 	f.mu.RUnlock()
+	sp.SetAttr("plan", int64(planCode(plan)))
+	sp.SetAttr("matches", int64(len(out)))
 	if m != nil {
 		m.lookups.Inc()
 		m.topkLookups.Inc()
@@ -709,16 +735,20 @@ func (f *Index) LookupIndexTopK(q profile.Index, k int) []Match {
 		m.lookupNS.ObserveSince(t0)
 	}
 	if len(out) == 0 {
-		return nil
+		return nil, plan
 	}
-	return out
+	return out, plan
 }
 
 // lookupTopExhaustiveLocked scores every indexed tree through the
 // postings and keeps the k best — the brute-force reference the metric
 // path must match. Requires f.mu held (read suffices) and k > 0.
-func (f *Index) lookupTopExhaustiveLocked(q profile.Index, qSize, k int, m *metrics) []Match {
-	overlaps := f.overlapsLocked(q)
+func (f *Index) lookupTopExhaustiveLocked(q profile.Index, qSize, k int, m *metrics, sp *obs.Span) []Match {
+	scan := sp.Child("scan")
+	overlaps, scanned := f.overlapsLocked(q)
+	scan.SetAttr("postings_scanned", scanned)
+	scan.SetAttr("candidates", int64(len(f.trees)))
+	defer scan.Finish()
 	if m != nil {
 		m.lookupCandidates.Add(int64(len(f.trees)))
 	}

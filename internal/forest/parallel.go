@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pqgram/internal/obs"
 	"pqgram/internal/profile"
 	"pqgram/internal/tree"
 )
@@ -228,9 +229,14 @@ func (f *Index) SimilarityJoin(tau float64) []Pair {
 func (f *Index) SimilarityJoinWorkers(tau float64, workers int) (pairs []Pair) {
 	workers = normWorkers(workers)
 	var prunedPairs atomic.Int64
+	var sp *obs.Span
 	if m := f.obs.Load(); m != nil {
+		sp = m.col.StartTrace("forest.join")
 		t0 := time.Now()
 		defer func() {
+			sp.SetAttr("pairs", int64(len(pairs)))
+			sp.SetAttr("pruned_size", prunedPairs.Load())
+			sp.Finish()
 			m.joins.Inc()
 			m.joinPairs.Add(int64(len(pairs)))
 			m.joinPrunedSize.Add(prunedPairs.Load())
@@ -239,6 +245,8 @@ func (f *Index) SimilarityJoinWorkers(tau float64, workers int) (pairs []Pair) {
 	}
 	f.mu.RLock()
 	defer f.mu.RUnlock()
+	sp.SetAttr("trees", int64(len(f.trees)))
+	sp.SetAttr("workers", int64(workers))
 	if tau > 1 {
 		return f.joinAllPairsLocked(tau, workers)
 	}

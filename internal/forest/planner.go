@@ -31,6 +31,7 @@ import (
 	"sort"
 	"sync"
 
+	"pqgram/internal/obs"
 	"pqgram/internal/profile"
 )
 
@@ -154,8 +155,11 @@ func (sc *lookupScratch) release() {
 
 // lookupPrunedLocked is the threshold-aware lookup. It requires f.mu held
 // (read suffices) and 0 < tau ≤ 1, qSize > 0. The result is identical to
-// lookupExhaustiveLocked on the same index state.
-func (f *Index) lookupPrunedLocked(q profile.Index, qSize int, tau float64, m *metrics) []Match {
+// lookupExhaustiveLocked on the same index state. The span (nil-safe)
+// receives a "generate" child covering the rare-first candidate
+// generation — with the Def-3 size window and the loosest o_min bound as
+// attributes — and a "verify" child covering the bag-probe finish.
+func (f *Index) lookupPrunedLocked(q profile.Index, qSize int, tau float64, m *metrics, sp *obs.Span) []Match {
 	sc := scratchPool.Get().(*lookupScratch)
 	defer sc.release()
 
@@ -202,9 +206,11 @@ func (f *Index) lookupPrunedLocked(q profile.Index, qSize int, tau float64, m *m
 	// The loosest per-candidate bound over the window; once the remaining
 	// tuples cannot reach even this, no new candidate can qualify.
 	needMin := profile.MinOverlap(qSize, sizeLo, tau)
-	var examined, prunedSize, prunedAbandon int64
+	var examined, prunedSize, abandonGen, abandonVerify int64
+	var scanned int64
 
 	// Phase 1 — candidate generation over the rarest posting lists.
+	gen := sp.Child("generate")
 	verifyFrom := n
 	for i := 0; i < n; i++ {
 		if sc.suffix[i] < needMin {
@@ -217,6 +223,7 @@ func (f *Index) lookupPrunedLocked(q profile.Index, qSize int, tau float64, m *m
 		}
 		s := f.shardOf(t.lt)
 		s.mu.RLock()
+		scanned += int64(len(s.postings[t.lt]))
 		for id, c := range s.postings[t.lt] {
 			st, seen := sc.cands[id]
 			if seen && st.ov < 0 {
@@ -237,15 +244,25 @@ func (f *Index) lookupPrunedLocked(q profile.Index, qSize int, tau float64, m *m
 			st.ov += c
 			if st.ov+sc.suffix[i+1] < st.need {
 				st.ov = -1
-				prunedAbandon++
+				abandonGen++
 			}
 			sc.cands[id] = st
 		}
 		s.mu.RUnlock()
 	}
+	gen.SetAttr("distinct_tuples", int64(n))
+	gen.SetAttr("postings_scanned", scanned)
+	gen.SetAttr("size_lo", int64(sizeLo))
+	gen.SetAttr("size_hi", int64(sizeHi))
+	gen.SetAttr("o_min", int64(needMin))
+	gen.SetAttr("verify_from", int64(verifyFrom))
+	gen.SetAttr("pruned_size", prunedSize)
+	gen.SetAttr("pruned_abandon", abandonGen)
+	gen.Finish()
 
 	// Phase 2 — finish the survivors against their bags, skipping the
 	// longest posting lists; abandon as soon as the bound closes.
+	verify := sp.Child("verify")
 	var out []Match
 	for id, st := range sc.cands {
 		if st.ov < 0 {
@@ -269,7 +286,7 @@ func (f *Index) lookupPrunedLocked(q profile.Index, qSize int, tau float64, m *m
 			}
 			e.mu.RUnlock()
 			if ov < 0 {
-				prunedAbandon++
+				abandonVerify++
 				continue
 			}
 		}
@@ -282,10 +299,13 @@ func (f *Index) lookupPrunedLocked(q profile.Index, qSize int, tau float64, m *m
 		}
 	}
 	sortMatches(out)
+	verify.SetAttr("candidates", examined)
+	verify.SetAttr("pruned_abandon", abandonVerify)
+	verify.Finish()
 	if m != nil {
 		m.lookupCandidates.Add(examined)
 		m.lookupPrunedSize.Add(prunedSize)
-		m.lookupPrunedAbandon.Add(prunedAbandon)
+		m.lookupPrunedAbandon.Add(abandonGen + abandonVerify)
 	}
 	return out
 }

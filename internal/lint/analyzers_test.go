@@ -23,6 +23,10 @@ func TestObsCheck(t *testing.T) {
 	linttest.Run(t, "testdata/src/internal/forest/obsfix", lint.ObsCheck)
 }
 
+func TestSpanCheck(t *testing.T) {
+	linttest.Run(t, "testdata/src/internal/forest/spanfix", lint.SpanCheck)
+}
+
 func TestDetCheck(t *testing.T) {
 	linttest.Run(t, "testdata/src/internal/forest/detfix", lint.DetCheck)
 }

@@ -15,6 +15,10 @@
 //   - obscheck: metric-handle structs must sit behind atomic.Pointer and
 //     every dereference of a possibly-nil metrics pointer must be
 //     nil-guarded — the "one atomic load when off" observability contract.
+//   - spancheck: every call that starts a trace span (*obs.Span result)
+//     must bind it and finish it on all return paths, by a defer or a
+//     Finish before each return — an unfinished root span is a trace that
+//     never publishes.
 //   - aliascheck: exported index/profile/store API must not return
 //     internal slice or map fields without copying (the TreeIndex bug
 //     class).
@@ -100,7 +104,7 @@ func (p *Pass) ReportHintf(pos token.Pos, hint, format string, args ...any) {
 
 // All returns every analyzer of the suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{FsioCheck, ObsCheck, AliasCheck, ErrcheckDurability, DetCheck}
+	return []*Analyzer{FsioCheck, ObsCheck, SpanCheck, AliasCheck, ErrcheckDurability, DetCheck}
 }
 
 // ByName resolves analyzer names (e.g. from -only/-skip flags) against

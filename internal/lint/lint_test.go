@@ -41,7 +41,7 @@ func TestByName(t *testing.T) {
 }
 
 func TestAllRegistered(t *testing.T) {
-	want := []string{"fsiocheck", "obscheck", "aliascheck", "errcheck-durability", "detcheck"}
+	want := []string{"fsiocheck", "obscheck", "spancheck", "aliascheck", "errcheck-durability", "detcheck"}
 	got := Names(All())
 	if len(got) != len(want) {
 		t.Fatalf("All() = %v, want %v", got, want)

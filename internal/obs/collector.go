@@ -14,6 +14,7 @@ import (
 type Collector struct {
 	reg    *Registry
 	logger atomic.Pointer[slog.Logger]
+	tracer atomic.Pointer[Tracer]
 }
 
 // NewCollector creates a collector with a fresh registry and no log sink.
@@ -76,6 +77,34 @@ func (c *Collector) Logger() *slog.Logger {
 		return nil
 	}
 	return c.logger.Load()
+}
+
+// SetTracer attaches a per-query tracer; a nil tracer detaches it.
+// No-op on a nil collector.
+func (c *Collector) SetTracer(t *Tracer) {
+	if c == nil {
+		return
+	}
+	c.tracer.Store(t)
+}
+
+// Tracer returns the attached tracer, or nil.
+func (c *Collector) Tracer() *Tracer {
+	if c == nil {
+		return nil
+	}
+	return c.tracer.Load()
+}
+
+// StartTrace starts a sampled root span through the attached tracer.
+// Returns nil — a valid no-op span — on a nil collector, with no tracer
+// attached, or when the call is not sampled, so the traced-off fast path
+// is one atomic load plus one nil check and allocates nothing.
+func (c *Collector) StartTrace(name string) *Span {
+	if c == nil {
+		return nil
+	}
+	return c.tracer.Load().Start(name)
 }
 
 // Event emits one structured log record at Info level if a sink is

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative le-buckets plus _sum and _count. Families are
+// emitted in sorted name order and buckets in ascending bound order, so
+// equal snapshots render to identical bytes. Computed metrics
+// (RegisterFunc) render as untyped samples when their value is an
+// integer or float and are skipped otherwise — their shape is arbitrary
+// JSON, which the text format cannot carry.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	pw := &promWriter{w: w}
+	for _, name := range sortedKeys(s.Counters) {
+		pw.printf("# TYPE %s counter\n%s %d\n", name, name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pw.printf("# TYPE %s gauge\n%s %d\n", name, name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pw.printf("# TYPE %s histogram\n", name)
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			pw.printf("%s_bucket{le=\"%d\"} %d\n", name, b.Hi, cum)
+		}
+		pw.printf("%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		pw.printf("%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.Count)
+	}
+	for _, name := range sortedKeys(s.Values) {
+		switch v := s.Values[name].(type) {
+		case int:
+			pw.printf("# TYPE %s untyped\n%s %d\n", name, name, v)
+		case int64:
+			pw.printf("# TYPE %s untyped\n%s %d\n", name, name, v)
+		case uint64:
+			pw.printf("# TYPE %s untyped\n%s %d\n", name, name, v)
+		case float64:
+			pw.printf("# TYPE %s untyped\n%s %g\n", name, name, v)
+		}
+	}
+	return pw.err
+}
+
+// promWriter sticks to the first write error so the render loop stays
+// unconditional.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusFormat pins the exposition format on a hand-built
+// snapshot: family order is sorted within each kind, histogram buckets
+// are cumulative with a +Inf terminator, and non-numeric computed values
+// are skipped.
+func TestWritePrometheusFormat(t *testing.T) {
+	s := Snapshot{
+		Counters: map[string]int64{"forest_lookups": 3, "forest_adds": 2},
+		Gauges:   map[string]int64{"store_journal_bytes": 512},
+		Histograms: map[string]HistogramSnapshot{
+			"forest_lookup_ns": {
+				Count: 5, Sum: 90,
+				Buckets: []Bucket{{Lo: 0, Hi: 15, Count: 2}, {Lo: 16, Hi: 31, Count: 2}},
+			},
+		},
+		Values: map[string]any{
+			"v_float":  1.5,
+			"v_int":    3,
+			"v_int64":  int64(9),
+			"v_skip":   "not a number",
+			"v_uint64": uint64(4),
+		},
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE forest_adds counter
+forest_adds 2
+# TYPE forest_lookups counter
+forest_lookups 3
+# TYPE store_journal_bytes gauge
+store_journal_bytes 512
+# TYPE forest_lookup_ns histogram
+forest_lookup_ns_bucket{le="15"} 2
+forest_lookup_ns_bucket{le="31"} 4
+forest_lookup_ns_bucket{le="+Inf"} 5
+forest_lookup_ns_sum 90
+forest_lookup_ns_count 5
+# TYPE v_float untyped
+v_float 1.5
+# TYPE v_int untyped
+v_int 3
+# TYPE v_int64 untyped
+v_int64 9
+# TYPE v_uint64 untyped
+v_uint64 4
+`
+	if got := b.String(); got != want {
+		t.Fatalf("WritePrometheus output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusDeterministic renders a live registry twice — the
+// maps inside the snapshot must not leak iteration order into the text.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	col := NewCollector()
+	for _, name := range []string{"z_total", "a_total", "m_total"} {
+		col.Counter(name).Inc()
+	}
+	col.Gauge("depth").Set(4)
+	h := col.Histogram("lat_ns")
+	for _, v := range []int64{1, 2, 100, 5000} {
+		h.Observe(v)
+	}
+	col.RegisterFunc("computed", func() any { return 7 })
+
+	render := func() string {
+		var b strings.Builder
+		if err := WritePrometheus(&b, col.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first := render()
+	for i := 0; i < 10; i++ {
+		if got := render(); got != first {
+			t.Fatalf("render %d differs:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+	if !strings.Contains(first, "# TYPE a_total counter") || !strings.Contains(first, "lat_ns_bucket{le=\"+Inf\"} 4") {
+		t.Fatalf("unexpected render:\n%s", first)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("sink full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+// TestWritePrometheusError proves the sticky-error writer surfaces the
+// first failure instead of silently truncating the exposition.
+func TestWritePrometheusError(t *testing.T) {
+	s := Snapshot{Counters: map[string]int64{"a": 1, "b": 2, "c": 3}}
+	err := WritePrometheus(&failWriter{n: 1}, s)
+	if err == nil || !strings.Contains(err.Error(), "sink full") {
+		t.Fatalf("err = %v, want the writer's error", err)
+	}
+	if err := WritePrometheus(&strings.Builder{}, Snapshot{}); err != nil {
+		t.Fatalf("empty snapshot: %v", err)
+	}
+}

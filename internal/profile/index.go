@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"pqgram/internal/fingerprint"
+	"pqgram/internal/obs"
 	"pqgram/internal/tree"
 )
 
@@ -50,19 +51,53 @@ func TupleOfLabels(labels ...string) LabelTuple {
 type Index map[LabelTuple]int
 
 // BuildIndex computes the pq-gram index of t directly, without materializing
-// the profile.
+// the profile. When the global collector carries a tracer, sampled builds
+// publish a standalone "profile.build" trace.
 func BuildIndex(t *tree.Tree, pr Params) Index {
 	m := buildObs.Load()
 	var t0 time.Time
+	var sp *obs.Span
 	if m != nil {
 		t0 = time.Now()
+		sp = m.col.StartTrace("profile.build")
 	}
 	idx := make(Index, t.Size())
 	ForEachGram(t, pr, func(g Gram) {
 		idx[g.LabelTuple()]++
 	})
 	recordBuild(m, idx, t0)
+	if sp != nil {
+		setBuildAttrs(sp, t, idx)
+		sp.Finish()
+	}
 	return idx
+}
+
+// BuildIndexSpanned is BuildIndex recording its work into a
+// "profile.build" child of parent (nil-safe) instead of sampling through
+// the tracer — the explain path, where tracing is forced.
+func BuildIndexSpanned(t *tree.Tree, pr Params, parent *obs.Span) Index {
+	m := buildObs.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
+	sp := parent.Child("profile.build")
+	idx := make(Index, t.Size())
+	ForEachGram(t, pr, func(g Gram) {
+		idx[g.LabelTuple()]++
+	})
+	recordBuild(m, idx, t0)
+	setBuildAttrs(sp, t, idx)
+	sp.Finish()
+	return idx
+}
+
+// setBuildAttrs records the finished bag's work counters on the span.
+func setBuildAttrs(sp *obs.Span, t *tree.Tree, idx Index) {
+	sp.SetAttr("nodes", int64(t.Size()))
+	sp.SetAttr("grams", int64(idx.Size()))
+	sp.SetAttr("distinct_tuples", int64(len(idx)))
 }
 
 // Size returns the bag cardinality |I| (the sum of multiplicities).

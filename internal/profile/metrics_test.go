@@ -1,0 +1,105 @@
+package profile_test
+
+import (
+	"testing"
+
+	"pqgram/internal/obs"
+	"pqgram/internal/paperfix"
+	"pqgram/internal/profile"
+)
+
+// TestBuildInstrumented attaches a collector and checks that one build
+// feeds the profiling counters with the finished bag's numbers.
+func TestBuildInstrumented(t *testing.T) {
+	col := obs.NewCollector()
+	profile.SetCollector(col)
+	defer profile.SetCollector(nil)
+	if profile.Collector() != col {
+		t.Fatal("Collector() should return the attached collector")
+	}
+
+	before := col.Snapshot()
+	idx := profile.BuildIndex(paperfix.T0(), p33)
+	d := col.Snapshot().CounterDeltas(before)
+
+	if d["profile_builds"] != 1 {
+		t.Errorf("profile_builds delta = %d, want 1", d["profile_builds"])
+	}
+	if d["profile_grams"] != int64(idx.Size()) {
+		t.Errorf("profile_grams delta = %d, want bag size %d", d["profile_grams"], idx.Size())
+	}
+	if d["profile_distinct_tuples"] != int64(len(idx)) {
+		t.Errorf("profile_distinct_tuples delta = %d, want %d", d["profile_distinct_tuples"], len(idx))
+	}
+	h, ok := col.Snapshot().Histograms["profile_bag_size"]
+	if !ok || h.Count != 1 {
+		t.Errorf("profile_bag_size histogram count = %+v, want one observation", h)
+	}
+}
+
+// TestBuildTraced samples every build through a tracer and checks the
+// published "profile.build" trace mirrors the bag.
+func TestBuildTraced(t *testing.T) {
+	col := obs.NewCollector()
+	col.SetTracer(obs.NewTracer(1, 8))
+	profile.SetCollector(col)
+	defer profile.SetCollector(nil)
+
+	t0 := paperfix.T0()
+	idx := profile.BuildIndex(t0, p33)
+	traces := col.Tracer().RecentTraces(1)
+	if len(traces) != 1 {
+		t.Fatalf("RecentTraces = %d traces, want 1", len(traces))
+	}
+	root := traces[0].Root
+	if root.Name != "profile.build" {
+		t.Fatalf("trace root = %q, want profile.build", root.Name)
+	}
+	want := map[string]int64{
+		"nodes":           int64(t0.Size()),
+		"grams":           int64(idx.Size()),
+		"distinct_tuples": int64(len(idx)),
+	}
+	for k, v := range want {
+		if root.Attrs[k] != v {
+			t.Errorf("attr %s = %d, want %d", k, root.Attrs[k], v)
+		}
+	}
+}
+
+// TestBuildIndexSpanned checks the explain path: the build becomes a
+// child span of the caller's span, carrying the same attrs, and the bag
+// agrees with the plain builder — instrumented or not.
+func TestBuildIndexSpanned(t *testing.T) {
+	t0 := paperfix.T0()
+	plain := profile.BuildIndex(t0, p33)
+
+	// Uninstrumented: no collector attached at all.
+	profile.SetCollector(nil)
+	parent := obs.StartSpan("test.parent")
+	idx := profile.BuildIndexSpanned(t0, p33, parent)
+	parent.Finish()
+	if !idx.Equal(plain) {
+		t.Fatal("spanned build disagrees with plain build")
+	}
+	snap := parent.Snapshot()
+	if len(snap.Children) != 1 || snap.Children[0].Name != "profile.build" {
+		t.Fatalf("parent children = %+v, want one profile.build", snap.Children)
+	}
+	if got := snap.Children[0].Attrs["grams"]; got != int64(idx.Size()) {
+		t.Errorf("grams attr = %d, want %d", got, idx.Size())
+	}
+
+	// Instrumented: the same call must also feed the counters.
+	col := obs.NewCollector()
+	profile.SetCollector(col)
+	defer profile.SetCollector(nil)
+	before := col.Snapshot()
+	idx2 := profile.BuildIndexSpanned(t0, p33, nil) // nil parent is legal
+	if d := col.Snapshot().CounterDeltas(before); d["profile_builds"] != 1 {
+		t.Errorf("profile_builds delta = %d, want 1", d["profile_builds"])
+	}
+	if !idx2.Equal(plain) {
+		t.Fatal("instrumented spanned build disagrees with plain build")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"pqgram/internal/edit"
 	"pqgram/internal/forest"
 	"pqgram/internal/fsio"
+	"pqgram/internal/obs"
 	"pqgram/internal/profile"
 	"pqgram/internal/tree"
 )
@@ -375,8 +376,13 @@ func (s *Store) Compact() error {
 	}
 	m := s.obs.Load()
 	var t0 time.Time
+	var sp *obs.Span
 	if m != nil {
 		t0 = time.Now()
+		sp = m.col.StartTrace("store.compact")
+		// A deferred finish also publishes traces of failed compactions,
+		// which are exactly the ones worth looking at.
+		defer sp.Finish()
 	}
 	crc, renamed, err := saveFileCRC(s.fs, s.path, s.forest)
 	if err != nil {
@@ -408,6 +414,7 @@ func (s *Store) Compact() error {
 			m.snapshotBytes.Set(fi.Size())
 		}
 		m.compactNS.ObserveSince(t0)
+		sp.SetAttr("snapshot_bytes", m.snapshotBytes.Load())
 		m.col.Event("store compacted", "path", s.path, "snapshot_bytes", m.snapshotBytes.Load())
 	}
 	return nil
@@ -485,6 +492,12 @@ func (s *Store) append(typ byte, payload []byte) error {
 		m.appendBytes.Add(int64(rec.Len()))
 		m.journalBytes.Add(int64(rec.Len()))
 		m.appendNS.ObserveSince(t0)
+		if sp := m.col.StartTrace("store.append"); sp != nil {
+			// Synthesized after the fact so the un-sampled path does not
+			// even start a span inside the write sequence.
+			sp.SetAttr("bytes", int64(rec.Len()))
+			sp.FinishWithDuration(time.Since(t0))
+		}
 	}
 	return nil
 }

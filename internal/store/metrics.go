@@ -88,11 +88,36 @@ func (s *Store) SetCollector(c *obs.Collector) {
 			"skipped_records", r.SkippedRecords,
 			"stale", r.StaleJournal,
 			"dur", r.Duration)
+		// The replay happened inside OpenStore, before any collector (or
+		// tracer) could exist, so its trace is synthesized here from
+		// RecoveryInfo and published with the recorded wall time.
+		if tr := c.Tracer(); tr != nil {
+			sp := obs.StartSpan("store.replay")
+			sp.SetAttr("records", r.Records)
+			sp.SetAttr("bytes", r.Bytes)
+			sp.SetAttr("torn_bytes", r.TornBytes)
+			sp.SetAttr("skipped_records", r.SkippedRecords)
+			sp.SetAttr("discarded_bytes", r.DiscardedBytes)
+			sp.SetAttr("stale_journal", boolAttr(r.StaleJournal))
+			sp.SetAttr("journal_reset", boolAttr(r.JournalReset))
+			sp.SetAttr("metric_restored", boolAttr(r.MetricRestored))
+			sp.SetAttr("metric_discarded", boolAttr(r.MetricDiscarded))
+			sp.FinishWithDuration(r.Duration)
+			tr.Publish(obs.TraceSnapshot{Root: sp.Snapshot()})
+		}
 	}
 	if n, err := s.JournalSize(); err == nil {
 		m.journalBytes.Set(n)
 	}
 	s.obs.Store(m)
+}
+
+// boolAttr encodes a recovery flag as a 0/1 span attribute.
+func boolAttr(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Collector returns the attached collector, or nil.

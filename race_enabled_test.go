@@ -1,0 +1,8 @@
+//go:build race
+
+package pqgram_test
+
+// raceEnabled reports whether the race detector instruments this build.
+// Its instrumentation allocates on its own, so exact allocs-per-op
+// assertions are only meaningful without it.
+const raceEnabled = true
