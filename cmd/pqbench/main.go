@@ -16,6 +16,8 @@
 //	pqbench -exp pruning             # candidate-pruning planner sweep
 //	pqbench -exp pruning-smoke       # CI guard: pruned must stay within 2x
 //	pqbench -exp topk                # top-k: VP-tree metric index vs exhaustive
+//	pqbench -exp serve               # serving tier: closed-loop mixed read/write load
+//	pqbench -exp serve-smoke         # CI guard: ~1s load run; cache must hit, no drops
 //	pqbench -exp micro               # instrumented end-to-end micro suite
 //
 // The -scale flag multiplies the default workload sizes (0.1 for a quick
@@ -70,6 +72,18 @@ func run(exp string, scale float64, n int, seed int64, jsonPath string) error {
 		}
 		return err
 	}
+	if exp == "serve-smoke" {
+		// The serving-tier CI guard: a ~1s closed-loop load run, failing
+		// on a dropped response, a request error, or a repeated-query
+		// phase that never hits the result cache. Not part of -exp all.
+		res, err := bench.ServeSmoke()
+		if res != nil {
+			if perr := res.Print(os.Stdout); perr != nil {
+				return perr
+			}
+		}
+		return err
+	}
 	experiments := []struct {
 		name string
 		run  func() (*bench.Result, error)
@@ -104,6 +118,21 @@ func run(exp string, scale float64, n int, seed int64, jsonPath string) error {
 		{"topk", func() (*bench.Result, error) {
 			return firstErr(bench.TopK(16, 16, s(240000), 6, 3, bench.DefaultTopKKs))
 		}},
+		{"serve", func() (*bench.Result, error) {
+			res, phases, err := bench.Serve(s(256), 8, s(256))
+			if err != nil {
+				return nil, err
+			}
+			if jsonPath != "" {
+				rep := bench.NewReport(s(256), seed)
+				rep.Serve = phases
+				if err := rep.WriteFile(jsonPath); err != nil {
+					return nil, err
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+			}
+			return res, nil
+		}},
 		{"micro", func() (*bench.Result, error) {
 			col := obs.NewCollector()
 			res, rep, err := bench.Micro(n, seed, col)
@@ -124,6 +153,11 @@ func run(exp string, scale float64, n int, seed int64, jsonPath string) error {
 					return nil, err
 				}
 				rep.TopK = tpoints
+				sres, sphases, err := bench.Serve(256, 8, 256)
+				if err != nil {
+					return nil, err
+				}
+				rep.Serve = sphases
 				if err := rep.WriteFile(jsonPath); err != nil {
 					return nil, err
 				}
@@ -132,6 +166,9 @@ func run(exp string, scale float64, n int, seed int64, jsonPath string) error {
 					return nil, err
 				}
 				if err := tres.Print(os.Stdout); err != nil {
+					return nil, err
+				}
+				if err := sres.Print(os.Stdout); err != nil {
 					return nil, err
 				}
 			}

@@ -1,0 +1,107 @@
+// pqserve is the production pq-gram similarity service: the
+// internal/serve tier — request batching, an epoch-invalidated result
+// cache, and latency-driven admission control — over an in-memory or
+// journaled persistent index.
+//
+// Typical invocations:
+//
+//	pqserve                          in-memory index on :8080, cache of 1024 results
+//	pqserve -index idx.pq -sync      durable index, fsync every mutation
+//	pqserve -p95-budget 25ms         shed (429 + Retry-After) when p95 crosses 25ms
+//	pqserve -cache 0 -max-inflight 0 raw forest behavior: no cache, no admission
+//
+// The HTTP surface is documented in internal/serve/http.go;
+// examples/server exposes the same endpoints with a guided demo.
+package main
+
+import (
+	"flag"
+	"io"
+	"log"
+	"log/slog"
+	"net/http"
+	"os"
+	"time"
+
+	"pqgram/internal/forest"
+	"pqgram/internal/obs"
+	"pqgram/internal/profile"
+	"pqgram/internal/serve"
+	"pqgram/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	index := flag.String("index", "", "back the service with a persistent store at this path (journaled; survives restarts)")
+	syncWrites := flag.Bool("sync", false, "with -index: fsync every journaled mutation before acknowledging it")
+	plan := flag.String("plan", "auto", "query planner mode: auto, exhaustive, pruned or metric")
+	cacheSize := flag.Int("cache", 1024, "result-cache capacity in entries (0 disables)")
+	maxInflight := flag.Int("max-inflight", 64, "concurrent lookups executing at once (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 256, "lookups allowed to wait for an in-flight slot before shedding")
+	p95Budget := flag.Duration("p95-budget", 0, "shed new lookups while windowed p95 latency exceeds this (0 disables)")
+	budgetWindow := flag.Duration("budget-window", time.Second, "rotation period of the p95 backpressure window")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed responses")
+	quiet := flag.Bool("quiet", false, "suppress per-request logging")
+	flag.Parse()
+
+	planModes := map[string]forest.PlanMode{
+		"auto": forest.PlanAuto, "exhaustive": forest.PlanExhaustive,
+		"pruned": forest.PlanPruned, "metric": forest.PlanMetric,
+	}
+	planMode, ok := planModes[*plan]
+	if !ok {
+		log.Fatalf("unknown -plan %q (want auto, exhaustive, pruned or metric)", *plan)
+	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *quiet {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+
+	col := obs.NewCollector()
+	col.SetLogger(logger)
+	profile.SetCollector(col)
+
+	var f *forest.Index
+	var st *store.Store
+	if *index != "" {
+		var err error
+		if _, serr := os.Stat(*index); os.IsNotExist(serr) {
+			st, err = store.CreateStore(*index, profile.Default)
+		} else {
+			st, err = store.OpenStore(*index)
+		}
+		if err != nil {
+			log.Fatalf("opening index %s: %v", *index, err)
+		}
+		defer st.Close()
+		st.SetSync(*syncWrites)
+		st.SetCollector(col)
+		r := st.Recovery()
+		logger.Info("index opened", "path", *index,
+			"docs", st.Forest().Len(),
+			"replayed_records", r.Records,
+			"torn_bytes", r.TornBytes,
+			"skipped_records", r.SkippedRecords,
+			"stale_journal", r.StaleJournal)
+		f = st.Forest()
+	} else {
+		f = forest.New(profile.Default)
+		f.SetCollector(col)
+	}
+	f.SetPlanMode(planMode)
+
+	srv := serve.New(f, st, serve.Config{
+		CacheSize:    *cacheSize,
+		MaxInFlight:  *maxInflight,
+		MaxQueue:     *maxQueue,
+		P95Budget:    *p95Budget,
+		BudgetWindow: *budgetWindow,
+		RetryAfter:   *retryAfter,
+		Logger:       logger,
+	}, col)
+
+	log.Printf("pqserve listening on %s (cache=%d inflight=%d queue=%d p95-budget=%s)",
+		*addr, *cacheSize, *maxInflight, *maxQueue, *p95Budget)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -3,6 +3,12 @@
 // paper targets: documents change through edit feeds, the index follows
 // the feed, and approximate lookups stay fast because nothing is rebuilt.
 //
+// The entire HTTP surface — and the serving tier behind it: request
+// batching, the epoch-invalidated result cache, admission control — is
+// internal/serve; this example only assembles the index and walks the API.
+// cmd/pqserve is the production binary over the same tier, so the demo and
+// the deployed service cannot drift.
+//
 // Endpoints (JSON unless noted):
 //
 //	PUT    /docs/{id}          body: XML           index a document
@@ -11,18 +17,15 @@
 //	POST   /lookup             {"xml","tau","top"} approximate lookup
 //	POST   /topk               {"xml","k"}         k nearest via the metric index
 //	POST   /explain            {"xml","tau","k"}   run a query traced; plan + work counters
-//	GET    /stats                                  index statistics
+//	GET    /stats                                  index + serving-tier statistics
 //	GET    /debug/metrics                          live metrics snapshot (?format=prom for Prometheus text)
 //	GET    /debug/trace[?n=16]                     most recent query traces from the ring buffer
 //	GET    /debug/vars                             expvar (includes "pqgram")
 //	GET    /debug/pprof/...                        CPU/heap/goroutine profiles
 //
 // Every request is logged (structured, via slog) with a request ID that is
-// echoed back in the X-Request-ID response header; /explain attaches the
-// same ID to the trace it publishes, so log lines and /debug/trace entries
-// correlate. A tracer (deterministic every-Nth sampling, bounded ring
-// buffer) is attached at startup, so a sample of ordinary /lookup and
-// /topk traffic shows up in /debug/trace too. Run without arguments to
+// echoed back in the X-Request-ID response header; lookups additionally
+// carry an X-Cache header (hit, miss or shared). Run without arguments to
 // start on :8080; with -demo the process starts the server on a random
 // port, exercises every endpoint with generated data, prints the results,
 // and exits.
@@ -31,7 +34,6 @@ package main
 import (
 	"bytes"
 	"encoding/json"
-	"expvar"
 	"flag"
 	"fmt"
 	"io"
@@ -40,16 +42,12 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
-	"strconv"
 	"strings"
-	"sync"
-	"sync/atomic"
-	"time"
 
 	"pqgram"
 	"pqgram/internal/gen" // demo data generation only
+	"pqgram/internal/serve"
 )
 
 func main() {
@@ -59,6 +57,7 @@ func main() {
 	index := flag.String("index", "", "back the service with a persistent store at this path (journaled; survives restarts)")
 	syncWrites := flag.Bool("sync", false, "with -index: fsync every journaled mutation before acknowledging it")
 	plan := flag.String("plan", "auto", "query planner mode: auto, exhaustive, pruned or metric")
+	cache := flag.Int("cache", 1024, "result-cache capacity in entries (0 disables)")
 	flag.Parse()
 
 	planModes := map[string]pqgram.PlanMode{
@@ -76,8 +75,8 @@ func main() {
 	}
 
 	// The collector observes every layer: the forest's op counters and
-	// latency histograms, the HTTP front end, and (process-globally) the
-	// profiling metrics of query-index construction.
+	// latency histograms, the serving tier, the HTTP front end, and
+	// (process-globally) the profiling metrics of query-index construction.
 	col := pqgram.NewCollector()
 	col.SetLogger(logger)
 	pqgram.SetProfileCollector(col)
@@ -115,8 +114,7 @@ func main() {
 
 	f.SetPlanMode(planMode)
 
-	srv := newServer(f, col, logger)
-	srv.store = st
+	srv := serve.New(f, st, serve.Config{CacheSize: *cache, Logger: logger}, col)
 	if !*demo {
 		log.Printf("pq-gram index service listening on %s", *addr)
 		log.Fatal(http.ListenAndServe(*addr, srv))
@@ -124,366 +122,6 @@ func main() {
 	// The demo showcases the metric path: /topk descends the VP-tree.
 	f.SetPlanMode(pqgram.PlanMetric)
 	runDemo(srv)
-}
-
-// server is the HTTP facade over a forest index. The forest is internally
-// synchronized (sharded postings, per-document locks), so handlers call it
-// directly: lookups run in parallel with each other and with incremental
-// updates of other documents, and PUT replaces documents atomically via
-// Put — no server-side locking needed.
-type server struct {
-	forest *pqgram.Forest
-	store  *pqgram.Store // non-nil: mutations are journaled before applying
-	// storeMu serializes store mutations: the forest is internally
-	// synchronized, but the journal is a single append stream.
-	storeMu sync.Mutex
-	col     *pqgram.Collector
-	logger  *slog.Logger
-	mux     *http.ServeMux
-	reqID   atomic.Int64
-}
-
-// expvarOnce guards the process-global expvar registration (Publish panics
-// on duplicate names; tests and the demo may build several servers).
-var expvarOnce sync.Once
-
-func newServer(f *pqgram.Forest, col *pqgram.Collector, logger *slog.Logger) *server {
-	s := &server{forest: f, col: col, logger: logger, mux: http.NewServeMux()}
-	// Sample every 16th traceable operation into a ring of recent traces;
-	// /explain traces its query unconditionally regardless of sampling.
-	if col.Tracer() == nil {
-		col.SetTracer(pqgram.NewTracer(16, 64))
-	}
-	s.mux.HandleFunc("/docs/", s.handleDocs)
-	s.mux.HandleFunc("/lookup", s.handleLookup)
-	s.mux.HandleFunc("/topk", s.handleTopK)
-	s.mux.HandleFunc("/explain", s.handleExplain)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/debug/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/debug/trace", s.handleTrace)
-	s.mux.Handle("/debug/vars", expvar.Handler())
-	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
-	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	expvarOnce.Do(func() {
-		expvar.Publish("pqgram", expvar.Func(func() any { return col.Snapshot() }))
-	})
-	return s
-}
-
-// statusWriter captures the response status and size for the request log.
-type statusWriter struct {
-	http.ResponseWriter
-	status int
-	bytes  int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	w.status = code
-	w.ResponseWriter.WriteHeader(code)
-}
-
-func (w *statusWriter) Write(p []byte) (int, error) {
-	n, err := w.ResponseWriter.Write(p)
-	w.bytes += n
-	return n, err
-}
-
-// ServeHTTP is the request-logging and metrics middleware: it assigns a
-// request ID (echoed as X-Request-ID), times the handler, logs one
-// structured line per request, and feeds the HTTP counters/histogram.
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	id := s.reqID.Add(1)
-	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-	sw.Header().Set("X-Request-ID", fmt.Sprintf("req-%06d", id))
-	t0 := time.Now()
-	s.mux.ServeHTTP(sw, r)
-	dur := time.Since(t0)
-	s.col.Counter("http_requests").Inc()
-	if sw.status >= 400 {
-		s.col.Counter("http_errors").Inc()
-	}
-	s.col.Histogram("http_request_ns").Observe(dur.Nanoseconds())
-	s.logger.Info("request",
-		"id", id,
-		"method", r.Method,
-		"path", r.URL.Path,
-		"status", sw.status,
-		"bytes", sw.bytes,
-		"dur", dur,
-	)
-}
-
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Query().Get("format") == "prom" {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := pqgram.WritePrometheus(w, s.col.Snapshot()); err != nil {
-			s.logger.Error("prometheus exposition failed", "err", err)
-		}
-		return
-	}
-	writeJSON(w, s.col.Snapshot())
-}
-
-// handleTrace serves the tracer's ring buffer of recent traces, newest
-// first. /explain traces carry the request ID of the request that ran
-// them, correlating with the request log.
-func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	n := 16
-	if q := r.URL.Query().Get("n"); q != "" {
-		if v, err := strconv.Atoi(q); err == nil && v > 0 {
-			n = v
-		}
-	}
-	traces := s.col.Tracer().RecentTraces(n)
-	if traces == nil {
-		traces = []pqgram.TraceSnapshot{}
-	}
-	writeJSON(w, traces)
-}
-
-// explainRequest selects the query to explain: tau > 0 explains a
-// threshold lookup, otherwise k (default 5) explains a top-k lookup.
-type explainRequest struct {
-	XML string  `json:"xml"`
-	Tau float64 `json:"tau"`
-	K   int     `json:"k"`
-}
-
-// handleExplain runs one query with tracing forced on and returns the
-// plan decision plus the per-stage work-counter span tree. The trace is
-// also published into the tracer's ring buffer tagged with this request's
-// ID, so it can be retrieved again via /debug/trace and correlated with
-// the request log.
-func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	var req explainRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request: %v", err)
-		return
-	}
-	query, err := pqgram.ParseXMLString(req.XML)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad query document: %v", err)
-		return
-	}
-	var res pqgram.ExplainResult
-	if req.Tau > 0 {
-		res = s.forest.ExplainLookup(query, req.Tau)
-	} else {
-		if req.K <= 0 {
-			req.K = 5
-		}
-		res = s.forest.ExplainTopK(query, req.K)
-	}
-	reqID := w.Header().Get("X-Request-ID")
-	s.col.Tracer().Publish(pqgram.TraceSnapshot{ID: reqID, Root: res.Trace})
-	writeJSON(w, map[string]any{"id": reqID, "explain": res})
-}
-
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
-}
-
-func (s *server) handleDocs(w http.ResponseWriter, r *http.Request) {
-	rest := strings.TrimPrefix(r.URL.Path, "/docs/")
-	if rest == "" {
-		httpError(w, http.StatusBadRequest, "missing document id")
-		return
-	}
-	if id, ok := strings.CutSuffix(rest, "/edits"); ok && r.Method == http.MethodPost {
-		s.handleEdits(w, r, id)
-		return
-	}
-	id := rest
-	switch r.Method {
-	case http.MethodPut:
-		doc, err := pqgram.ParseXML(r.Body)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad document: %v", err)
-			return
-		}
-		var grams int
-		if s.store != nil {
-			s.storeMu.Lock()
-			grams, err = s.store.Put(id, doc)
-			s.storeMu.Unlock()
-			if err != nil {
-				httpError(w, http.StatusInternalServerError, "persisting: %v", err)
-				return
-			}
-		} else {
-			grams = s.forest.Put(id, doc)
-		}
-		writeJSON(w, map[string]any{"id": id, "nodes": doc.Size(),
-			"pqgrams": grams})
-	case http.MethodDelete:
-		var err error
-		if s.store != nil {
-			s.storeMu.Lock()
-			err = s.store.Remove(id)
-			s.storeMu.Unlock()
-		} else {
-			err = s.forest.Remove(id)
-		}
-		if err != nil {
-			httpError(w, http.StatusNotFound, "%v", err)
-			return
-		}
-		writeJSON(w, map[string]string{"removed": id})
-	default:
-		httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
-	}
-}
-
-// editsRequest carries the paper's maintenance inputs: the resulting
-// document, its node identities, and the log of inverse edit operations.
-type editsRequest struct {
-	XML string          `json:"xml"`
-	IDs []pqgram.NodeID `json:"ids"`
-	Log []string        `json:"log"`
-}
-
-func (s *server) handleEdits(w http.ResponseWriter, r *http.Request, id string) {
-	var req editsRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request: %v", err)
-		return
-	}
-	tn, err := pqgram.ParseXMLString(req.XML)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad document: %v", err)
-		return
-	}
-	if len(req.IDs) > 0 {
-		var sb strings.Builder
-		for _, nid := range req.IDs {
-			fmt.Fprintln(&sb, nid)
-		}
-		if err := pqgram.ApplyXMLIDs(strings.NewReader(sb.String()), tn); err != nil {
-			httpError(w, http.StatusBadRequest, "bad ids: %v", err)
-			return
-		}
-	}
-	ops, err := pqgram.ReadLog(strings.NewReader(strings.Join(req.Log, "\n")))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad log: %v", err)
-		return
-	}
-	// Vet the log before touching the index: a broken feed must not be
-	// able to corrupt it.
-	if _, err := pqgram.VerifyLog(tn, ops); err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "log does not apply: %v", err)
-		return
-	}
-	ops = pqgram.OptimizeLog(tn, ops)
-
-	var st pqgram.UpdateStats
-	if s.store != nil {
-		s.storeMu.Lock()
-		st, err = s.store.Update(id, tn, ops)
-		s.storeMu.Unlock()
-	} else {
-		st, err = s.forest.Update(id, tn, ops)
-	}
-	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "update failed: %v", err)
-		return
-	}
-	writeJSON(w, map[string]any{
-		"id": id, "ops": len(ops),
-		"added": st.PlusGrams, "removed": st.MinusGrams,
-		"micros": st.Total.Microseconds(),
-	})
-}
-
-type lookupRequest struct {
-	XML string  `json:"xml"`
-	Tau float64 `json:"tau"`
-	Top int     `json:"top"`
-}
-
-func (s *server) handleLookup(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	var req lookupRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request: %v", err)
-		return
-	}
-	query, err := pqgram.ParseXMLString(req.XML)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad query document: %v", err)
-		return
-	}
-	var matches []pqgram.Match
-	if req.Top > 0 {
-		matches = s.forest.LookupTop(query, req.Top)
-	} else {
-		matches = s.forest.Lookup(query, req.Tau)
-	}
-	writeJSON(w, matches)
-}
-
-type topKRequest struct {
-	XML string `json:"xml"`
-	K   int    `json:"k"`
-}
-
-// handleTopK answers k-nearest-neighbour queries. The candidate strategy
-// is the planner's (see -plan): in metric mode the first query builds the
-// VP-tree metric index, which is then maintained incrementally by every
-// mutation; the response reports whether it is built so operators can see
-// which path answered.
-func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	var req topKRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request: %v", err)
-		return
-	}
-	if req.K <= 0 {
-		req.K = 5
-	}
-	query, err := pqgram.ParseXMLString(req.XML)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad query document: %v", err)
-		return
-	}
-	matches := s.forest.LookupTopK(query, req.K)
-	if matches == nil {
-		matches = []pqgram.Match{}
-	}
-	writeJSON(w, map[string]any{
-		"k":       req.K,
-		"matches": matches,
-		"metric":  s.forest.MetricReady(),
-	})
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	pr := s.forest.Params()
-	writeJSON(w, map[string]any{
-		"p": pr.P, "q": pr.Q,
-		"docs": s.forest.Len(), "pqgrams": s.forest.Size(),
-	})
 }
 
 // --- demo driver ----------------------------------------------------------
@@ -540,7 +178,7 @@ func runDemo(h http.Handler) {
 		}
 		lines = append(lines, inv.String())
 	}
-	body, _ := json.Marshal(editsRequest{
+	body, _ := json.Marshal(serve.EditsRequest{
 		XML: mustXML(working),
 		IDs: working.PreorderIDs(),
 		Log: lines,
@@ -549,25 +187,32 @@ func runDemo(h http.Handler) {
 	fmt.Printf("updated doc-0 incrementally: +%v −%v pq-grams in %vµs\n",
 		out["added"], out["removed"], out["micros"])
 
-	// Look up a noisy copy of doc-0.
+	// Look up a noisy copy of doc-0 — twice, to show the result cache:
+	// the repeat answers from the cache without touching the postings.
 	query := mustPerturb(rng, working, 4)
-	lb, _ := json.Marshal(lookupRequest{XML: mustXML(query), Top: 3})
-	req, _ := http.NewRequest("POST", base+"/lookup", bytes.NewReader(lb))
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		log.Fatal(err)
-	}
+	lb, _ := json.Marshal(serve.LookupRequest{XML: mustXML(query), Top: 3})
 	var matches []pqgram.Match
-	json.NewDecoder(resp.Body).Decode(&matches)
-	resp.Body.Close()
-	fmt.Println("nearest documents to the noisy copy of doc-0:")
+	var xCache []string
+	for i := 0; i < 2; i++ {
+		req, _ := http.NewRequest("POST", base+"/lookup", bytes.NewReader(lb))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		matches = nil
+		json.NewDecoder(resp.Body).Decode(&matches)
+		resp.Body.Close()
+		xCache = append(xCache, resp.Header.Get("X-Cache"))
+	}
+	fmt.Printf("nearest documents to the noisy copy of doc-0 (X-Cache: %s):\n",
+		strings.Join(xCache, " then "))
 	for _, m := range matches {
 		fmt.Printf("  %-8s %.3f\n", m.TreeID, m.Distance)
 	}
 
 	// Ask the metric endpoint for the two nearest neighbours; the demo
 	// forest runs in metric mode, so this descends the VP-tree.
-	tb, _ := json.Marshal(topKRequest{XML: mustXML(query), K: 2})
+	tb, _ := json.Marshal(serve.TopKRequest{XML: mustXML(query), K: 2})
 	tout := client("POST", "/topk", tb)
 	fmt.Printf("top-%v via /topk (metric index built: %v):\n", tout["k"], tout["metric"])
 	if ms, ok := tout["matches"].([]any); ok {
@@ -580,7 +225,7 @@ func runDemo(h http.Handler) {
 
 	// Explain the same query: which plan ran and how much work each stage
 	// did. The trace lands in the ring buffer, correlated by request ID.
-	eb, _ := json.Marshal(explainRequest{XML: mustXML(query), K: 2})
+	eb, _ := json.Marshal(serve.ExplainRequest{XML: mustXML(query), K: 2})
 	eout := client("POST", "/explain", eb)
 	if ex, ok := eout["explain"].(map[string]any); ok {
 		fmt.Printf("explain (id %v): op=%v plan=%v\n", eout["id"], ex["op"], ex["plan"])
@@ -602,12 +247,15 @@ func runDemo(h http.Handler) {
 		stats["docs"], stats["pqgrams"], stats["p"], stats["q"])
 
 	// The instrumentation saw all of the above: print a few live counters
-	// from the metrics endpoint.
+	// from the metrics endpoint, including the serving tier's.
 	metrics := client("GET", "/debug/metrics", nil)
 	if counters, ok := metrics["counters"].(map[string]any); ok {
 		fmt.Printf("metrics: %v lookups, %v updates, %v puts, %v http requests\n",
 			counters["forest_lookups"], counters["forest_updates"],
 			counters["forest_puts"], counters["http_requests"])
+		fmt.Printf("serving tier: %v served, %v cache hits, %v misses\n",
+			counters["serve_requests"], counters["serve_cache_hit"],
+			counters["serve_cache_miss"])
 	}
 	if hists, ok := metrics["histograms"].(map[string]any); ok {
 		if h, ok := hists["forest_lookup_ns"].(map[string]any); ok {

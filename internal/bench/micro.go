@@ -26,11 +26,12 @@ type MicroOp struct {
 // MicroReport is the machine-readable output of the micro suite:
 // wall-clock ns/op per operation, the full metrics snapshot the
 // instrumented run produced, (since v2) the candidate-pruning threshold
-// sweep of pruning.go, and the top-k metric-vs-exhaustive sweep of
-// topk.go. This is the artifact `make bench-json` writes (BENCH_pr2.json,
-// then BENCH_pr4.json, then BENCH_pr6.json), the repo's perf trajectory.
+// sweep of pruning.go and the top-k metric-vs-exhaustive sweep of
+// topk.go, and (since v3) the serving-tier load phases of serve.go.
+// This is the artifact `make bench-json` writes (BENCH_pr2.json through
+// BENCH_pr8.json), the repo's perf trajectory.
 type MicroReport struct {
-	Schema    string         `json:"schema"` // "pqgram/microbench/v2"
+	Schema    string         `json:"schema"` // "pqgram/microbench/v3"
 	Timestamp string         `json:"timestamp"`
 	GoVersion string         `json:"go_version"`
 	GOOS      string         `json:"goos"`
@@ -38,10 +39,27 @@ type MicroReport struct {
 	NumCPU    int            `json:"num_cpu"`
 	Docs      int            `json:"docs"`
 	Seed      int64          `json:"seed"`
-	Ops       []MicroOp      `json:"ops"`
+	Ops       []MicroOp      `json:"ops,omitempty"`
 	Metrics   obs.Snapshot   `json:"metrics"`
 	Pruning   []PruningPoint `json:"pruning,omitempty"` // pruned-vs-exhaustive lookup sweep
 	TopK      []TopKPoint    `json:"topk,omitempty"`    // metric-vs-exhaustive top-k sweep
+	Serve     []ServePhase   `json:"serve,omitempty"`   // serving-tier closed-loop load phases
+}
+
+// NewReport returns a MicroReport stamped with the run environment, for
+// experiments that emit the machine-readable artifact without running
+// the full micro suite (`pqbench -exp serve -json ...`).
+func NewReport(docs int, seed int64) *MicroReport {
+	return &MicroReport{
+		Schema:    "pqgram/microbench/v3",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Docs:      docs,
+		Seed:      seed,
+	}
 }
 
 // WriteFile writes the report as indented JSON.
@@ -80,16 +98,7 @@ func Micro(docs int, seed int64, col *obs.Collector) (*Result, *MicroReport, err
 	if docs < 4 {
 		docs = 4
 	}
-	rep := &MicroReport{
-		Schema:    "pqgram/microbench/v2",
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Docs:      docs,
-		Seed:      seed,
-	}
+	rep := NewReport(docs, seed)
 	dir, err := os.MkdirTemp("", "pqbench-micro-")
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,274 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pqgram/internal/forest"
+	"pqgram/internal/gen"
+	"pqgram/internal/obs"
+	"pqgram/internal/profile"
+	"pqgram/internal/serve"
+	"pqgram/internal/tree"
+)
+
+// ServePhase is one phase of the serving-tier load experiment: exact
+// latency quantiles over every read the closed loop issued, plus the
+// work counters of the same window — enough to attribute the latency to
+// the tier that produced it (cache hit vs shared flight vs real
+// traversal) and to see what the traversals cost (candidates examined).
+type ServePhase struct {
+	Phase              string `json:"phase"`
+	Workers            int    `json:"workers"`
+	Reads              int    `json:"reads"`
+	Writes             int    `json:"writes"`
+	P50NS              int64  `json:"p50_ns"`
+	P95NS              int64  `json:"p95_ns"`
+	P99NS              int64  `json:"p99_ns"`
+	Shed               int64  `json:"shed"`
+	CacheHit           int64  `json:"cache_hits"`
+	CacheMiss          int64  `json:"cache_misses"`
+	CacheInvalidations int64  `json:"cache_invalidations"`
+	BatchFlights       int64  `json:"batch_flights"`
+	BatchJoined        int64  `json:"batch_joined"`
+	// MeanBatchSize is requests per executed traversal, including the
+	// leader: 1.0 means no coalescing happened.
+	MeanBatchSize      float64 `json:"mean_batch_size"`
+	CandidatesExamined int64   `json:"candidates_examined"`
+	// HitRate is cache hits over reads. The hot-repeat phase errors out
+	// if it is zero — a serving tier whose cache never hits repeated
+	// queries is broken, and the report must not paper over it.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Serve is the serving-tier load experiment behind `pqbench -exp serve`:
+// a deterministic closed-loop generator (workers goroutines, each
+// issuing opsPerWorker back-to-back requests) over an internal/serve
+// tier in three phases —
+//
+//	cold-unique: every read is a distinct query and every 8th op is a
+//	  write, so the cache cannot hit and the index churns; the baseline.
+//	hot-repeat: reads cycle a pool of 8 queries, no writes; after one
+//	  cold pass per key everything is answered by the result cache.
+//	mixed-rw: the same hot pool with every 16th op a write, so each
+//	  mutation invalidates the cache (epoch bump) and the steady state
+//	  is the invalidate-recompute-hit cycle the paper's maintenance
+//	  claim implies.
+//
+// The workload (corpus, queries, write payloads, request order per
+// worker) is seed-derived and independent of scheduling; only the
+// measured durations vary between runs. Reads alternate threshold
+// lookups (τ=0.6) and top-k (k=5), so both cache populations are
+// exercised. The experiment errors out if any request fails, if any
+// response is dropped, or if the hot-repeat phase's cache hit rate is
+// zero.
+func Serve(docs, workers, opsPerWorker int) (*Result, []ServePhase, error) {
+	if docs < 16 {
+		docs = 16
+	}
+	if workers < 2 {
+		workers = 2
+	}
+	if opsPerWorker < 16 {
+		opsPerWorker = 16
+	}
+	const (
+		hotPool    = 8
+		tau        = 0.6
+		topK       = 5
+		coldWrite  = 8  // cold-unique: every 8th op writes
+		mixedWrite = 16 // mixed-rw: every 16th op writes
+	)
+
+	// Corpus: clusters of near-duplicate DBLP documents (docs/8 clusters),
+	// so queries have real candidate sets, built once for all phases.
+	col := obs.NewCollector()
+	f := forest.New(P33)
+	f.SetCollector(col)
+	rng := rand.New(rand.NewSource(baseSeed + 83))
+	clusters := docs / 8
+	if clusters < 1 {
+		clusters = 1
+	}
+	corpus := make([]forest.Doc, docs)
+	trees := make([]*tree.Tree, docs)
+	for i := range corpus {
+		trees[i] = gen.DBLP(baseSeed+int64(i%clusters), 100+i%60)
+		corpus[i] = forest.Doc{ID: fmt.Sprintf("doc-%04d", i), Tree: trees[i]}
+	}
+	if err := f.AddAll(corpus, 0); err != nil {
+		return nil, nil, err
+	}
+	srv := serve.New(f, nil, serve.Config{
+		CacheSize:   4 * hotPool,
+		MaxInFlight: 2 * workers,
+		MaxQueue:    4 * workers,
+	}, col)
+
+	// Query pools. The unique pool holds one query per cold read; the hot
+	// pool is shared by the repeat phases. All are perturbed copies of
+	// corpus documents, so answers are non-trivial.
+	mkQuery := func(r *rand.Rand, i int) (profile.Index, error) {
+		q, _, err := gen.Perturb(r, trees[i%docs], 1+r.Intn(5), gen.DefaultMix)
+		if err != nil {
+			return nil, err
+		}
+		return profile.BuildIndex(q, P33), nil
+	}
+	totalOps := workers * opsPerWorker
+	unique := make([]profile.Index, totalOps)
+	for i := range unique {
+		var err error
+		if unique[i], err = mkQuery(rng, i); err != nil {
+			return nil, nil, err
+		}
+	}
+	hot := make([]profile.Index, hotPool)
+	for i := range hot {
+		var err error
+		if hot[i], err = mkQuery(rng, i*docs/hotPool); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Write payloads: deterministic perturbations Put under a rotating id
+	// set, claimed by writers through an atomic sequence. Bounded ids keep
+	// the forest from growing without bound across phases.
+	writeDocs := make([]*tree.Tree, totalOps)
+	for i := range writeDocs {
+		d, _, err := gen.Perturb(rng, trees[i%docs], 2, gen.DefaultMix)
+		if err != nil {
+			return nil, nil, err
+		}
+		writeDocs[i] = d
+	}
+
+	type spec struct {
+		name       string
+		queryFor   func(w, i int) profile.Index
+		writeEvery int
+	}
+	phases := []spec{
+		{"cold-unique", func(w, i int) profile.Index { return unique[w*opsPerWorker+i] }, coldWrite},
+		{"hot-repeat", func(w, i int) profile.Index { return hot[(w+i)%hotPool] }, 0},
+		{"mixed-rw", func(w, i int) profile.Index { return hot[(w+i)%hotPool] }, mixedWrite},
+	}
+
+	res := &Result{
+		Title: "Serving tier: closed-loop load over batching, result cache and admission control",
+		Comment: fmt.Sprintf("%d docs, %d workers x %d ops per phase; reads alternate lookup(tau=%.1f) and top-%d",
+			docs, workers, opsPerWorker, tau, topK),
+		Header: []string{"reads", "writes", "p50", "p95", "p99", "hit-rate", "batch", "shed", "cand/read"},
+	}
+	var points []ServePhase
+	var writeSeq atomic.Int64
+	for _, ph := range phases {
+		before := col.Snapshot()
+		lats := make([][]int64, workers)
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		var reads, writes atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				own := make([]int64, 0, opsPerWorker)
+				for i := 0; i < opsPerWorker; i++ {
+					if ph.writeEvery > 0 && i%ph.writeEvery == ph.writeEvery-1 {
+						n := writeSeq.Add(1)
+						id := fmt.Sprintf("w-doc-%d", n%8)
+						if _, err := srv.Put(id, writeDocs[int(n)%len(writeDocs)]); err != nil {
+							errs[w] = fmt.Errorf("write %d: %w", n, err)
+							return
+						}
+						writes.Add(1)
+						continue
+					}
+					q := ph.queryFor(w, i)
+					t0 := time.Now()
+					var err error
+					if i%4 == 3 {
+						_, err = srv.TopK(q, topK)
+					} else {
+						_, err = srv.Lookup(q, tau)
+					}
+					if err != nil {
+						// The admission config is sized for the loop, so
+						// even ErrOverloaded is a failure: a closed loop
+						// of this width must be absorbable.
+						errs[w] = fmt.Errorf("worker %d op %d: %w", w, i, err)
+						return
+					}
+					own = append(own, time.Since(t0).Nanoseconds())
+					reads.Add(1)
+				}
+				lats[w] = own
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, nil, fmt.Errorf("phase %s: %w", ph.name, err)
+			}
+		}
+		var all []int64
+		for _, l := range lats {
+			all = append(all, l...)
+		}
+		if int64(len(all)) != reads.Load() || reads.Load()+writes.Load() != int64(totalOps) {
+			return nil, nil, fmt.Errorf("phase %s: dropped responses: %d latencies, %d reads + %d writes of %d ops",
+				ph.name, len(all), reads.Load(), writes.Load(), totalOps)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		q := func(p float64) int64 { return all[int(p*float64(len(all)-1))] }
+		d := col.Snapshot().CounterDeltas(before)
+
+		pt := ServePhase{
+			Phase:              ph.name,
+			Workers:            workers,
+			Reads:              int(reads.Load()),
+			Writes:             int(writes.Load()),
+			P50NS:              q(0.50),
+			P95NS:              q(0.95),
+			P99NS:              q(0.99),
+			Shed:               d["serve_shed"],
+			CacheHit:           d["serve_cache_hit"],
+			CacheMiss:          d["serve_cache_miss"],
+			CacheInvalidations: d["serve_cache_invalidate"],
+			BatchFlights:       d["serve_batch_flights"],
+			BatchJoined:        d["serve_batch_joined"],
+			CandidatesExamined: d["forest_lookup_candidates_examined"],
+			HitRate:            float64(d["serve_cache_hit"]) / float64(reads.Load()),
+		}
+		if pt.BatchFlights > 0 {
+			pt.MeanBatchSize = float64(pt.BatchFlights+pt.BatchJoined) / float64(pt.BatchFlights)
+		}
+		if ph.name == "hot-repeat" && pt.CacheHit == 0 {
+			return nil, nil, fmt.Errorf("phase %s: cache hit rate is zero on repeated queries — the result cache is not serving", ph.name)
+		}
+		points = append(points, pt)
+		res.Rows = append(res.Rows, Row{
+			Label: ph.name,
+			Values: []string{
+				fmt.Sprintf("%d", pt.Reads), fmt.Sprintf("%d", pt.Writes),
+				ms(time.Duration(pt.P50NS)), ms(time.Duration(pt.P95NS)), ms(time.Duration(pt.P99NS)),
+				fmt.Sprintf("%.0f%%", 100*pt.HitRate),
+				fmt.Sprintf("%.2f", pt.MeanBatchSize),
+				fmt.Sprintf("%d", pt.Shed),
+				fmt.Sprintf("%.0f", float64(pt.CandidatesExamined)/float64(pt.Reads)),
+			},
+		})
+	}
+	return res, points, nil
+}
+
+// ServeSmoke is the `make check` guard: a ~1s micro load run of the same
+// closed loop, failing on any dropped response, request error, or a
+// zero hit rate on the repeated-query phase.
+func ServeSmoke() (*Result, error) {
+	res, _, err := Serve(64, 4, 64)
+	return res, err
+}

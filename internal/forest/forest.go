@@ -109,6 +109,17 @@ type Index struct {
 	// zero value is PlanAuto.
 	plan atomic.Int32
 
+	// epoch is the mutation epoch of the index: a counter advanced by
+	// every operation that can change lookup results (Add, Remove, Put,
+	// bulk builds, incremental delta application). Result caches key
+	// their entries on it — see Epoch for the exact protocol. Structural
+	// ops under the registry write lock advance it once; delta
+	// applications, which run concurrently with lookups, advance it both
+	// before the first change and after the last one (seqlock-style), so
+	// an epoch observed unchanged across a read brackets a window with no
+	// completed mutation.
+	epoch atomic.Uint64
+
 	// metric is the VP-tree top-k index (metric.go). It starts unbuilt
 	// and free; once built it is maintained incrementally by every
 	// mutation. Its lock nests strictly after the registry, entry and
@@ -137,6 +148,17 @@ func (f *Index) shardOf(lt profile.LabelTuple) *shard {
 
 // Params returns the pq-gram parameters of the index.
 func (f *Index) Params() profile.Params { return f.pr }
+
+// Epoch returns the current mutation epoch of the index. The epoch
+// advances (by at least one) whenever a mutation that can change lookup
+// results completes; it never moves backwards. A cached lookup result is
+// valid for serving exactly when the epoch it was computed under equals
+// the current epoch. Writers advance the epoch before their first
+// visible change and after their last one, so the safe caching protocol
+// is: read e1 := Epoch(), run the lookup, read e2 := Epoch(); the result
+// may be cached under e1 only if e1 == e2. A later read that still
+// observes e1 proves no mutation completed in between.
+func (f *Index) Epoch() uint64 { return f.epoch.Load() }
 
 // Len returns the number of indexed trees.
 func (f *Index) Len() int {
@@ -196,6 +218,7 @@ func (f *Index) addIndexLocked(id string, idx profile.Index) error {
 		f.shardOf(lt).add(lt, id, c)
 	}
 	f.metric.add(id, idx)
+	f.epoch.Add(1)
 	if m := f.obs.Load(); m != nil {
 		m.adds.Inc()
 	}
@@ -219,6 +242,7 @@ func (f *Index) removeLocked(id string) error {
 	}
 	delete(f.trees, id)
 	f.metric.remove(id)
+	f.epoch.Add(1)
 	if m := f.obs.Load(); m != nil {
 		m.removes.Inc()
 	}
@@ -368,6 +392,15 @@ func (f *Index) ApplyDeltas(id string, iPlus, iMinus profile.Index) error {
 func (f *Index) applyDeltasEntry(e *treeEntry, id string, iPlus, iMinus profile.Index) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Delta application runs under the registry *read* lock, concurrent
+	// with lookups, so the epoch is advanced on both sides of the change
+	// (seqlock-style): a lookup that observes the same epoch before and
+	// after its traversal is guaranteed not to have raced a completed
+	// mutation. The exit bump happens even on error — a failed
+	// application may have partially changed the bag, and a spurious
+	// cache invalidation is always safe.
+	f.epoch.Add(1)
+	defer f.epoch.Add(1)
 	if err := core.ApplyDeltas(e.idx, iPlus, iMinus); err != nil {
 		return fmt.Errorf("forest: tree %q: %w", id, err)
 	}

@@ -108,6 +108,9 @@ func (f *Index) AddIndexes(ids []string, bags []profile.Index, workers int) erro
 		f.trees[id] = e
 		f.metric.add(id, bags[i])
 	}
+	// One epoch advance per added document, matching the serial path, so
+	// result caches see the same invalidation cadence either way.
+	f.epoch.Add(uint64(len(ids)))
 	if m := f.obs.Load(); m != nil {
 		m.bulkOps.Inc()
 		m.adds.Add(int64(len(ids)))

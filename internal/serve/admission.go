@@ -1,0 +1,162 @@
+// Admission control: a bounded in-flight semaphore with a bounded wait
+// queue, plus latency-driven backpressure.
+//
+// The backpressure signal is the p95 of serve latency over a short
+// rotating window of internal/obs histograms: the admission layer writes
+// every served request's latency into the current window, rotates the
+// window every Config.BudgetWindow (allocating a fresh histogram — they
+// are a few hundred bytes), and sheds new arrivals while the most recent
+// populated window's p95 exceeds Config.P95Budget. Rotation means a
+// transient overload stops shedding one window after the latency
+// recovers, unlike a cumulative histogram which would hold the p95 high
+// forever.
+
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"pqgram/internal/obs"
+)
+
+// minWindowSamples is the fewest samples a window must hold before its
+// p95 is trusted to drive shedding; below it the estimate is noise.
+const minWindowSamples = 16
+
+// latencyWindow is one rotation of the backpressure signal: the histogram
+// being written (cur) and the last completed one (prev).
+type latencyWindow struct {
+	start time.Time
+	cur   *obs.Histogram
+	prev  *obs.Histogram
+}
+
+type admission struct {
+	sem       chan struct{} // nil = unlimited in-flight
+	queued    atomic.Int64
+	maxQueue  int64
+	budgetNS  int64
+	windowDur time.Duration
+	win       atomic.Pointer[latencyWindow]
+	m         serveMetrics // by value: the handles are fixed at New
+}
+
+func newAdmission(cfg Config, m serveMetrics) *admission {
+	a := &admission{
+		maxQueue:  int64(cfg.MaxQueue),
+		budgetNS:  cfg.P95Budget.Nanoseconds(),
+		windowDur: cfg.BudgetWindow,
+		m:         m,
+	}
+	if cfg.MaxInFlight > 0 {
+		a.sem = make(chan struct{}, cfg.MaxInFlight)
+	}
+	a.win.Store(&latencyWindow{start: time.Now(), cur: &obs.Histogram{}})
+	return a
+}
+
+// acquire admits one request or returns ErrOverloaded. Admission is
+// two-staged: the latency budget is checked first (shedding must not
+// require a free slot to act), then the in-flight semaphore with its
+// bounded wait queue.
+func (a *admission) acquire() error {
+	if a.budgetNS > 0 && a.overBudget() {
+		return ErrOverloaded
+	}
+	if a.sem == nil {
+		a.m.inflight.Add(1)
+		return nil
+	}
+	select {
+	case a.sem <- struct{}{}:
+		a.m.inflight.Add(1)
+		return nil
+	default:
+	}
+	// All slots busy: wait in the bounded queue, or shed if it is full.
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return ErrOverloaded
+	}
+	a.m.queueDepth.Add(1)
+	a.sem <- struct{}{}
+	a.queued.Add(-1)
+	a.m.queueDepth.Add(-1)
+	a.m.inflight.Add(1)
+	return nil
+}
+
+func (a *admission) release() {
+	a.m.inflight.Add(-1)
+	if a.sem != nil {
+		<-a.sem
+	}
+}
+
+// observe feeds one served request's latency into the rotating window.
+func (a *admission) observe(d time.Duration) {
+	a.window().cur.Observe(d.Nanoseconds())
+}
+
+// window returns the current latency window, rotating it first if it is
+// stale. Rotation is lock-free: racing rotators CAS the same predecessor
+// and exactly one wins; the losers observe into the winner's window.
+func (a *admission) window() *latencyWindow {
+	w := a.win.Load()
+	if w == nil {
+		// Unreachable — win is seeded in newAdmission and rotation only
+		// stores fresh windows — but the nil contract stays explicit: a
+		// throwaway window absorbs the observation instead of panicking.
+		return &latencyWindow{start: time.Now(), cur: &obs.Histogram{}}
+	}
+	if time.Since(w.start) < a.windowDur {
+		return w
+	}
+	nw := &latencyWindow{start: time.Now(), cur: &obs.Histogram{}, prev: w.cur}
+	if a.win.CompareAndSwap(w, nw) {
+		return nw
+	}
+	return a.win.Load()
+}
+
+// p95 returns the current backpressure estimate: the p95 of the freshest
+// window holding at least minWindowSamples samples, or 0 when neither
+// window is populated enough to trust.
+func (a *admission) p95() int64 {
+	w := a.window()
+	if w == nil {
+		return 0
+	}
+	if w.cur.Count() >= minWindowSamples {
+		return w.cur.Quantile(0.95)
+	}
+	if w.prev.Count() >= minWindowSamples {
+		return w.prev.Quantile(0.95)
+	}
+	return 0
+}
+
+func (a *admission) overBudget() bool {
+	return a.p95() > a.budgetNS
+}
+
+// AdmissionStats is the computed "serve_admission" metric: the live
+// backpressure signal, published through Collector.RegisterFunc so it
+// shows up in every metrics snapshot.
+type AdmissionStats struct {
+	WindowP95NS int64 `json:"window_p95_ns"`
+	BudgetNS    int64 `json:"budget_ns"`
+	Shedding    bool  `json:"shedding"`
+	Queued      int64 `json:"queued"`
+}
+
+func (a *admission) stats() any {
+	p95 := a.p95()
+	return AdmissionStats{
+		WindowP95NS: p95,
+		BudgetNS:    a.budgetNS,
+		Shedding:    a.budgetNS > 0 && p95 > a.budgetNS,
+		Queued:      a.queued.Load(),
+	}
+}

@@ -1,0 +1,146 @@
+// The result cache of the serving tier: a strict-invalidation LRU over
+// lookup and top-k answers.
+//
+// Keys are (op, plan mode, τ or k, query fingerprint); the fingerprint is
+// an order-independent 64-bit hash of the query's (tuple, count) multiset.
+// Entries additionally store a clone of the full query bag and the forest
+// epoch the answer was computed under. A probe hits only when the epoch
+// still matches (otherwise the entry is evicted and counted as an
+// invalidation) and the stored bag equals the probe's bag exactly — a
+// fingerprint collision therefore costs a miss, never a wrong answer.
+
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"pqgram/internal/forest"
+	"pqgram/internal/profile"
+)
+
+// queryKey identifies one cacheable computation. τ and k are disjoint by
+// op (a threshold lookup zeroes k and vice versa), and the plan mode is
+// part of the key because the planner is allowed to answer the same query
+// with different work — results are identical, but a mode switch must not
+// serve an entry recorded under bounds the operator just turned off.
+type queryKey struct {
+	op   uint8
+	plan forest.PlanMode
+	tau  float64
+	k    int
+	fp   uint64
+}
+
+// fingerprintIndex hashes a query bag order-independently: each
+// (tuple, count) pair is mixed to a pseudo-random word, and the words are
+// combined with commutative operations (sum and xor) so Go's randomized
+// map iteration cannot influence the result. Collisions are tolerated —
+// the cache verifies the full bag on every hit.
+func fingerprintIndex(q profile.Index) uint64 {
+	var sum, x uint64
+	for lt, c := range q {
+		v := mix64(uint64(lt) ^ mix64(uint64(c)))
+		sum += v
+		x ^= v
+	}
+	return mix64(sum ^ (x<<32 | x>>32) ^ uint64(len(q)))
+}
+
+// mix64 is the SplitMix64 finalizer: a cheap full-avalanche mixer.
+func mix64(v uint64) uint64 {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return v
+}
+
+// cacheEntry is one cached answer. out is shared with every response that
+// hits the entry; it is never mutated after insertion.
+type cacheEntry struct {
+	key   queryKey
+	q     profile.Index // cloned query bag, verified on every hit
+	out   []forest.Match
+	epoch uint64
+	elem  *list.Element
+}
+
+// resultCache is a mutex-guarded LRU. The lock is held only for map and
+// list surgery plus the bag-equality check — never across a forest
+// traversal — so it does not serialize lookups.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[queryKey]*cacheEntry
+	lru     list.List    // front = most recently used; values are *cacheEntry
+	m       serveMetrics // by value: the handles are fixed at New
+}
+
+func newResultCache(max int, m serveMetrics) *resultCache {
+	return &resultCache{max: max, entries: make(map[queryKey]*cacheEntry, max), m: m}
+}
+
+// get returns the cached answer for key if it was computed under exactly
+// the given epoch and its stored query bag equals q. A stale-epoch entry
+// is evicted eagerly and counted as an invalidation.
+func (c *resultCache) get(key queryKey, q profile.Index, epoch uint64) ([]forest.Match, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	if e == nil {
+		return nil, false
+	}
+	if e.epoch != epoch {
+		// Strict invalidation: a mutation completed since this entry was
+		// computed, so it must never be served again.
+		c.removeLocked(e)
+		c.m.cacheInvalidate.Inc()
+		return nil, false
+	}
+	if !e.q.Equal(q) {
+		// Fingerprint collision: a different query landed on the same
+		// key. Treated as a miss; the subsequent put replaces the entry.
+		return nil, false
+	}
+	c.lru.MoveToFront(e.elem)
+	return e.out, true
+}
+
+// put records an answer computed under the given epoch, evicting the
+// least-recently-used entries past the capacity. The query bag is cloned;
+// the result slice is stored as-is and must be treated as immutable.
+func (c *resultCache) put(key queryKey, q profile.Index, out []forest.Match, epoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.entries[key]; e != nil {
+		e.q = q.Clone()
+		e.out = out
+		e.epoch = epoch
+		c.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &cacheEntry{key: key, q: q.Clone(), out: out, epoch: epoch}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	for len(c.entries) > c.max {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back.Value.(*cacheEntry))
+	}
+}
+
+func (c *resultCache) removeLocked(e *cacheEntry) {
+	c.lru.Remove(e.elem)
+	delete(c.entries, e.key)
+}
+
+// len returns the number of live entries (tests and the stats endpoint).
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,204 @@
+// The differential battery: the serving tier's cache and batcher must be
+// semantically invisible. For 200 seeded scripts of interleaved
+// Put/Remove/Update/Lookup/TopK, every HTTP response from a server with
+// the cache enabled must be byte-identical to the response from a server
+// with it disabled — including repeats (which hit the cache) and bursts
+// of concurrent identical requests (which coalesce in the batcher). Run
+// under -race by `make test`; a stale-cache-after-update bug, an epoch
+// bump missed by any mutation path, or a batcher leaking results across
+// epochs all fail this test.
+
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"pqgram/internal/forest"
+	"pqgram/internal/gen"
+	"pqgram/internal/profile"
+	"pqgram/internal/tree"
+	"pqgram/internal/xmlconv"
+)
+
+const (
+	diffSeeds      = 200
+	diffOps        = 12
+	diffBurst      = 4 // concurrent identical requests per lookup on the cached server
+	diffCorpusSize = 5
+)
+
+// diffServer pairs a server with the live trees of its corpus so the
+// script can derive updates and queries from current document states.
+type diffServer struct {
+	srv  *Server
+	live map[string]*tree.Tree
+}
+
+func newDiffServer(cacheSize int) *diffServer {
+	return &diffServer{
+		srv:  New(forest.New(profile.Default), nil, Config{CacheSize: cacheSize}, nil),
+		live: make(map[string]*tree.Tree),
+	}
+}
+
+func TestDifferentialCacheOnOff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200-seed differential battery")
+	}
+	for seed := int64(0); seed < diffSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runDiffScript(t, seed)
+		})
+	}
+}
+
+func runDiffScript(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	cached := newDiffServer(64)
+	plain := newDiffServer(0)
+	both := []*diffServer{cached, plain}
+
+	// Seed corpus: perturbed variants of one generated document, so
+	// queries land near several trees and lookups return real match sets.
+	base := gen.DBLP(seed, 80)
+	for i := 0; i < diffCorpusSize; i++ {
+		doc := mustPerturbT(t, rng, base, 2*i)
+		for _, ds := range both {
+			ds.put(t, fmt.Sprintf("doc-%d", i), doc)
+		}
+	}
+
+	for op := 0; op < diffOps; op++ {
+		switch rng.Intn(6) {
+		case 0: // Put: replace an existing document with a perturbed copy
+			id, cur := pickDoc(rng, cached.live)
+			doc := mustPerturbT(t, rng, cur, 3)
+			for _, ds := range both {
+				ds.put(t, id, doc)
+			}
+		case 1: // Remove, then re-add later puts can resurrect
+			if len(cached.live) <= 1 {
+				continue
+			}
+			id, _ := pickDoc(rng, cached.live)
+			for _, ds := range both {
+				if err := ds.srv.Remove(id); err != nil {
+					t.Fatalf("seed %d op %d: remove %s: %v", seed, op, id, err)
+				}
+				delete(ds.live, id)
+			}
+		case 2: // Update: incremental maintenance through the edit-log path
+			id, cur := pickDoc(rng, cached.live)
+			tn, log, err := gen.Perturb(rng, cur, 2, gen.XMLSafeMix)
+			if err != nil {
+				t.Fatalf("seed %d op %d: perturb: %v", seed, op, err)
+			}
+			for _, ds := range both {
+				if _, err := ds.srv.Update(id, tn, log); err != nil {
+					t.Fatalf("seed %d op %d: update %s: %v", seed, op, id, err)
+				}
+				ds.live[id] = tn
+			}
+		default: // Lookup or TopK over a noisy copy of a live document
+			_, cur := pickDoc(rng, cached.live)
+			query := mustPerturbT(t, rng, cur, 1+rng.Intn(3))
+			xml, err := xmlconv.WriteString(query)
+			if err != nil {
+				t.Fatalf("seed %d op %d: serialize query: %v", seed, op, err)
+			}
+			var path, body string
+			if rng.Intn(2) == 0 {
+				path = "/lookup"
+				b, _ := json.Marshal(LookupRequest{XML: xml, Tau: 0.2 + 0.2*float64(rng.Intn(4))})
+				body = string(b)
+			} else {
+				path = "/topk"
+				b, _ := json.Marshal(TopKRequest{XML: xml, K: 1 + rng.Intn(3)})
+				body = string(b)
+			}
+			compareResponses(t, seed, op, cached.srv, plain.srv, path, body)
+		}
+	}
+}
+
+// compareResponses issues the query once against the cache-off server and
+// three times against the cached server — twice sequentially (the second
+// must be served from the cache) and once as a burst of concurrent
+// identical requests (which coalesce) — and requires every status and
+// body to be byte-identical.
+func compareResponses(t *testing.T, seed int64, op int, cached, plain *Server, path, body string) {
+	t.Helper()
+	wantCode, wantBody := doPost(plain, path, body)
+	for pass := 0; pass < 2; pass++ {
+		code, got := doPost(cached, path, body)
+		if code != wantCode || got != wantBody {
+			t.Fatalf("seed %d op %d pass %d: %s diverged\ncache-on:  %d %s\ncache-off: %d %s",
+				seed, op, pass, path, code, got, wantCode, wantBody)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < diffBurst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, got := doPost(cached, path, body)
+			if code != wantCode || got != wantBody {
+				t.Errorf("seed %d op %d burst: %s diverged\ncache-on:  %d %s\ncache-off: %d %s",
+					seed, op, path, code, got, wantCode, wantBody)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func doPost(s *Server, path, body string) (int, string) {
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w.Code, w.Body.String()
+}
+
+func (ds *diffServer) put(t *testing.T, id string, doc *tree.Tree) {
+	t.Helper()
+	if _, err := ds.srv.Put(id, doc); err != nil {
+		t.Fatalf("put %s: %v", id, err)
+	}
+	ds.live[id] = doc
+}
+
+// pickDoc returns a deterministic random live document: map iteration
+// order is randomized, so the candidates are sorted by ID first.
+func pickDoc(rng *rand.Rand, live map[string]*tree.Tree) (string, *tree.Tree) {
+	ids := make([]string, 0, len(live))
+	for id := range live {
+		ids = append(ids, id)
+	}
+	sortStrings(ids)
+	id := ids[rng.Intn(len(ids))]
+	return id, live[id]
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func mustPerturbT(t *testing.T, rng *rand.Rand, base *tree.Tree, n int) *tree.Tree {
+	t.Helper()
+	out, _, err := gen.Perturb(rng, base, n, gen.XMLSafeMix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

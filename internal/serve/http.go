@@ -1,0 +1,533 @@
+// The HTTP surface of the serving tier. Every query endpoint routes
+// through Server.query — admission control, result cache, request
+// batching — and mutations route through Server.Put/Remove/Update so the
+// journal (when store-backed) and the epoch-based cache invalidation are
+// shared with programmatic callers.
+//
+// Endpoints (JSON unless noted):
+//
+//	PUT    /docs/{id}          body: XML                  index a document
+//	DELETE /docs/{id}                                     drop a document
+//	POST   /docs/{id}/edits    {"xml","ids","log"}        incremental update
+//	POST   /lookup             {"xml","tau","top","plan"} approximate lookup
+//	POST   /topk               {"xml","k","plan"}         k nearest via the planner
+//	POST   /explain            {"xml","tau","k"}          run a query traced; plan + work counters
+//	GET    /stats                                         index + serving-tier statistics
+//	GET    /debug/metrics                                 live metrics snapshot (?format=prom)
+//	GET    /debug/trace[?n=16]                            recent query traces
+//	GET    /debug/vars                                    expvar (includes "pqgram")
+//	GET    /debug/pprof/...                               CPU/heap/goroutine profiles
+//
+// Input validation is strict — malformed JSON, out-of-range τ or k, and
+// unknown plan names all answer 4xx, never 5xx or a panic; the fuzz
+// target FuzzServeRequest holds the service to that contract. Shed
+// requests answer 429 with a Retry-After hint; answered lookups carry an
+// X-Cache header (hit, miss or shared) so load generators can attribute
+// latency to the tier that produced it.
+
+package serve
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pqgram/internal/edit"
+	"pqgram/internal/forest"
+	"pqgram/internal/obs"
+	"pqgram/internal/profile"
+	"pqgram/internal/tree"
+	"pqgram/internal/xmlconv"
+)
+
+// Request-validation bounds. τ is a normalized distance, so the unit
+// interval is the entire meaningful range; k and n are capped so a single
+// request cannot demand unbounded allocation.
+const (
+	maxTopK     = 4096
+	maxTraceN   = 1024
+	maxDocIDLen = 512
+)
+
+// httpState is the HTTP half of the Server: the routing mux plus the
+// request-ID and logging plumbing of the middleware.
+type httpState struct {
+	mux    *http.ServeMux
+	reqID  atomic.Int64
+	logger *slog.Logger
+}
+
+// expvarOnce guards the process-global expvar registration (Publish
+// panics on duplicate names; tests build many servers per process).
+var expvarOnce sync.Once
+
+// initHTTP wires the routing table and the debug endpoints. Called once
+// by New.
+func (s *Server) initHTTP() {
+	s.mux = http.NewServeMux()
+	s.logger = s.cfg.Logger
+	if s.logger == nil {
+		s.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	// Sample every 16th traceable operation into a ring of recent traces;
+	// /explain traces its query unconditionally regardless of sampling.
+	if s.col.Tracer() == nil {
+		s.col.SetTracer(obs.NewTracer(16, 64))
+	}
+	s.mux.HandleFunc("/docs/", s.handleDocs)
+	s.mux.HandleFunc("/lookup", s.handleLookup)
+	s.mux.HandleFunc("/topk", s.handleTopK)
+	s.mux.HandleFunc("/explain", s.handleExplain)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/debug/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/trace", s.handleTrace)
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	col := s.col
+	expvarOnce.Do(func() {
+		expvar.Publish("pqgram", expvar.Func(func() any { return col.Snapshot() }))
+	})
+}
+
+// statusWriter captures the response status and size for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// ServeHTTP is the request-logging and metrics middleware: it assigns a
+// request ID (echoed as X-Request-ID), bounds the request body, times the
+// handler, logs one structured line per request, and feeds the HTTP
+// counters/histogram.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := s.reqID.Add(1)
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	sw.Header().Set("X-Request-ID", fmt.Sprintf("req-%06d", id))
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+	}
+	t0 := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	dur := time.Since(t0)
+	s.col.Counter("http_requests").Inc()
+	if sw.status >= 400 {
+		s.col.Counter("http_errors").Inc()
+	}
+	s.col.Histogram("http_request_ns").Observe(dur.Nanoseconds())
+	s.logger.Info("request",
+		"id", id,
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", sw.status,
+		"bytes", sw.bytes,
+		"dur", dur,
+	)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeOverloaded maps ErrOverloaded to 429 Too Many Requests with the
+// configured Retry-After hint.
+func (s *Server) writeOverloaded(w http.ResponseWriter) {
+	w.Header().Set("Retry-After",
+		strconv.FormatInt(int64(math.Ceil(s.cfg.RetryAfter.Seconds())), 10))
+	httpError(w, http.StatusTooManyRequests, "overloaded; retry after %s", s.cfg.RetryAfter)
+}
+
+// parsePlan resolves a planner-mode name from a request. The empty string
+// keeps the active mode; an unknown name is a client error.
+func parsePlan(name string) (forest.PlanMode, bool) {
+	switch name {
+	case "auto":
+		return forest.PlanAuto, true
+	case "exhaustive":
+		return forest.PlanExhaustive, true
+	case "pruned":
+		return forest.PlanPruned, true
+	case "metric":
+		return forest.PlanMetric, true
+	}
+	return 0, false
+}
+
+// applyPlan validates and applies a request's optional plan override. All
+// modes answer identically (the planner chooses work, not results), so
+// switching is always safe; the mode is part of the cache key, so cached
+// entries recorded under other modes are simply not consulted.
+func (s *Server) applyPlan(w http.ResponseWriter, name string) bool {
+	if name == "" {
+		return true
+	}
+	mode, ok := parsePlan(name)
+	if !ok {
+		httpError(w, http.StatusBadRequest,
+			"unknown plan %q (want auto, exhaustive, pruned or metric)", name)
+		return false
+	}
+	s.forest.SetPlanMode(mode)
+	return true
+}
+
+// parseQueryXML parses a request's query document and builds its pq-gram
+// profile under the forest's parameters.
+func (s *Server) parseQueryXML(w http.ResponseWriter, xml string) (profile.Index, bool) {
+	t, err := xmlconv.ParseString(xml, xmlconv.Options{})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad query document: %v", err)
+		return nil, false
+	}
+	return profile.BuildIndex(t, s.forest.Params()), true
+}
+
+// cacheHeader attributes an answered lookup to the tier that produced it.
+func cacheHeader(res Result) string {
+	switch {
+	case res.Cached:
+		return "hit"
+	case res.Shared:
+		return "shared"
+	default:
+		return "miss"
+	}
+}
+
+// LookupRequest is the body of POST /lookup. Tau > 0 runs a threshold
+// lookup; Top > 0 instead returns the Top nearest trees. Plan optionally
+// switches the planner mode (auto, exhaustive, pruned, metric).
+type LookupRequest struct {
+	XML  string  `json:"xml"`
+	Tau  float64 `json:"tau"`
+	Top  int     `json:"top"`
+	Plan string  `json:"plan,omitempty"`
+}
+
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req LookupRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if math.IsNaN(req.Tau) || req.Tau < 0 || req.Tau > 1 {
+		httpError(w, http.StatusBadRequest, "tau %v out of range [0, 1]", req.Tau)
+		return
+	}
+	if req.Top < 0 || req.Top > maxTopK {
+		httpError(w, http.StatusBadRequest, "top %d out of range [0, %d]", req.Top, maxTopK)
+		return
+	}
+	if !s.applyPlan(w, req.Plan) {
+		return
+	}
+	q, ok := s.parseQueryXML(w, req.XML)
+	if !ok {
+		return
+	}
+	var res Result
+	var err error
+	if req.Top > 0 {
+		res, err = s.TopK(q, req.Top)
+	} else {
+		res, err = s.Lookup(q, req.Tau)
+	}
+	if err != nil {
+		s.writeOverloaded(w)
+		return
+	}
+	w.Header().Set("X-Cache", cacheHeader(res))
+	writeJSON(w, res.Matches)
+}
+
+// TopKRequest is the body of POST /topk. K defaults to 5; Plan optionally
+// switches the planner mode.
+type TopKRequest struct {
+	XML  string `json:"xml"`
+	K    int    `json:"k"`
+	Plan string `json:"plan,omitempty"`
+}
+
+// handleTopK answers k-nearest-neighbour queries. The candidate strategy
+// is the planner's: in metric mode the first query builds the VP-tree
+// metric index, which is then maintained incrementally by every mutation;
+// the response reports whether it is built so operators can see which
+// path answered.
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req TopKRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if req.K < 0 || req.K > maxTopK {
+		httpError(w, http.StatusBadRequest, "k %d out of range [0, %d]", req.K, maxTopK)
+		return
+	}
+	if req.K == 0 {
+		req.K = 5
+	}
+	if !s.applyPlan(w, req.Plan) {
+		return
+	}
+	q, ok := s.parseQueryXML(w, req.XML)
+	if !ok {
+		return
+	}
+	res, err := s.TopK(q, req.K)
+	if err != nil {
+		s.writeOverloaded(w)
+		return
+	}
+	matches := res.Matches
+	if matches == nil {
+		matches = []forest.Match{}
+	}
+	w.Header().Set("X-Cache", cacheHeader(res))
+	writeJSON(w, map[string]any{
+		"k":       req.K,
+		"matches": matches,
+		"metric":  s.forest.MetricReady(),
+	})
+}
+
+// ExplainRequest is the body of POST /explain: tau > 0 explains a
+// threshold lookup, otherwise k (default 5) explains a top-k lookup.
+type ExplainRequest struct {
+	XML string  `json:"xml"`
+	Tau float64 `json:"tau"`
+	K   int     `json:"k"`
+}
+
+// handleExplain runs one query with tracing forced on and returns the
+// plan decision plus the per-stage work-counter span tree. Explain is a
+// diagnostic: it bypasses the cache and the batcher on purpose (a cached
+// answer has no work counters to report) but still runs the production
+// lookup code. The trace is also published into the tracer's ring buffer
+// tagged with this request's ID, correlating with the request log.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req ExplainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if math.IsNaN(req.Tau) || req.Tau < 0 || req.Tau > 1 {
+		httpError(w, http.StatusBadRequest, "tau %v out of range [0, 1]", req.Tau)
+		return
+	}
+	if req.K < 0 || req.K > maxTopK {
+		httpError(w, http.StatusBadRequest, "k %d out of range [0, %d]", req.K, maxTopK)
+		return
+	}
+	query, err := xmlconv.ParseString(req.XML, xmlconv.Options{})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad query document: %v", err)
+		return
+	}
+	var res forest.ExplainResult
+	if req.Tau > 0 {
+		res = s.forest.ExplainLookup(query, req.Tau)
+	} else {
+		if req.K == 0 {
+			req.K = 5
+		}
+		res = s.forest.ExplainTopK(query, req.K)
+	}
+	reqID := w.Header().Get("X-Request-ID")
+	s.col.Tracer().Publish(obs.TraceSnapshot{ID: reqID, Root: res.Trace})
+	writeJSON(w, map[string]any{"id": reqID, "explain": res})
+}
+
+// EditsRequest is the body of POST /docs/{id}/edits: the paper's
+// maintenance inputs — the resulting document, its node identities, and
+// the log of inverse edit operations.
+type EditsRequest struct {
+	XML string        `json:"xml"`
+	IDs []tree.NodeID `json:"ids"`
+	Log []string      `json:"log"`
+}
+
+func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/docs/")
+	if id, ok := strings.CutSuffix(rest, "/edits"); ok && r.Method == http.MethodPost {
+		if !validDocID(w, id) {
+			return
+		}
+		s.handleEdits(w, r, id)
+		return
+	}
+	id := rest
+	if !validDocID(w, id) {
+		return
+	}
+	switch r.Method {
+	case http.MethodPut:
+		doc, err := xmlconv.Parse(r.Body, xmlconv.Options{})
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad document: %v", err)
+			return
+		}
+		grams, err := s.Put(id, doc)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "persisting: %v", err)
+			return
+		}
+		writeJSON(w, map[string]any{"id": id, "nodes": doc.Size(), "pqgrams": grams})
+	case http.MethodDelete:
+		if err := s.Remove(id); err != nil {
+			httpError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		writeJSON(w, map[string]string{"removed": id})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+func validDocID(w http.ResponseWriter, id string) bool {
+	if id == "" {
+		httpError(w, http.StatusBadRequest, "missing document id")
+		return false
+	}
+	if len(id) > maxDocIDLen {
+		httpError(w, http.StatusBadRequest, "document id longer than %d bytes", maxDocIDLen)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request, id string) {
+	var req EditsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	tn, err := xmlconv.ParseString(req.XML, xmlconv.Options{})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad document: %v", err)
+		return
+	}
+	if len(req.IDs) > 0 {
+		var sb strings.Builder
+		for _, nid := range req.IDs {
+			fmt.Fprintln(&sb, nid)
+		}
+		if err := xmlconv.ApplyIDs(strings.NewReader(sb.String()), tn); err != nil {
+			httpError(w, http.StatusBadRequest, "bad ids: %v", err)
+			return
+		}
+	}
+	ops, err := edit.ReadLog(strings.NewReader(strings.Join(req.Log, "\n")))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad log: %v", err)
+		return
+	}
+	// Vet the log before touching the index: a broken feed must not be
+	// able to corrupt it.
+	if _, err := edit.VerifyLog(tn, ops); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "log does not apply: %v", err)
+		return
+	}
+	ops = edit.OptimizeLog(tn, ops)
+	st, err := s.Update(id, tn, ops)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "update failed: %v", err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"id": id, "ops": len(ops),
+		"added": st.PlusGrams, "removed": st.MinusGrams,
+		"micros": st.Total.Microseconds(),
+	})
+}
+
+// handleStats reports the index shape plus the serving tier's live state:
+// the mutation epoch, the active plan mode, and the result-cache fill.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	pr := s.forest.Params()
+	cacheLen := 0
+	if s.cache != nil {
+		cacheLen = s.cache.len()
+	}
+	writeJSON(w, map[string]any{
+		"p": pr.P, "q": pr.Q,
+		"docs": s.forest.Len(), "pqgrams": s.forest.Size(),
+		"serve": map[string]any{
+			"epoch":         s.forest.Epoch(),
+			"plan":          int(s.forest.PlanMode()),
+			"cache_entries": cacheLen,
+			"cache_size":    s.cfg.CacheSize,
+		},
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.WritePrometheus(w, s.col.Snapshot()); err != nil {
+			s.logger.Error("prometheus exposition failed", "err", err)
+		}
+		return
+	}
+	writeJSON(w, s.col.Snapshot())
+}
+
+// handleTrace serves the tracer's ring buffer of recent traces, newest
+// first. /explain traces carry the request ID of the request that ran
+// them, correlating with the request log.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	n := 16
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 && v <= maxTraceN {
+			n = v
+		}
+	}
+	traces := s.col.Tracer().RecentTraces(n)
+	if traces == nil {
+		traces = []obs.TraceSnapshot{}
+	}
+	writeJSON(w, traces)
+}

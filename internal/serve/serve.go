@@ -1,0 +1,328 @@
+// Package serve is the production serving tier over a pq-gram forest
+// index: the layer that turns the library into a service built for heavy
+// concurrent traffic. It composes three mechanisms in front of the
+// planner, in request order:
+//
+//  1. Admission control (admission.go) — a bounded in-flight semaphore
+//     plus a bounded wait queue, with latency-driven backpressure: when
+//     the windowed p95 of serve latency crosses the configured budget,
+//     new requests are shed immediately (HTTP 429 + Retry-After) instead
+//     of queueing behind work the service cannot absorb.
+//  2. Result cache (cache.go) — an LRU of lookup/top-k results keyed on
+//     (query fingerprint, τ or k, plan mode), validated against the
+//     forest's mutation epoch: every incremental Add/Remove/Update
+//     advances the epoch, so an entry computed under an older epoch is
+//     strictly invalid and is evicted on the next probe. Hits verify the
+//     full query bag, so a fingerprint collision degrades to a miss,
+//     never a wrong answer.
+//  3. Request batching (batch.go) — concurrent lookups with the same key
+//     and the same epoch coalesce into a single shared postings
+//     traversal; N-1 of them wait for the leader and share its result.
+//     A flight is keyed on the epoch it started under, so a request that
+//     arrives after a mutation never joins a pre-mutation traversal —
+//     read-your-writes holds for every client.
+//
+// The invariant carried by the differential tests (diff_test.go): for any
+// sequential script of mutations and lookups, responses with the cache
+// and batcher enabled are byte-identical to responses with them disabled.
+// Caching is an optimization, never a semantic.
+//
+// http.go adds the full HTTP surface (documents, lookups, explain,
+// debug endpoints); examples/server and cmd/pqserve are thin wrappers
+// over it, so the demo and the production binary cannot drift.
+package serve
+
+import (
+	"errors"
+	"log/slog"
+	"sync"
+	"time"
+
+	"pqgram/internal/core"
+	"pqgram/internal/edit"
+	"pqgram/internal/forest"
+	"pqgram/internal/obs"
+	"pqgram/internal/profile"
+	"pqgram/internal/store"
+	"pqgram/internal/tree"
+)
+
+// ErrOverloaded is returned when admission control sheds a request: the
+// in-flight queue is full or the latency budget is exceeded. HTTP maps it
+// to 429 Too Many Requests with a Retry-After hint.
+var ErrOverloaded = errors.New("serve: overloaded")
+
+// Config tunes the serving tier. The zero value disables every
+// mechanism: no cache, no admission limits, unbounded bodies — the
+// behavior of calling the forest directly.
+type Config struct {
+	// CacheSize is the maximum number of cached lookup/top-k results.
+	// 0 disables the result cache.
+	CacheSize int
+
+	// MaxInFlight bounds the lookups executing concurrently. 0 means
+	// unlimited (no admission control by count).
+	MaxInFlight int
+
+	// MaxQueue bounds how many requests may wait for an in-flight slot
+	// beyond MaxInFlight before new arrivals are shed. Only meaningful
+	// with MaxInFlight > 0.
+	MaxQueue int
+
+	// P95Budget sheds new requests while the windowed p95 of serve
+	// latency exceeds it. 0 disables latency-driven shedding.
+	P95Budget time.Duration
+
+	// BudgetWindow is the rotation period of the latency window backing
+	// the p95 estimate. Defaults to 1s.
+	BudgetWindow time.Duration
+
+	// RetryAfter is the client backoff hint attached to shed responses.
+	// Defaults to 1s.
+	RetryAfter time.Duration
+
+	// MaxBodyBytes bounds HTTP request bodies. Defaults to 8 MiB.
+	MaxBodyBytes int64
+
+	// Logger receives one structured line per HTTP request. nil discards.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.BudgetWindow <= 0 {
+		c.BudgetWindow = time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Result is one answered query plus how it was answered — the
+// serving-tier visibility the load generator and the tests key on.
+type Result struct {
+	// Matches is the answer. It may be shared with other requests and
+	// with the cache; treat it as read-only.
+	Matches []forest.Match
+
+	// Cached reports that the answer came from the result cache.
+	Cached bool
+
+	// Shared reports that the request joined an in-flight traversal
+	// started by a concurrent identical request.
+	Shared bool
+
+	// Epoch is the forest mutation epoch the answer is known valid for.
+	Epoch uint64
+}
+
+// Server is the serving tier over one forest (optionally backed by a
+// journaled store). It is safe for concurrent use. Create it with New;
+// the zero value is not usable.
+type Server struct {
+	forest *forest.Index
+	store  *store.Store
+	cfg    Config
+	col    *obs.Collector
+
+	// storeMu serializes store mutations: the forest is internally
+	// synchronized, but the journal is a single append stream.
+	storeMu sync.Mutex
+
+	cache *resultCache // nil when disabled
+	batch *batcher
+	adm   *admission
+	m     serveMetrics
+
+	httpState
+
+	// hookFlightStart, when set, runs inside every batch-flight leader
+	// before the forest traversal. Tests use it to hold a traversal open
+	// deterministically; nil in production.
+	hookFlightStart func()
+}
+
+// serveMetrics is the serving tier's obs wiring. The collector is always
+// non-nil (New substitutes a private one), so the handles are too; they
+// are fixed at New, so components hold the struct by value.
+type serveMetrics struct {
+	requests        *obs.Counter   // serve_requests
+	cacheHits       *obs.Counter   // serve_cache_hit
+	cacheMisses     *obs.Counter   // serve_cache_miss
+	cacheInvalidate *obs.Counter   // serve_cache_invalidate (stale-epoch evictions)
+	shed            *obs.Counter   // serve_shed
+	batchFlights    *obs.Counter   // serve_batch_flights (traversals executed)
+	batchJoined     *obs.Counter   // serve_batch_joined (requests that shared one)
+	batchSize       *obs.Histogram // serve_batch_size (requests per traversal)
+	lookupNS        *obs.Histogram // serve_lookup_ns (end-to-end, incl. cache hits)
+	inflight        *obs.Gauge     // serve_inflight
+	queueDepth      *obs.Gauge     // serve_queue_depth
+}
+
+// New builds a serving tier over f. If st is non-nil, mutations are
+// journaled through it (st.Forest() must be f). A nil collector is
+// replaced by a private one, so instrumentation is always on; pass the
+// collector you scrape to see it.
+func New(f *forest.Index, st *store.Store, cfg Config, col *obs.Collector) *Server {
+	if col == nil {
+		col = obs.NewCollector()
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{forest: f, store: st, cfg: cfg, col: col}
+	s.m = serveMetrics{
+		requests:        col.Counter("serve_requests"),
+		cacheHits:       col.Counter("serve_cache_hit"),
+		cacheMisses:     col.Counter("serve_cache_miss"),
+		cacheInvalidate: col.Counter("serve_cache_invalidate"),
+		shed:            col.Counter("serve_shed"),
+		batchFlights:    col.Counter("serve_batch_flights"),
+		batchJoined:     col.Counter("serve_batch_joined"),
+		batchSize:       col.Histogram("serve_batch_size"),
+		lookupNS:        col.Histogram("serve_lookup_ns"),
+		inflight:        col.Gauge("serve_inflight"),
+		queueDepth:      col.Gauge("serve_queue_depth"),
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = newResultCache(cfg.CacheSize, s.m)
+	}
+	s.batch = newBatcher(s.m)
+	s.adm = newAdmission(cfg, s.m)
+	col.RegisterFunc("serve_admission", s.adm.stats)
+	s.initHTTP()
+	return s
+}
+
+// Forest returns the index the server answers from.
+func (s *Server) Forest() *forest.Index { return s.forest }
+
+// Collector returns the collector the serving tier reports into.
+func (s *Server) Collector() *obs.Collector { return s.col }
+
+// query ops. Threshold lookups and top-k lookups are distinct cache
+// populations even for equal τ/k values.
+const (
+	opLookup = iota // threshold lookup: tau is significant
+	opTopK          // top-k lookup: k is significant
+)
+
+// Lookup answers a threshold lookup through the serving tier: admission
+// control, then the result cache, then a (possibly shared) postings
+// traversal. The query index must not be mutated while the call runs.
+func (s *Server) Lookup(q profile.Index, tau float64) (Result, error) {
+	return s.query(opLookup, q, tau, 0)
+}
+
+// TopK answers a top-k lookup through the serving tier; see Lookup.
+func (s *Server) TopK(q profile.Index, k int) (Result, error) {
+	if k <= 0 {
+		return Result{Epoch: s.forest.Epoch()}, nil
+	}
+	return s.query(opTopK, q, 0, k)
+}
+
+func (s *Server) query(op uint8, q profile.Index, tau float64, k int) (Result, error) {
+	s.m.requests.Inc()
+	sp := s.col.StartTrace("serve.query")
+	defer sp.Finish()
+	sp.SetAttr("op", int64(op))
+	if err := s.adm.acquire(); err != nil {
+		s.m.shed.Inc()
+		sp.SetAttr("shed", 1)
+		return Result{}, err
+	}
+	defer s.adm.release()
+	t0 := time.Now()
+
+	key := queryKey{op: op, plan: s.forest.PlanMode(), tau: tau, k: k, fp: fingerprintIndex(q)}
+	epoch := s.forest.Epoch()
+	if s.cache != nil {
+		if out, ok := s.cache.get(key, q, epoch); ok {
+			s.m.cacheHits.Inc()
+			sp.SetAttr("cache_hit", 1)
+			sp.SetAttr("matches", int64(len(out)))
+			s.finishTimed(t0)
+			return Result{Matches: out, Cached: true, Epoch: epoch}, nil
+		}
+		s.m.cacheMisses.Inc()
+	}
+
+	// Coalesce with concurrent identical requests of the same epoch; the
+	// flight leader runs the traversal and re-validates the epoch around
+	// it before publishing to the cache.
+	out, shared := s.batch.do(key, epoch, func() []forest.Match {
+		if s.hookFlightStart != nil {
+			s.hookFlightStart()
+		}
+		e1 := s.forest.Epoch()
+		var ms []forest.Match
+		if op == opLookup {
+			ms = s.forest.LookupIndex(q, tau)
+		} else {
+			ms = s.forest.LookupIndexTopK(q, k)
+		}
+		// Publish only results provably computed inside one epoch: a
+		// bump during the traversal means a mutation may have completed
+		// mid-scan, and such a result must not outlive this response.
+		if s.cache != nil && e1 == epoch && s.forest.Epoch() == e1 {
+			s.cache.put(key, q, ms, e1)
+		}
+		return ms
+	})
+	sp.SetAttr("shared", boolAttr(shared))
+	sp.SetAttr("matches", int64(len(out)))
+	s.finishTimed(t0)
+	return Result{Matches: out, Shared: shared, Epoch: epoch}, nil
+}
+
+// finishTimed records one served request's latency into both the
+// cumulative histogram and the admission window driving backpressure.
+func (s *Server) finishTimed(t0 time.Time) {
+	d := time.Since(t0)
+	s.m.lookupNS.Observe(d.Nanoseconds())
+	s.adm.observe(d)
+}
+
+func boolAttr(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// --- mutations --------------------------------------------------------
+
+// Put indexes t under id, replacing any existing document, journaled when
+// the server is store-backed. Every mutation advances the forest epoch,
+// strictly invalidating all cached results.
+func (s *Server) Put(id string, t *tree.Tree) (grams int, err error) {
+	if s.store != nil {
+		s.storeMu.Lock()
+		defer s.storeMu.Unlock()
+		return s.store.Put(id, t)
+	}
+	return s.forest.Put(id, t), nil
+}
+
+// Remove drops a document; see Put for journaling and invalidation.
+func (s *Server) Remove(id string) error {
+	if s.store != nil {
+		s.storeMu.Lock()
+		defer s.storeMu.Unlock()
+		return s.store.Remove(id)
+	}
+	return s.forest.Remove(id)
+}
+
+// Update incrementally maintains one document's index from an edit log;
+// see Put for journaling and invalidation.
+func (s *Server) Update(id string, tn *tree.Tree, log edit.Log) (core.Stats, error) {
+	if s.store != nil {
+		s.storeMu.Lock()
+		defer s.storeMu.Unlock()
+		return s.store.Update(id, tn, log)
+	}
+	return s.forest.Update(id, tn, log)
+}

@@ -1,0 +1,445 @@
+// White-box unit tests of the serving tier's three mechanisms — the
+// result cache (hit, strict epoch invalidation, LRU eviction, collision
+// safety), the batcher (deterministic coalescing via the flight hook),
+// and admission control (queue shedding, latency-budget shedding and
+// recovery) — plus the HTTP validation surface. The cross-cutting
+// correctness arguments live in diff_test.go (semantic invisibility) and
+// soak_test.go (no lost responses under contention).
+
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pqgram/internal/forest"
+	"pqgram/internal/gen"
+	"pqgram/internal/profile"
+	"pqgram/internal/tree"
+	"pqgram/internal/xmlconv"
+)
+
+// newTestServer builds a serving tier over a fresh forest seeded with n
+// generated documents, returning the server and the document trees.
+func newTestServer(t *testing.T, cfg Config, n int) (*Server, []*tree.Tree) {
+	t.Helper()
+	f := forest.New(profile.Default)
+	rng := rand.New(rand.NewSource(7))
+	docs := make([]*tree.Tree, n)
+	base := gen.DBLP(7, 120)
+	for i := range docs {
+		d, _, err := gen.Perturb(rng, base, 2*i, gen.XMLSafeMix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs[i] = d
+		f.Put(fmt.Sprintf("doc-%d", i), d)
+	}
+	return New(f, nil, cfg, nil), docs
+}
+
+func queryOf(t *testing.T, s *Server, doc *tree.Tree) profile.Index {
+	t.Helper()
+	return profile.BuildIndex(doc, s.forest.Params())
+}
+
+func TestCacheHitAndEpochInvalidation(t *testing.T) {
+	s, docs := newTestServer(t, Config{CacheSize: 8}, 3)
+	q := queryOf(t, s, docs[0])
+
+	r1, err := s.Lookup(q, 0.5)
+	if err != nil || r1.Cached {
+		t.Fatalf("first lookup: cached=%v err=%v, want fresh", r1.Cached, err)
+	}
+	r2, err := s.Lookup(q, 0.5)
+	if err != nil || !r2.Cached {
+		t.Fatalf("repeat lookup: cached=%v err=%v, want hit", r2.Cached, err)
+	}
+	if len(r1.Matches) != len(r2.Matches) {
+		t.Fatalf("hit returned %d matches, fresh returned %d", len(r2.Matches), len(r1.Matches))
+	}
+	if got := s.m.cacheHits.Load(); got != 1 {
+		t.Fatalf("serve_cache_hit = %d, want 1", got)
+	}
+
+	// Any mutation advances the epoch and must strictly invalidate.
+	s.forest.Put("doc-0", docs[1])
+	r3, err := s.Lookup(q, 0.5)
+	if err != nil || r3.Cached {
+		t.Fatalf("post-mutation lookup: cached=%v err=%v, want fresh", r3.Cached, err)
+	}
+	if got := s.m.cacheInvalidate.Load(); got != 1 {
+		t.Fatalf("serve_cache_invalidate = %d, want 1", got)
+	}
+	if r3.Epoch <= r1.Epoch {
+		t.Fatalf("epoch did not advance across mutation: %d -> %d", r1.Epoch, r3.Epoch)
+	}
+}
+
+func TestCacheDistinguishesOpsAndParams(t *testing.T) {
+	s, docs := newTestServer(t, Config{CacheSize: 16}, 3)
+	q := queryOf(t, s, docs[0])
+
+	if _, err := s.Lookup(q, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	// Same bag, different τ / different op / different k: all misses.
+	for name, res := range map[string]func() (Result, error){
+		"other tau": func() (Result, error) { return s.Lookup(q, 0.6) },
+		"topk":      func() (Result, error) { return s.TopK(q, 2) },
+		"other k":   func() (Result, error) { return s.TopK(q, 3) },
+	} {
+		r, err := res()
+		if err != nil || r.Cached {
+			t.Fatalf("%s: cached=%v err=%v, want fresh", name, r.Cached, err)
+		}
+	}
+	// And the plan mode is part of the key.
+	s.forest.SetPlanMode(forest.PlanExhaustive)
+	r, err := s.Lookup(q, 0.5)
+	if err != nil || r.Cached {
+		t.Fatalf("plan switch: cached=%v err=%v, want fresh", r.Cached, err)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	s, docs := newTestServer(t, Config{CacheSize: 2}, 4)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Lookup(queryOf(t, s, docs[i]), 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.cache.len(); got != 2 {
+		t.Fatalf("cache holds %d entries, want capacity 2", got)
+	}
+	// The first query is the eviction victim; the last two still hit.
+	if r, _ := s.Lookup(queryOf(t, s, docs[0]), 0.5); r.Cached {
+		t.Fatal("evicted entry served a hit")
+	}
+	if r, _ := s.Lookup(queryOf(t, s, docs[2]), 0.5); !r.Cached {
+		t.Fatal("resident entry missed")
+	}
+}
+
+func TestCacheCollisionIsMissNotWrongAnswer(t *testing.T) {
+	s, docs := newTestServer(t, Config{CacheSize: 8}, 2)
+	qa := queryOf(t, s, docs[0])
+	qb := queryOf(t, s, docs[1])
+	key := queryKey{op: opLookup, tau: 0.5}
+
+	// Force both bags onto one key, simulating a fingerprint collision.
+	s.cache.put(key, qa, []forest.Match{{TreeID: "a", Distance: 0.1}}, s.forest.Epoch())
+	if _, ok := s.cache.get(key, qb, s.forest.Epoch()); ok {
+		t.Fatal("colliding bag served another query's answer")
+	}
+	if out, ok := s.cache.get(key, qa, s.forest.Epoch()); !ok || out[0].TreeID != "a" {
+		t.Fatalf("original bag lost its entry: ok=%v out=%v", ok, out)
+	}
+}
+
+func TestFingerprintOrderIndependentAndDiscriminating(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := gen.RandomTree(rng, 60)
+	q1 := profile.BuildIndex(base, profile.Default)
+	q2 := profile.BuildIndex(base, profile.Default) // fresh map, new iteration order
+	if fingerprintIndex(q1) != fingerprintIndex(q2) {
+		t.Fatal("fingerprint depends on construction/iteration order")
+	}
+	seen := map[uint64]bool{fingerprintIndex(q1): true}
+	for i := 0; i < 50; i++ {
+		fp := fingerprintIndex(profile.BuildIndex(gen.RandomTree(rng, 60), profile.Default))
+		if seen[fp] {
+			t.Fatalf("fingerprint collision across %d distinct random queries", i+1)
+		}
+		seen[fp] = true
+	}
+}
+
+// TestBatchCoalesce holds a traversal open via the flight hook and proves
+// that concurrent identical requests join it instead of traversing again.
+func TestBatchCoalesce(t *testing.T) {
+	const joiners = 3
+	s, docs := newTestServer(t, Config{}, 2) // no cache: every request reaches the batcher
+	q := queryOf(t, s, docs[0])
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var hookOnce sync.Once
+	s.hookFlightStart = func() {
+		hookOnce.Do(func() { close(entered); <-release })
+	}
+
+	results := make(chan Result, joiners+1)
+	go func() {
+		r, err := s.Lookup(q, 0.5)
+		if err != nil {
+			t.Error(err)
+		}
+		results <- r
+	}()
+	<-entered // the leader is inside its traversal
+
+	var wg sync.WaitGroup
+	for i := 0; i < joiners; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := s.Lookup(q, 0.5)
+			if err != nil {
+				t.Error(err)
+			}
+			results <- r
+		}()
+	}
+	// Wait until every joiner is registered on the open flight, then let
+	// the leader finish.
+	fk := flightKey{qk: queryKey{op: opLookup, plan: s.forest.PlanMode(), tau: 0.5, fp: fingerprintIndex(q)}, epoch: s.forest.Epoch()}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.batch.mu.Lock()
+		fl := s.batch.flights[fk]
+		n := int64(0)
+		if fl != nil {
+			n = fl.joined
+		}
+		s.batch.mu.Unlock()
+		if n == joiners+1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flight joined = %d, want %d", n, joiners+1)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(release)
+	wg.Wait()
+
+	shared := 0
+	first := <-results
+	for i := 0; i < joiners; i++ {
+		r := <-results
+		if r.Shared {
+			shared++
+		}
+		if len(r.Matches) != len(first.Matches) {
+			t.Fatalf("coalesced result diverged: %d vs %d matches", len(r.Matches), len(first.Matches))
+		}
+	}
+	if first.Shared {
+		shared++
+	}
+	if shared != joiners {
+		t.Fatalf("%d requests report Shared, want %d", shared, joiners)
+	}
+	if got := s.m.batchFlights.Load(); got != 1 {
+		t.Fatalf("serve_batch_flights = %d, want 1 shared traversal", got)
+	}
+	if got := s.m.batchJoined.Load(); got != joiners {
+		t.Fatalf("serve_batch_joined = %d, want %d", got, joiners)
+	}
+}
+
+// TestAdmissionQueueShed fills the single in-flight slot and the
+// one-deep wait queue deterministically, then proves the next arrival is
+// shed with ErrOverloaded.
+func TestAdmissionQueueShed(t *testing.T) {
+	s, docs := newTestServer(t, Config{MaxInFlight: 1, MaxQueue: 1}, 2)
+	q0 := queryOf(t, s, docs[0])
+	q1 := queryOf(t, s, docs[1])
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var hookOnce sync.Once
+	s.hookFlightStart = func() {
+		hookOnce.Do(func() { close(entered); <-release })
+	}
+
+	done := make(chan error, 2)
+	go func() { _, err := s.Lookup(q0, 0.5); done <- err }()
+	<-entered // slot holder is mid-traversal
+
+	go func() { _, err := s.Lookup(q1, 0.5); done <- err }()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.adm.queued.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued = %d, want 1", s.adm.queued.Load())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	// Slot busy, queue full: the third distinct request must be shed.
+	if _, err := s.Lookup(q1, 0.9); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow request: err = %v, want ErrOverloaded", err)
+	}
+	if got := s.m.shed.Load(); got != 1 {
+		t.Fatalf("serve_shed = %d, want 1", got)
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("admitted request failed: %v", err)
+		}
+	}
+}
+
+// TestAdmissionLatencyBudget drives the p95 window directly: a burst of
+// over-budget samples starts shedding, and rotation recovers once the
+// slow window ages out.
+func TestAdmissionLatencyBudget(t *testing.T) {
+	m := newTestMetrics()
+	a := newAdmission(Config{P95Budget: time.Millisecond, BudgetWindow: 20 * time.Millisecond}.withDefaults(), m)
+
+	if err := a.acquire(); err != nil {
+		t.Fatalf("empty window must admit: %v", err)
+	}
+	a.release()
+	for i := 0; i < 2*minWindowSamples; i++ {
+		a.observe(10 * time.Millisecond)
+	}
+	if err := a.acquire(); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("p95 over budget: err = %v, want ErrOverloaded", err)
+	}
+	st := a.stats().(AdmissionStats)
+	if !st.Shedding || st.WindowP95NS <= st.BudgetNS {
+		t.Fatalf("stats = %+v, want shedding with p95 > budget", st)
+	}
+
+	// Two rotations later the slow samples are gone from both cur and
+	// prev, and admission resumes.
+	deadline := time.Now().Add(5 * time.Second)
+	for a.overBudget() {
+		if time.Now().After(deadline) {
+			t.Fatal("latency budget never recovered after the slow window aged out")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := a.acquire(); err != nil {
+		t.Fatalf("recovered window must admit: %v", err)
+	}
+	a.release()
+}
+
+func newTestMetrics() serveMetrics {
+	s := New(forest.New(profile.Default), nil, Config{}, nil)
+	return s.m
+}
+
+// --- HTTP surface -------------------------------------------------------
+
+func do(t *testing.T, s *Server, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+func mustBody(t *testing.T, doc *tree.Tree) string {
+	t.Helper()
+	x, err := xmlconv.WriteString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestHTTPValidation(t *testing.T) {
+	s, docs := newTestServer(t, Config{CacheSize: 8}, 2)
+	xml := mustBody(t, docs[0])
+	enc := func(v any) string {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	cases := []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"lookup ok", "POST", "/lookup", enc(LookupRequest{XML: xml, Tau: 0.5}), 200},
+		{"lookup GET", "GET", "/lookup", "", 405},
+		{"bad json", "POST", "/lookup", "{", 400},
+		{"tau too big", "POST", "/lookup", enc(LookupRequest{XML: xml, Tau: 7}), 400},
+		{"tau negative", "POST", "/lookup", enc(LookupRequest{XML: xml, Tau: -1}), 400},
+		{"top too big", "POST", "/lookup", enc(LookupRequest{XML: xml, Top: maxTopK + 1}), 400},
+		{"bad plan", "POST", "/lookup", `{"xml":"<a/>","tau":0.5,"plan":"quantum"}`, 400},
+		{"good plan", "POST", "/lookup", enc(LookupRequest{XML: xml, Tau: 0.5, Plan: "pruned"}), 200},
+		{"bad xml", "POST", "/lookup", `{"xml":"<open","tau":0.5}`, 400},
+		{"topk ok", "POST", "/topk", enc(TopKRequest{XML: xml, K: 2}), 200},
+		{"k too big", "POST", "/topk", enc(TopKRequest{XML: xml, K: maxTopK + 1}), 400},
+		{"k negative", "POST", "/topk", enc(TopKRequest{XML: xml, K: -3}), 400},
+		{"topk bad plan", "POST", "/topk", `{"xml":"<a/>","k":1,"plan":""}`, 200},
+		{"explain ok", "POST", "/explain", enc(ExplainRequest{XML: xml, Tau: 0.4}), 200},
+		{"explain bad tau", "POST", "/explain", enc(ExplainRequest{XML: xml, Tau: 9e99}), 400},
+		{"missing doc id", "PUT", "/docs/", "<a/>", 400},
+		{"doc id too long", "PUT", "/docs/" + strings.Repeat("x", maxDocIDLen+1), "<a/>", 400},
+		{"put ok", "PUT", "/docs/new", "<a><b/></a>", 200},
+		{"delete ok", "DELETE", "/docs/new", "", 200},
+		{"delete missing", "DELETE", "/docs/nope", "", 404},
+		{"docs bad method", "POST", "/docs/new", "", 405},
+		{"edits bad json", "POST", "/docs/doc-0/edits", "{", 400},
+		{"edits bad log", "POST", "/docs/doc-0/edits", `{"xml":"<a/>","log":["garbage op"]}`, 400},
+		{"stats", "GET", "/stats", "", 200},
+		{"metrics", "GET", "/debug/metrics", "", 200},
+		{"metrics prom", "GET", "/debug/metrics?format=prom", "", 200},
+		{"trace", "GET", "/debug/trace?n=4", "", 200},
+	}
+	for _, tc := range cases {
+		w := do(t, s, tc.method, tc.path, tc.body)
+		if w.Code != tc.want {
+			t.Errorf("%s: %s %s = %d, want %d (body %s)",
+				tc.name, tc.method, tc.path, w.Code, tc.want, w.Body.String())
+		}
+		if w.Header().Get("X-Request-ID") == "" {
+			t.Errorf("%s: missing X-Request-ID", tc.name)
+		}
+	}
+}
+
+func TestHTTPCacheHeaderAndRetryAfter(t *testing.T) {
+	s, docs := newTestServer(t, Config{CacheSize: 8, MaxInFlight: 1, RetryAfter: 3 * time.Second}, 2)
+	body, _ := json.Marshal(LookupRequest{XML: mustBody(t, docs[0]), Tau: 0.5})
+
+	if w := do(t, s, "POST", "/lookup", string(body)); w.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("first lookup X-Cache = %q, want miss", w.Header().Get("X-Cache"))
+	}
+	if w := do(t, s, "POST", "/lookup", string(body)); w.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("repeat lookup X-Cache = %q, want hit", w.Header().Get("X-Cache"))
+	}
+
+	// Hold the only slot open and prove the HTTP mapping of a shed: 429
+	// with the configured Retry-After.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var hookOnce sync.Once
+	s.hookFlightStart = func() {
+		hookOnce.Do(func() { close(entered); <-release })
+	}
+	other, _ := json.Marshal(LookupRequest{XML: mustBody(t, docs[1]), Tau: 0.5})
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() { done <- do(t, s, "POST", "/lookup", string(other)) }()
+	<-entered
+
+	w := do(t, s, "POST", "/lookup", `{"xml":"<a/>","tau":0.9}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("shed request = %d, want 429", w.Code)
+	}
+	if ra := w.Header().Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", ra)
+	}
+	close(release)
+	if w := <-done; w.Code != 200 {
+		t.Fatalf("slot holder = %d, want 200", w.Code)
+	}
+}
