@@ -18,6 +18,8 @@
 //	pqbench -exp topk                # top-k: VP-tree metric index vs exhaustive
 //	pqbench -exp serve               # serving tier: closed-loop mixed read/write load
 //	pqbench -exp serve-smoke         # CI guard: ~1s load run; cache must hit, no drops
+//	pqbench -exp segments            # out-of-core lookups: memtable + segments vs in-RAM
+//	pqbench -exp segments-smoke      # CI guard: bloom must skip, median lookup within 3x of in-RAM
 //	pqbench -exp micro               # instrumented end-to-end micro suite
 //
 // The -scale flag multiplies the default workload sizes (0.1 for a quick
@@ -84,6 +86,22 @@ func run(exp string, scale float64, n int, seed int64, jsonPath string) error {
 		}
 		return err
 	}
+	if exp == "segments-smoke" {
+		// The storage-engine CI guard: a 256-doc corpus over 4 segments
+		// must answer byte-identically to the in-RAM baseline, skip
+		// segment probes through the bloom filters, keep fewer grams
+		// resident, and keep the median lookup within 3x of the in-RAM
+		// baseline (wide enough to absorb CI timing noise, tight enough
+		// to catch an order-of-magnitude tier regression).
+		// Not part of -exp all.
+		res, err := bench.SegmentsSmoke(3)
+		if res != nil {
+			if perr := res.Print(os.Stdout); perr != nil {
+				return perr
+			}
+		}
+		return err
+	}
 	experiments := []struct {
 		name string
 		run  func() (*bench.Result, error)
@@ -133,6 +151,9 @@ func run(exp string, scale float64, n int, seed int64, jsonPath string) error {
 			}
 			return res, nil
 		}},
+		{"segments", func() (*bench.Result, error) {
+			return firstErr(bench.Segments(s(256), s(64000), 6, 3, 0.5, bench.DefaultSegmentsFlushEvery))
+		}},
 		{"micro", func() (*bench.Result, error) {
 			col := obs.NewCollector()
 			res, rep, err := bench.Micro(n, seed, col)
@@ -158,6 +179,11 @@ func run(exp string, scale float64, n int, seed int64, jsonPath string) error {
 					return nil, err
 				}
 				rep.Serve = sphases
+				gres, gpoints, err := bench.Segments(256, 64000, 6, 3, 0.5, bench.DefaultSegmentsFlushEvery)
+				if err != nil {
+					return nil, err
+				}
+				rep.Segments = gpoints
 				if err := rep.WriteFile(jsonPath); err != nil {
 					return nil, err
 				}
@@ -169,6 +195,9 @@ func run(exp string, scale float64, n int, seed int64, jsonPath string) error {
 					return nil, err
 				}
 				if err := sres.Print(os.Stdout); err != nil {
+					return nil, err
+				}
+				if err := gres.Print(os.Stdout); err != nil {
 					return nil, err
 				}
 			}

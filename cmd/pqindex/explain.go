@@ -27,7 +27,7 @@ func runExplain(args []string) error {
 	if *idxPath == "" || fs.NArg() != 1 || (*tau <= 0) == (*k <= 0) {
 		return fmt.Errorf("explain needs -index, exactly one query document, and exactly one of -tau/-k")
 	}
-	st, err := pqgram.OpenStore(*idxPath)
+	st, err := openIndex(*idxPath)
 	if err != nil {
 		return err
 	}

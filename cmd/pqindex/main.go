@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pqindex build  -index idx.pqg [-p 3 -q 3] [-workers 8] doc1.xml doc2.xml ...
+//	pqindex build  -index idx.pqg [-p 3 -q 3] [-workers 8] [-segments [-flush-every 1000]] doc1.xml doc2.xml ...
 //	pqindex add    -index idx.pqg doc.xml
 //	pqindex remove -index idx.pqg -id doc.xml
 //	pqindex update -index idx.pqg -id doc.xml -log changes.log doc-new.xml
@@ -12,11 +12,18 @@
 //	pqindex explain -index idx.pqg {-tau 0.5 | -k 5} [-plan auto] [-timings] [-json] query.xml
 //	pqindex dist   a.xml b.xml [-p 3 -q 3]
 //	pqindex info   -index idx.pqg
+//	pqindex compact -index idx.pqg [-metric]
 //
 // Documents are identified by the file path given at build/add time. The
 // update subcommand implements the paper's scenario: the index is
 // maintained from the old index, the new document and the log of inverse
 // edit operations — the old document is not needed.
+//
+// Two persistent engines share the index path: the monolithic
+// snapshot+journal store (the default) and, with `build -segments`, the
+// segmented out-of-core store (memtable + immutable segment files; see
+// STORAGE.md). Every other subcommand auto-detects the engine from the
+// files on disk, and `info` reports which one a path uses.
 //
 // The build, update, lookup and join subcommands accept -stats, which
 // attaches the metrics collector and prints an op report (counters, latency
@@ -78,6 +85,31 @@ func usage() {
 	os.Exit(2)
 }
 
+// index is the engine-agnostic surface the subcommands run against. Both
+// persistent engines implement it: the monolithic snapshot+journal
+// *pqgram.Store and the segmented out-of-core *pqgram.Segmented.
+type index interface {
+	Forest() *pqgram.Forest
+	Add(id string, t *pqgram.Tree) error
+	AddAll(docs []pqgram.Doc, workers int) error
+	Remove(id string) error
+	Update(id string, tn *pqgram.Tree, log pqgram.Log) (pqgram.UpdateStats, error)
+	Compact() error
+	JournalSize() (int64, error)
+	Recovery() pqgram.RecoveryInfo
+	SetCollector(c *pqgram.Collector)
+	Close() error
+}
+
+// openIndex opens an existing index with whichever engine created it,
+// detected by probing for the segmented store's manifest file.
+func openIndex(path string) (index, error) {
+	if pqgram.IsSegmented(path) {
+		return pqgram.OpenSegmented(path)
+	}
+	return pqgram.OpenStore(path)
+}
+
 // runCompact folds the write-ahead journal into the base snapshot.
 func runCompact(args []string) error {
 	fs := flag.NewFlagSet("compact", flag.ExitOnError)
@@ -87,7 +119,7 @@ func runCompact(args []string) error {
 	if *idxPath == "" {
 		return fmt.Errorf("compact needs -index")
 	}
-	st, err := pqgram.OpenStore(*idxPath)
+	st, err := openIndex(*idxPath)
 	if err != nil {
 		return err
 	}
@@ -108,8 +140,14 @@ func runCompact(args []string) error {
 	}
 	after, _ := st.JournalSize()
 	fmt.Printf("compacted: journal %d -> %d bytes\n", before, after)
+	if seg, ok := st.(*pqgram.Segmented); ok {
+		ss := seg.Stats()
+		fmt.Printf("segments merged: now %d (%d bytes)\n", ss.Segments, ss.SegmentBytes)
+	}
 	if *metric && st.Forest().MetricReady() {
-		fmt.Println("metric index persisted (.vpt sidecar)")
+		if _, ok := st.(*pqgram.Store); ok {
+			fmt.Println("metric index persisted (.vpt sidecar)")
+		}
 	}
 	return nil
 }
@@ -123,7 +161,7 @@ func runVerify(args []string) error {
 	if *idxPath == "" {
 		return fmt.Errorf("verify needs -index")
 	}
-	st, err := pqgram.OpenStore(*idxPath)
+	st, err := openIndex(*idxPath)
 	if err != nil {
 		return err
 	}
@@ -182,13 +220,23 @@ func runBuild(args []string) error {
 	p := fs.Int("p", 3, "pq-gram parameter p")
 	q := fs.Int("q", 3, "pq-gram parameter q")
 	workers := fs.Int("workers", 0, "parallel profiling workers (0 = GOMAXPROCS)")
+	segments := fs.Bool("segments", false, "create a segmented (out-of-core) index: documents spill into immutable segment files instead of one snapshot")
+	flushEvery := fs.Int("flush-every", 0, "with -segments: flush to a segment after this many documents (0 = one segment at the end)")
 	stats := fs.Bool("stats", false, "print an op report (metrics snapshot) to stderr when done")
 	fs.Parse(args)
 	if *idxPath == "" || fs.NArg() == 0 {
 		return fmt.Errorf("build needs -index and at least one document")
 	}
-	st, err := pqgram.CreateStore(*idxPath, pqgram.Params{P: *p, Q: *q})
-	if err != nil {
+	var st index
+	var seg *pqgram.Segmented
+	var err error
+	if *segments {
+		if seg, err = pqgram.CreateSegmented(*idxPath, pqgram.Params{P: *p, Q: *q}); err != nil {
+			return err
+		}
+		seg.SetFlushThreshold(*flushEvery)
+		st = seg
+	} else if st, err = pqgram.CreateStore(*idxPath, pqgram.Params{P: *p, Q: *q}); err != nil {
 		return err
 	}
 	defer st.Close()
@@ -214,6 +262,16 @@ func runBuild(args []string) error {
 		grams, _, _ := st.Forest().TreeStats(d.ID)
 		fmt.Printf("indexed %s (%d nodes, %d pq-grams)\n", d.ID, d.Tree.Size(), grams)
 	}
+	if seg != nil {
+		// Spill whatever the flush threshold left resident; the journal
+		// empties and every document is segment-served.
+		if err := seg.Flush(); err != nil {
+			return err
+		}
+		ss := seg.Stats()
+		fmt.Printf("segments: %d (%d bytes)\n", ss.Segments, ss.SegmentBytes)
+		return nil
+	}
 	// Fold the initial adds into the base snapshot.
 	return st.Compact()
 }
@@ -225,7 +283,7 @@ func runAdd(args []string) error {
 	if *idxPath == "" || fs.NArg() != 1 {
 		return fmt.Errorf("add needs -index and exactly one document")
 	}
-	st, err := pqgram.OpenStore(*idxPath)
+	st, err := openIndex(*idxPath)
 	if err != nil {
 		return err
 	}
@@ -250,7 +308,7 @@ func runRemove(args []string) error {
 	if *idxPath == "" || *id == "" {
 		return fmt.Errorf("remove needs -index and -id")
 	}
-	st, err := pqgram.OpenStore(*idxPath)
+	st, err := openIndex(*idxPath)
 	if err != nil {
 		return err
 	}
@@ -276,7 +334,7 @@ func runUpdate(args []string) error {
 	if *idsPath == "" {
 		*idsPath = docPath + ".ids"
 	}
-	st, err := pqgram.OpenStore(*idxPath)
+	st, err := openIndex(*idxPath)
 	if err != nil {
 		return err
 	}
@@ -329,7 +387,7 @@ func runLookup(args []string) error {
 	if *idxPath == "" || fs.NArg() == 0 || (*tau <= 0) == (*top <= 0) {
 		return fmt.Errorf("lookup needs -index, at least one query document, and exactly one of -tau/-top")
 	}
-	st, err := pqgram.OpenStore(*idxPath)
+	st, err := openIndex(*idxPath)
 	if err != nil {
 		return err
 	}
@@ -385,7 +443,7 @@ func runTopK(args []string) error {
 	if *idxPath == "" || fs.NArg() == 0 || *k < 1 {
 		return fmt.Errorf("topk needs -index, -k >= 1 and at least one query document")
 	}
-	st, err := pqgram.OpenStore(*idxPath)
+	st, err := openIndex(*idxPath)
 	if err != nil {
 		return err
 	}
@@ -438,7 +496,7 @@ func runJoin(args []string) error {
 	if *idxPath == "" {
 		return fmt.Errorf("join needs -index")
 	}
-	st, err := pqgram.OpenStore(*idxPath)
+	st, err := openIndex(*idxPath)
 	if err != nil {
 		return err
 	}
@@ -549,7 +607,7 @@ func runInfo(args []string) error {
 	if *idxPath == "" {
 		return fmt.Errorf("info needs -index")
 	}
-	st, err := pqgram.OpenStore(*idxPath)
+	st, err := openIndex(*idxPath)
 	if err != nil {
 		return err
 	}
@@ -564,6 +622,11 @@ func runInfo(args []string) error {
 	pr := f.Params()
 	fmt.Printf("parameters: p=%d q=%d\n", pr.P, pr.Q)
 	fmt.Printf("trees: %d, pq-grams: %d, snapshot: %d bytes, journal: %d bytes\n", f.Len(), f.Size(), sz, js)
+	if seg, ok := st.(*pqgram.Segmented); ok {
+		ss := seg.Stats()
+		fmt.Printf("engine: segmented — %d segments (%d bytes), %d resident docs, %d evicted docs, %d pending tombstones, next seq %d\n",
+			ss.Segments, ss.SegmentBytes, ss.ResidentDocs, ss.EvictedDocs, ss.PendingTombstones, ss.NextSeq)
+	}
 	for _, id := range f.IDs() {
 		grams, distinct, _ := f.TreeStats(id)
 		fmt.Printf("  %-40s %8d pq-grams (%d distinct)\n", id, grams, distinct)

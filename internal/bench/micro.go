@@ -27,23 +27,25 @@ type MicroOp struct {
 // wall-clock ns/op per operation, the full metrics snapshot the
 // instrumented run produced, (since v2) the candidate-pruning threshold
 // sweep of pruning.go and the top-k metric-vs-exhaustive sweep of
-// topk.go, and (since v3) the serving-tier load phases of serve.go.
+// topk.go, (since v3) the serving-tier load phases of serve.go, and
+// (since v4) the out-of-core segment sweep of segments.go.
 // This is the artifact `make bench-json` writes (BENCH_pr2.json through
-// BENCH_pr8.json), the repo's perf trajectory.
+// BENCH_pr9.json), the repo's perf trajectory.
 type MicroReport struct {
-	Schema    string         `json:"schema"` // "pqgram/microbench/v3"
-	Timestamp string         `json:"timestamp"`
-	GoVersion string         `json:"go_version"`
-	GOOS      string         `json:"goos"`
-	GOARCH    string         `json:"goarch"`
-	NumCPU    int            `json:"num_cpu"`
-	Docs      int            `json:"docs"`
-	Seed      int64          `json:"seed"`
-	Ops       []MicroOp      `json:"ops,omitempty"`
-	Metrics   obs.Snapshot   `json:"metrics"`
-	Pruning   []PruningPoint `json:"pruning,omitempty"` // pruned-vs-exhaustive lookup sweep
-	TopK      []TopKPoint    `json:"topk,omitempty"`    // metric-vs-exhaustive top-k sweep
-	Serve     []ServePhase   `json:"serve,omitempty"`   // serving-tier closed-loop load phases
+	Schema    string          `json:"schema"` // "pqgram/microbench/v4"
+	Timestamp string          `json:"timestamp"`
+	GoVersion string          `json:"go_version"`
+	GOOS      string          `json:"goos"`
+	GOARCH    string          `json:"goarch"`
+	NumCPU    int             `json:"num_cpu"`
+	Docs      int             `json:"docs"`
+	Seed      int64           `json:"seed"`
+	Ops       []MicroOp       `json:"ops,omitempty"`
+	Metrics   obs.Snapshot    `json:"metrics"`
+	Pruning   []PruningPoint  `json:"pruning,omitempty"`  // pruned-vs-exhaustive lookup sweep
+	TopK      []TopKPoint     `json:"topk,omitempty"`     // metric-vs-exhaustive top-k sweep
+	Serve     []ServePhase    `json:"serve,omitempty"`    // serving-tier closed-loop load phases
+	Segments  []SegmentsPoint `json:"segments,omitempty"` // out-of-core segment sweep
 }
 
 // NewReport returns a MicroReport stamped with the run environment, for
@@ -51,7 +53,7 @@ type MicroReport struct {
 // the full micro suite (`pqbench -exp serve -json ...`).
 func NewReport(docs int, seed int64) *MicroReport {
 	return &MicroReport{
-		Schema:    "pqgram/microbench/v3",
+		Schema:    "pqgram/microbench/v4",
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,

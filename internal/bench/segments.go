@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"time"
+
+	"pqgram/internal/forest"
+	"pqgram/internal/fsio"
+	"pqgram/internal/gen"
+	"pqgram/internal/obs"
+	"pqgram/internal/profile"
+	"pqgram/internal/store"
+)
+
+// SegmentsPoint is one configuration of the out-of-core experiment: the
+// same corpus and query batch, with the collection spread over a varying
+// number of on-disk segments. flush_every = 0 is the all-in-RAM baseline
+// every other row is compared against — the lookup results themselves are
+// required to be byte-identical across the sweep.
+type SegmentsPoint struct {
+	FlushEvery    int     `json:"flush_every"`    // docs per segment (0 = all in RAM)
+	Segments      int     `json:"segments"`       // live segment files
+	SegmentBytes  int64   `json:"segment_bytes"`  // on-disk bytes across segments
+	ResidentDocs  int     `json:"resident_docs"`  // memtable population after building
+	ResidentGrams int     `json:"resident_grams"` // pq-grams held in RAM postings
+	LookupNsPerOp float64 `json:"lookup_ns_per_op"`
+	LookupP50Ns   float64 `json:"lookup_p50_ns"`
+	LookupP95Ns   float64 `json:"lookup_p95_ns"`
+	Candidates    float64 `json:"candidates_examined"` // per lookup
+	BloomChecks   float64 `json:"bloom_checks"`        // per lookup
+	BloomSkips    float64 `json:"bloom_skips"`         // per lookup
+	BloomSkipRate float64 `json:"bloom_skip_rate"`     // skips / checks
+	SegsProbed    float64 `json:"segments_probed"`     // per lookup
+	Postings      float64 `json:"postings_scanned"`    // segment postings per lookup
+}
+
+// Segments regenerates the out-of-core lookup experiment: an XMark-shaped
+// collection is built once per configuration — fully resident, then spread
+// over progressively more immutable segments — and queried with the same
+// perturbed-member batch. Results must be byte-identical to the in-RAM
+// baseline at every point (the run errors out otherwise); the recorded
+// quantities are resident index size, lookup latency (mean and p95),
+// candidates examined, and the segment tier's bloom-filter and probe
+// counters. This is the experiment behind EXPERIMENTS.md §"Out-of-core
+// lookups" and the segments section of the BENCH_pr9.json report.
+func Segments(numDocs, totalNodes, queries, iters int, tau float64, flushEvery []int) (*Result, []SegmentsPoint, error) {
+	if queries < 1 {
+		queries = 1
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	docs := gen.XMarkForest(baseSeed+67, numDocs, totalNodes)
+	batch := make([]forest.Doc, len(docs))
+	for i, d := range docs {
+		batch[i] = forest.Doc{ID: fmt.Sprintf("doc-%04d", i), Tree: d}
+	}
+	rng := rand.New(rand.NewSource(baseSeed + 71))
+	qs := make([]profile.Index, queries)
+	for i := range qs {
+		q, _, err := gen.Perturb(rng, docs[(i*len(docs))/queries], 8, gen.DefaultMix)
+		if err != nil {
+			return nil, nil, err
+		}
+		qs[i] = profile.BuildIndex(q, P33)
+	}
+
+	res := &Result{
+		Title: "Out-of-core lookups: memtable + immutable segments vs all in RAM",
+		Comment: fmt.Sprintf("%d XMark-shaped docs (~%d total nodes), %d perturbed-member queries x %d iterations per point, tau=%.2f",
+			len(docs), totalNodes, queries, iters, tau),
+		Header: []string{"segments", "resident", "grams", "seg bytes", "lookup", "p95", "cand", "bloom skip", "probes"},
+	}
+	var baseline [][]forest.Match
+	points := make([]SegmentsPoint, 0, len(flushEvery))
+	for _, fe := range flushEvery {
+		pt, results, err := segmentsPoint(batch, qs, iters, tau, fe)
+		if err != nil {
+			return nil, nil, fmt.Errorf("flush_every=%d: %w", fe, err)
+		}
+		if baseline == nil {
+			baseline = results
+		} else if !reflect.DeepEqual(results, baseline) {
+			return nil, nil, fmt.Errorf("flush_every=%d: lookup results diverge from the in-RAM baseline", fe)
+		}
+		points = append(points, pt)
+		res.Rows = append(res.Rows, Row{
+			Label: fmt.Sprintf("flush=%d", fe),
+			Values: []string{
+				fmt.Sprintf("%d", pt.Segments),
+				fmt.Sprintf("%d", pt.ResidentDocs),
+				fmt.Sprintf("%d", pt.ResidentGrams),
+				fmt.Sprintf("%d", pt.SegmentBytes),
+				ms(time.Duration(pt.LookupNsPerOp)),
+				ms(time.Duration(pt.LookupP95Ns)),
+				fmt.Sprintf("%.0f", pt.Candidates),
+				fmt.Sprintf("%.0f%%", pt.BloomSkipRate*100),
+				fmt.Sprintf("%.1f", pt.SegsProbed),
+			},
+		})
+	}
+	return res, points, nil
+}
+
+// segmentsPoint builds one segmented store (flushEvery docs per segment;
+// 0 keeps everything resident) and measures the query batch against it.
+func segmentsPoint(batch []forest.Doc, qs []profile.Index, iters int, tau float64, flushEvery int) (SegmentsPoint, [][]forest.Match, error) {
+	var pt SegmentsPoint
+	s, err := store.CreateSegmentedFS(fsio.NewMemFS(), "bench.pqg", P33)
+	if err != nil {
+		return pt, nil, err
+	}
+	defer s.Close()
+	if flushEvery <= 0 {
+		if err := s.AddAll(batch, 0); err != nil {
+			return pt, nil, err
+		}
+	} else {
+		for lo := 0; lo < len(batch); lo += flushEvery {
+			hi := lo + flushEvery
+			if hi > len(batch) {
+				hi = len(batch)
+			}
+			if err := s.AddAll(batch[lo:hi], 0); err != nil {
+				return pt, nil, err
+			}
+			if err := s.Flush(); err != nil {
+				return pt, nil, err
+			}
+		}
+	}
+	f := s.Forest()
+	col := obs.NewCollector()
+	s.SetCollector(col)
+
+	// Warm up (block cache, scratch pools), then measure each lookup
+	// individually so the batch yields a p95, not just a mean.
+	for _, q := range qs {
+		f.LookupIndex(q, tau)
+	}
+	before := col.Snapshot()
+	durs := make([]float64, 0, iters*len(qs))
+	var results [][]forest.Match
+	for it := 0; it < iters; it++ {
+		results = results[:0]
+		for _, q := range qs {
+			t0 := time.Now()
+			r := f.LookupIndex(q, tau)
+			durs = append(durs, float64(time.Since(t0).Nanoseconds()))
+			results = append(results, r)
+		}
+	}
+	d := col.Snapshot().CounterDeltas(before)
+	ops := float64(len(durs))
+	var sum float64
+	for _, v := range durs {
+		sum += v
+	}
+	sort.Float64s(durs)
+	st := s.Stats()
+	pt = SegmentsPoint{
+		FlushEvery:    flushEvery,
+		Segments:      st.Segments,
+		SegmentBytes:  st.SegmentBytes,
+		ResidentDocs:  st.ResidentDocs,
+		ResidentGrams: f.ResidentSize(),
+		LookupNsPerOp: sum / ops,
+		LookupP50Ns:   durs[len(durs)/2],
+		LookupP95Ns:   durs[(len(durs)*95)/100],
+		Candidates:    float64(d["forest_lookup_candidates_examined"]) / ops,
+		BloomChecks:   float64(d["forest_bloom_checks"]) / ops,
+		BloomSkips:    float64(d["forest_bloom_skips"]) / ops,
+		SegsProbed:    float64(d["forest_tier_segments_probed"]) / ops,
+		Postings:      float64(d["forest_tier_postings_scanned"]) / ops,
+	}
+	if pt.BloomChecks > 0 {
+		pt.BloomSkipRate = pt.BloomSkips / pt.BloomChecks
+	}
+	return pt, append([][]forest.Match(nil), results...), nil
+}
+
+// DefaultSegmentsFlushEvery is the sweep of the segments experiment: the
+// in-RAM baseline, one big segment, and progressively finer spreads.
+var DefaultSegmentsFlushEvery = []int{0, 256, 64, 16, 4}
+
+// SegmentsSmoke is the CI guard for the out-of-core engine: a 256-doc
+// corpus spread over 4 segments must (a) keep answering exactly like the
+// in-RAM baseline — Segments errors out otherwise — (b) actually skip
+// segment probes through the bloom filters, and (c) stay within maxRatio
+// of the in-RAM lookup latency. It exists so a tier regression (a filter
+// that stops filtering, a merge that re-reads every block) breaks
+// `make check` instead of silently rotting. The latency gate compares
+// medians, not means: sub-millisecond samples on a shared CI box swing
+// several-fold under scheduler noise, and the regressions this guard is
+// for (the block-cache miss storm it was written against was 21×) move
+// the median, not just the tail.
+func SegmentsSmoke(maxRatio float64) (*Result, error) {
+	res, points, err := Segments(256, 64000, 4, 8, 0.5, []int{0, 64})
+	if err != nil {
+		return nil, err
+	}
+	ram, seg := points[0], points[1]
+	if seg.Segments != 4 {
+		return res, fmt.Errorf("expected 4 segments from 256 docs at flush_every=64, got %d", seg.Segments)
+	}
+	if seg.BloomSkipRate <= 0 {
+		return res, fmt.Errorf("bloom filters skipped nothing (%.0f checks, %.0f skips)", seg.BloomChecks, seg.BloomSkips)
+	}
+	if seg.ResidentGrams >= ram.ResidentGrams {
+		return res, fmt.Errorf("segmented store kept %d grams resident, in-RAM baseline has %d",
+			seg.ResidentGrams, ram.ResidentGrams)
+	}
+	if seg.LookupP50Ns > maxRatio*ram.LookupP50Ns {
+		return res, fmt.Errorf("segment-tier median lookup %.1fx slower than in-RAM (limit %.1fx)",
+			seg.LookupP50Ns/ram.LookupP50Ns, maxRatio)
+	}
+	return res, nil
+}

@@ -8,6 +8,13 @@
 // Algorithm 1 to both the per-tree bag and the postings, so a document
 // change costs time proportional to the log, not to the forest.
 //
+// The in-memory postings need not hold the whole collection: a storage
+// tier (tier.go, implemented by the segmented store in internal/store)
+// can serve evicted documents' bags and postings from immutable on-disk
+// segments. Every lookup, join and distance path merges the two
+// populations and returns results byte-identical to the all-in-RAM index;
+// see tier.go for the resident-XOR-evicted invariant this rests on.
+//
 // # Concurrency
 //
 // The index is safe for concurrent use as the shared artifact the paper
@@ -27,7 +34,9 @@
 //
 // Lock ordering is registry → tree entry → postings shard; shard locks are
 // never held while acquiring an entry lock, and multi-entry read locks are
-// always taken in ascending tree-ID order.
+// always taken in ascending tree-ID order. The storage tier's own lock
+// nests after all of them: tier reads run under the registry lock and
+// never call back into the forest.
 package forest
 
 import (
@@ -81,10 +90,16 @@ func (s *shard) remove(lt profile.LabelTuple, id string) {
 // treeEntry is one indexed tree: its bag, the bag's lock, and the bag
 // cardinality cached so that lookups can score candidates without taking
 // the bag lock at all.
+//
+// idx == nil marks an evicted entry (tier.go): the bag lives in the
+// storage tier, the postings are absent from the shards, and distinct
+// caches the bag's distinct-tuple count (written only under the registry
+// write lock, like idx itself on eviction/promotion).
 type treeEntry struct {
-	mu   sync.RWMutex
-	idx  profile.Index
-	size atomic.Int64
+	mu       sync.RWMutex
+	idx      profile.Index
+	size     atomic.Int64
+	distinct int
 }
 
 // Index is the pq-gram index of a forest of named trees. It is safe for
@@ -125,6 +140,11 @@ type Index struct {
 	// mutation. Its lock nests strictly after the registry, entry and
 	// shard locks.
 	metric metricIndex
+
+	// tier is the storage tier serving evicted documents (tier.go), nil
+	// when every document is resident. Guarded by mu; attached once at
+	// open time by the segmented store.
+	tier Tier
 }
 
 // New creates an empty forest index with the given pq-gram parameters.
@@ -274,13 +294,23 @@ func (f *Index) Put(id string, t *tree.Tree) int {
 // which does not copy.
 func (f *Index) TreeIndex(id string) profile.Index {
 	f.mu.RLock()
+	defer f.mu.RUnlock()
 	e := f.trees[id]
-	f.mu.RUnlock()
 	if e == nil {
 		return nil
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if e.idx == nil {
+		// Evicted: the tier hands back a fresh copy already. The registry
+		// read lock is held across the fetch so the document cannot be
+		// promoted or re-flushed mid-read.
+		bag, err := f.bagOfLocked(id, e)
+		if err != nil {
+			return nil
+		}
+		return bag
+	}
 	return e.idx.Clone()
 }
 
@@ -288,29 +318,36 @@ func (f *Index) TreeIndex(id string) profile.Index {
 // of one tree's index without copying the bag.
 func (f *Index) TreeStats(id string) (size, distinct int, ok bool) {
 	f.mu.RLock()
+	defer f.mu.RUnlock()
 	e := f.trees[id]
-	f.mu.RUnlock()
 	if e == nil {
 		return 0, 0, false
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if e.idx == nil {
+		return int(e.size.Load()), e.distinct, true
+	}
 	return int(e.size.Load()), len(e.idx), true
 }
 
 // ForEachTree calls fn once per indexed tree in ascending ID order, passing
-// the internal bag. fn must treat the bag as read-only and must not retain
+// the internal bag (for resident trees) or a tier-fetched copy (for
+// evicted ones). fn must treat the bag as read-only and must not retain
 // it after returning; the bag's lock is held for the duration of the call.
 // Iteration stops at the first error, which is returned. This is the
 // traversal the store uses to serialize the forest without copying every
-// bag.
+// resident bag.
 func (f *Index) ForEachTree(fn func(id string, idx profile.Index) error) error {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	for _, id := range f.idsLocked() {
 		e := f.trees[id]
 		e.mu.RLock()
-		err := fn(id, e.idx)
+		bag, err := f.bagOfLocked(id, e)
+		if err == nil {
+			err = fn(id, bag)
+		}
 		e.mu.RUnlock()
 		if err != nil {
 			return err
@@ -392,6 +429,11 @@ func (f *Index) ApplyDeltas(id string, iPlus, iMinus profile.Index) error {
 func (f *Index) applyDeltasEntry(e *treeEntry, id string, iPlus, iMinus profile.Index) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.idx == nil {
+		// Deltas mutate the resident bag and the in-memory postings; the
+		// segmented store promotes a flushed document before updating it.
+		return fmt.Errorf("forest: tree %q is evicted; promote it before applying deltas", id)
+	}
 	// Delta application runs under the registry *read* lock, concurrent
 	// with lookups, so the epoch is advanced on both sides of the change
 	// (seqlock-style): a lookup that observes the same epoch before and
@@ -432,16 +474,31 @@ func (f *Index) applyDeltasEntry(e *treeEntry, id string, iPlus, iMinus profile.
 }
 
 // SelfCheck verifies the internal consistency of the index: the inverted
-// postings must be exactly the transposition of the per-tree bags, every
+// postings must be exactly the transposition of the resident bags, every
 // posting must live in the shard its tuple routes to, and the cached bag
-// sizes must match the bags. It takes the registry write lock, so it is
-// atomic with respect to every other operation. It is O(index) and
+// sizes must match the bags. Evicted entries are checked against the
+// storage tier instead: the tier must hold their bag and the cached size
+// and distinct count must match it. It takes the registry write lock, so
+// it is atomic with respect to every other operation. It is O(index) and
 // intended for tests and integrity audits after crashes.
 func (f *Index) SelfCheck() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	want := make(map[profile.LabelTuple]map[string]int)
 	for id, e := range f.trees {
+		if e.idx == nil {
+			bag, err := f.bagOfLocked(id, e)
+			if err != nil {
+				return err
+			}
+			if got := e.size.Load(); got != int64(bag.Size()) {
+				return fmt.Errorf("forest: cached size of evicted tree %q is %d, tier bag has %d", id, got, bag.Size())
+			}
+			if e.distinct != len(bag) {
+				return fmt.Errorf("forest: cached distinct of evicted tree %q is %d, tier bag has %d", id, e.distinct, len(bag))
+			}
+			continue
+		}
 		n := 0
 		for lt, c := range e.idx {
 			m := want[lt]
@@ -539,6 +596,7 @@ func (f *Index) lookupIndexSpanned(q profile.Index, tau float64, m *metrics, sp 
 		plan = planScanAll
 		scan := sp.Child("scan")
 		overlaps, scanned := f.overlapsLocked(q)
+		f.tierOverlapsLocked(q, overlaps, m, sp)
 		scan.SetAttr("postings_scanned", scanned)
 		scan.SetAttr("candidates", int64(len(overlaps)))
 		if m != nil {
@@ -575,6 +633,7 @@ func (f *Index) lookupIndexSpanned(q profile.Index, tau float64, m *metrics, sp 
 func (f *Index) lookupExhaustiveLocked(q profile.Index, qSize int, tau float64, m *metrics, sp *obs.Span) []Match {
 	scan := sp.Child("scan")
 	overlaps, scanned := f.overlapsLocked(q)
+	f.tierOverlapsLocked(q, overlaps, m, sp)
 	scan.SetAttr("postings_scanned", scanned)
 	scan.SetAttr("candidates", int64(len(overlaps)))
 	if m != nil {
@@ -582,7 +641,14 @@ func (f *Index) lookupExhaustiveLocked(q profile.Index, qSize int, tau float64, 
 	}
 	var out []Match
 	for id, ov := range overlaps {
-		if d := distanceFrom(qSize, int(f.trees[id].size.Load()), ov); d < tau {
+		e := f.trees[id]
+		if e == nil {
+			// A tier answer can race a store-level Remove between the
+			// registry removal and the tier's own bookkeeping; the
+			// document is gone, so scoring it would resurrect it.
+			continue
+		}
+		if d := distanceFrom(qSize, int(e.size.Load()), ov); d < tau {
 			out = append(out, Match{TreeID: id, Distance: d})
 		}
 	}
@@ -682,12 +748,21 @@ func (f *Index) Distance(id1, id2 string) (float64, error) {
 	// multi-entry order) so concurrent distance queries cannot deadlock.
 	if id2 < id1 {
 		a, b = b, a
+		id1, id2 = id2, id1
 	}
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	return a.idx.Distance(b.idx), nil
+	abag, err := f.bagOfLocked(id1, a)
+	if err != nil {
+		return 0, err
+	}
+	bbag, err := f.bagOfLocked(id2, b)
+	if err != nil {
+		return 0, err
+	}
+	return abag.Distance(bbag), nil
 }
 
 // DistanceTo returns the pq-gram distance between a query tree and one
@@ -711,7 +786,11 @@ func (f *Index) DistanceTo(query *tree.Tree, id string) (float64, error) {
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return q.Distance(e.idx), nil
+	bag, err := f.bagOfLocked(id, e)
+	if err != nil {
+		return 0, err
+	}
+	return q.Distance(bag), nil
 }
 
 // distanceFrom is the shared scoring expression; it delegates to

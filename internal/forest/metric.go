@@ -643,7 +643,19 @@ func (f *Index) buildMetric() {
 	items := make([]vpItem, 0, len(f.trees))
 	for _, id := range f.idsLocked() {
 		e := f.trees[id]
-		bag := e.idx.Clone()
+		var bag profile.Index
+		if e.idx != nil {
+			bag = e.idx.Clone()
+		} else {
+			// Evicted: the tier already hands back a private copy. A tier
+			// inconsistency here would answer top-k queries wrongly, so it
+			// is fatal rather than skipped.
+			fetched, err := f.bagOfLocked(id, e)
+			if err != nil {
+				panic(err)
+			}
+			bag = fetched
+		}
 		items = append(items, vpItem{id: id, bag: bag, size: bag.Size()})
 	}
 	f.metric.buildLocked(items)
@@ -746,6 +758,7 @@ func (f *Index) lookupIndexTopKSpanned(q profile.Index, k int, m *metrics, sp *o
 func (f *Index) lookupTopExhaustiveLocked(q profile.Index, qSize, k int, m *metrics, sp *obs.Span) []Match {
 	scan := sp.Child("scan")
 	overlaps, scanned := f.overlapsLocked(q)
+	f.tierOverlapsLocked(q, overlaps, m, sp)
 	scan.SetAttr("postings_scanned", scanned)
 	scan.SetAttr("candidates", int64(len(f.trees)))
 	defer scan.Finish()
@@ -855,7 +868,15 @@ func (f *Index) MetricRestore(dump []MetricNodeDump) error {
 				return nil, fmt.Errorf("forest: metric dump lists document %q twice", d.ID)
 			}
 			seen[d.ID] = true
-			bag := e.idx.Clone()
+			var bag profile.Index
+			if e.idx != nil {
+				bag = e.idx.Clone()
+			} else {
+				var err error
+				if bag, err = f.bagOfLocked(d.ID, e); err != nil {
+					return nil, err
+				}
+			}
 			n := &vpNode{
 				id: d.ID, bag: bag, size: bag.Size(), parent: parent,
 				radius: d.Radius, szMin: d.SzMin, szMax: d.SzMax,
@@ -923,7 +944,11 @@ func (f *Index) metricSelfCheckLocked() error {
 		if !ok {
 			return fmt.Errorf("forest: metric index has unknown document %q", id)
 		}
-		if !bag.Equal(e.idx) {
+		live, err := f.bagOfLocked(id, e)
+		if err != nil {
+			return err
+		}
+		if !bag.Equal(live) {
 			return fmt.Errorf("forest: metric bag of %q diverged from the live bag", id)
 		}
 		if size != bag.Size() {

@@ -30,6 +30,14 @@ type metrics struct {
 	lookupPrunedAbandon *obs.Counter // forest_lookup_pruned_abandon (overlap bound)
 	joinPrunedSize      *obs.Counter // forest_join_pruned_size (pair emissions skipped)
 
+	// Storage-tier visibility (tier.go): per-segment bloom membership
+	// tests and the probes they skipped, segments actually probed, and
+	// tier posting entries merged into lookups.
+	bloomChecks         *obs.Counter // forest_bloom_checks
+	bloomSkips          *obs.Counter // forest_bloom_skips
+	tierSegmentsProbed  *obs.Counter // forest_tier_segments_probed
+	tierPostingsScanned *obs.Counter // forest_tier_postings_scanned
+
 	// Metric-index visibility (metric.go): top-k lookups answered, VP-tree
 	// nodes whose distance was computed, subtrees skipped by the
 	// triangle/size bound, and full builds of the structure.
@@ -79,6 +87,10 @@ func (f *Index) SetCollector(c *obs.Collector) {
 		lookupPrunedSize:     c.Counter("forest_lookup_pruned_size"),
 		lookupPrunedAbandon:  c.Counter("forest_lookup_pruned_abandon"),
 		joinPrunedSize:       c.Counter("forest_join_pruned_size"),
+		bloomChecks:          c.Counter("forest_bloom_checks"),
+		bloomSkips:           c.Counter("forest_bloom_skips"),
+		tierSegmentsProbed:   c.Counter("forest_tier_segments_probed"),
+		tierPostingsScanned:  c.Counter("forest_tier_postings_scanned"),
 		topkLookups:          c.Counter("forest_topk_lookups"),
 		metricNodesVisited:   c.Counter("forest_metric_nodes_visited"),
 		metricPrunedTriangle: c.Counter("forest_metric_pruned_triangle"),

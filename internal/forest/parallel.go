@@ -271,6 +271,12 @@ func (f *Index) SimilarityJoinWorkers(tau float64, workers int) (pairs []Pair) {
 	for id, e := range f.trees {
 		sizes[id] = int(e.size.Load())
 	}
+	// Pairs with at least one evicted member come from a sequential sweep
+	// of the storage tier's posting lists (tier.go); the stripe sweep
+	// below covers exactly the resident×resident pairs, so the union is
+	// every candidate pair once.
+	tierPairs, tierPruned := f.joinTierPairsLocked(tau, sizes, filter)
+	prunedPairs.Add(tierPruned)
 	score := func(total map[pairKey]int, out []Pair) []Pair {
 		for k, ov := range total {
 			if d := distanceFrom(sizes[k.a], sizes[k.b], ov); d < tau {
@@ -331,7 +337,7 @@ func (f *Index) SimilarityJoinWorkers(tau float64, workers int) (pairs []Pair) {
 		// Serial fast path: one accumulator map, no shuffle.
 		total := make(map[pairKey]int)
 		accumulate(0, 1, func(_ int, k pairKey, ov int) { total[k] += ov })
-		out := score(total, nil)
+		out := append(score(total, nil), tierPairs...)
 		sortPairs(out)
 		return out
 	}
@@ -369,15 +375,36 @@ func (f *Index) SimilarityJoinWorkers(tau float64, workers int) (pairs []Pair) {
 	for _, o := range outs {
 		out = append(out, o...)
 	}
+	out = append(out, tierPairs...)
 	sortPairs(out)
 	return out
 }
 
 // joinAllPairsLocked scores every pair directly; it requires f.mu held
 // (read suffices). Rows are strided across workers; bag read locks are
-// taken in ascending ID order, the global multi-entry order.
+// taken in ascending ID order, the global multi-entry order. Evicted
+// bags are prefetched from the storage tier once up front — the all-pairs
+// join reads every bag O(n) times, and tier fetches are positioned disk
+// reads.
 func (f *Index) joinAllPairsLocked(tau float64, workers int) []Pair {
 	ids := f.idsLocked()
+	var tierBags map[string]profile.Index
+	if f.tier != nil {
+		tierBags = make(map[string]profile.Index)
+		for _, id := range ids {
+			if f.trees[id].idx == nil {
+				if bag, ok := f.tier.Bag(id); ok {
+					tierBags[id] = bag
+				}
+			}
+		}
+	}
+	bagOf := func(id string, e *treeEntry) profile.Index {
+		if e.idx != nil {
+			return e.idx
+		}
+		return tierBags[id]
+	}
 	outs := make([][]Pair, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -388,10 +415,11 @@ func (f *Index) joinAllPairsLocked(tau float64, workers int) []Pair {
 			for i := w; i < len(ids); i += workers {
 				a := f.trees[ids[i]]
 				a.mu.RLock()
+				abag := bagOf(ids[i], a)
 				for j := i + 1; j < len(ids); j++ {
 					b := f.trees[ids[j]]
 					b.mu.RLock()
-					d := a.idx.Distance(b.idx)
+					d := abag.Distance(bagOf(ids[j], b))
 					b.mu.RUnlock()
 					if d < tau {
 						out = append(out, Pair{A: ids[i], B: ids[j], Distance: d})

@@ -298,10 +298,34 @@ func (f *Index) lookupPrunedLocked(q profile.Index, qSize int, tau float64, m *m
 			out = append(out, Match{TreeID: id, Distance: d})
 		}
 	}
-	sortMatches(out)
 	verify.SetAttr("candidates", examined)
 	verify.SetAttr("pruned_abandon", abandonVerify)
 	verify.Finish()
+
+	// Phase 3 — storage-tier candidates (tier.go). The tier accumulates
+	// full overlaps on its own (with bloom-filter skip per segment), so
+	// they need no generate/verify phases: only the Def-3 size filter and
+	// the final scoring, exactly what the exhaustive path applies to them.
+	if f.tier != nil {
+		tov := make(map[string]int)
+		f.tierOverlapsLocked(q, tov, m, sp)
+		for id, ov := range tov {
+			e := f.trees[id]
+			if e == nil {
+				continue // racing store-level removal; the document is gone
+			}
+			size := int(e.size.Load())
+			if size < sizeLo || size > sizeHi {
+				prunedSize++
+				continue
+			}
+			examined++
+			if d := distanceFrom(qSize, size, ov); d < tau {
+				out = append(out, Match{TreeID: id, Distance: d})
+			}
+		}
+	}
+	sortMatches(out)
 	if m != nil {
 		m.lookupCandidates.Add(examined)
 		m.lookupPrunedSize.Add(prunedSize)

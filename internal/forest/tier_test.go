@@ -1,0 +1,438 @@
+package forest_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"pqgram/internal/forest"
+	"pqgram/internal/gen"
+	"pqgram/internal/obs"
+	"pqgram/internal/profile"
+	"pqgram/internal/tree"
+)
+
+// fakeTier serves evicted bags straight from a map — the minimal Tier a
+// segmented store stands in for. It reports plausible TierStats (every
+// held document "probed", a bloom check per (doc, tuple) pair) so the
+// span and counter plumbing sees nonzero work.
+type fakeTier struct {
+	bags map[string]profile.Index
+}
+
+func newFakeTier() *fakeTier { return &fakeTier{bags: make(map[string]profile.Index)} }
+
+func (ft *fakeTier) Overlaps(q profile.Index) (map[string]int, forest.TierStats) {
+	ov := make(map[string]int)
+	var st forest.TierStats
+	for id, bag := range ft.bags {
+		st.SegmentsProbed++
+		o := 0
+		for lt, qc := range q {
+			st.BloomChecks++
+			dc, ok := bag[lt]
+			if !ok {
+				st.BloomSkips++
+				continue
+			}
+			st.PostingsScanned++
+			if dc < qc {
+				o += dc
+			} else {
+				o += qc
+			}
+		}
+		if o > 0 {
+			ov[id] = o
+		}
+	}
+	return ov, st
+}
+
+func (ft *fakeTier) Bag(id string) (profile.Index, bool) {
+	bag, ok := ft.bags[id]
+	if !ok {
+		return nil, false
+	}
+	return bag.Clone(), true
+}
+
+func (ft *fakeTier) ForEachPosting(fn func(lt profile.LabelTuple, entries []forest.TierPosting) error) error {
+	post := make(map[profile.LabelTuple][]forest.TierPosting)
+	for id, bag := range ft.bags {
+		for lt, c := range bag {
+			post[lt] = append(post[lt], forest.TierPosting{ID: id, Cnt: c})
+		}
+	}
+	lts := make([]profile.LabelTuple, 0, len(post))
+	for lt := range post {
+		lts = append(lts, lt)
+	}
+	sort.Slice(lts, func(i, j int) bool { return lts[i] < lts[j] })
+	for _, lt := range lts {
+		es := post[lt]
+		sort.Slice(es, func(i, j int) bool { return es[i].ID < es[j].ID })
+		if err := fn(lt, es); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tieredCopy builds the same document set twice: once all-resident, once
+// with every even-numbered document evicted into a fakeTier. The two
+// forests must answer every query identically.
+func tieredCopy(t *testing.T, docs []*tree.Tree) (resident, tiered *forest.Index, ft *fakeTier, evicted []string) {
+	t.Helper()
+	resident = forest.New(p33)
+	tiered = forest.New(p33)
+	ft = newFakeTier()
+	tiered.SetTier(ft)
+	for i, d := range docs {
+		id := fmt.Sprintf("doc%03d", i)
+		if err := resident.Add(id, d); err != nil {
+			t.Fatal(err)
+		}
+		if err := tiered.Add(id, d); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			ft.bags[id] = tiered.TreeIndex(id)
+			evicted = append(evicted, id)
+		}
+	}
+	if err := tiered.Evict(evicted, nil); err != nil {
+		t.Fatal(err)
+	}
+	return resident, tiered, ft, evicted
+}
+
+func matchesEqual(a, b []forest.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func pairsEqual(a, b []forest.Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTierLookupDifferential holds the tier-merged lookup paths (pruned,
+// exhaustive, and the τ>1 scan-all branch) byte-identical to the
+// all-in-RAM forest.
+func TestTierLookupDifferential(t *testing.T) {
+	docs := gen.XMarkForest(7, 48, 4800)
+	resident, tiered, _, _ := tieredCopy(t, docs)
+	queries := append([]*tree.Tree{tree.MustParse("a(b c)")}, docs[0], docs[1], docs[7], docs[20])
+	for _, mode := range []forest.PlanMode{forest.PlanExhaustive, forest.PlanPruned, forest.PlanAuto} {
+		resident.SetPlanMode(mode)
+		tiered.SetPlanMode(mode)
+		for qi, q := range queries {
+			for _, tau := range []float64{0.2, 0.55, 1.5} {
+				want := resident.Lookup(q, tau)
+				got := tiered.Lookup(q, tau)
+				if !matchesEqual(want, got) {
+					t.Fatalf("mode %v query %d tau %v: tiered %v, resident %v", mode, qi, tau, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTierTopKDifferential covers the exhaustive top-k scan over a tier
+// and the metric build that fetches evicted bags through the tier.
+func TestTierTopKDifferential(t *testing.T) {
+	docs := gen.XMarkForest(11, 32, 3200)
+	resident, tiered, _, _ := tieredCopy(t, docs)
+	for _, mode := range []forest.PlanMode{forest.PlanExhaustive, forest.PlanMetric} {
+		resident.SetPlanMode(mode)
+		tiered.SetPlanMode(mode)
+		for _, k := range []int{1, 5, 100} {
+			want := resident.LookupTopK(docs[3], k)
+			got := tiered.LookupTopK(docs[3], k)
+			if !matchesEqual(want, got) {
+				t.Fatalf("mode %v k=%d: tiered %v, resident %v", mode, k, got, want)
+			}
+		}
+	}
+	if !tiered.MetricReady() {
+		t.Fatal("metric index not built by PlanMetric top-k over a tier")
+	}
+	// The metric build cloned every bag (tier copies included), so the
+	// forest must still self-check, and AddEvicted must now refuse.
+	if err := tiered.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tiered.AddEvicted("late", 10, 5); err == nil || !strings.Contains(err.Error(), "metric index built") {
+		t.Fatalf("AddEvicted after metric build: %v", err)
+	}
+}
+
+// TestTierJoinDifferential covers both join strategies over a tier: the
+// posting-sweep (joinTierPairsLocked merging tier×tier and tier×resident
+// pairs) and the τ>1 all-pairs scan that fetches tier bags up front.
+func TestTierJoinDifferential(t *testing.T) {
+	docs := gen.XMarkForest(13, 28, 2400)
+	resident, tiered, _, _ := tieredCopy(t, docs)
+	for _, tau := range []float64{0.4, 0.7, 1.5} {
+		want := resident.SimilarityJoin(tau)
+		got := tiered.SimilarityJoin(tau)
+		if !pairsEqual(want, got) {
+			t.Fatalf("tau %v: tiered join %v, resident %v", tau, got, want)
+		}
+	}
+}
+
+// TestTierAccessors covers the evicted-document read paths that fetch
+// bags through the tier one document at a time.
+func TestTierAccessors(t *testing.T) {
+	docs := gen.XMarkForest(17, 10, 900)
+	resident, tiered, _, evicted := tieredCopy(t, docs)
+	ev := evicted[0]
+	if !tiered.Evicted(ev) {
+		t.Fatalf("Evicted(%q) = false", ev)
+	}
+	if tiered.Evicted("doc001") || tiered.Evicted("nope") {
+		t.Fatal("Evicted true for resident or unknown document")
+	}
+	if got, want := tiered.EvictedLen(), len(evicted); got != want {
+		t.Fatalf("EvictedLen = %d, want %d", got, want)
+	}
+	if tiered.Len() != resident.Len() || tiered.Size() != resident.Size() {
+		t.Fatal("Len/Size changed by eviction")
+	}
+	if rs := tiered.ResidentSize(); rs >= tiered.Size() || rs <= 0 {
+		t.Fatalf("ResidentSize = %d with Size = %d", rs, tiered.Size())
+	}
+	if resident.ResidentSize() != resident.Size() {
+		t.Fatal("ResidentSize != Size on an all-resident forest")
+	}
+
+	// TreeIndex and TreeStats on an evicted document.
+	if got, want := tiered.TreeIndex(ev), resident.TreeIndex(ev); !got.Equal(want) {
+		t.Fatalf("TreeIndex(%q) differs through the tier", ev)
+	}
+	size, distinct, ok := tiered.TreeStats(ev)
+	wsize, wdistinct, _ := resident.TreeStats(ev)
+	if !ok || size != wsize || distinct != wdistinct {
+		t.Fatalf("TreeStats(%q) = (%d, %d, %v), want (%d, %d, true)", ev, size, distinct, ok, wsize, wdistinct)
+	}
+
+	// Distance between an evicted and a resident document, and from a query.
+	want, err := resident.Distance(ev, "doc001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tiered.Distance(ev, "doc001")
+	if err != nil || got != want {
+		t.Fatalf("Distance = %v, %v; want %v", got, err, want)
+	}
+	wantTo, err := resident.DistanceTo(docs[1], ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTo, err := tiered.DistanceTo(docs[1], ev)
+	if err != nil || gotTo != wantTo {
+		t.Fatalf("DistanceTo = %v, %v; want %v", gotTo, err, wantTo)
+	}
+
+	// ForEachTree traverses evicted documents through the tier.
+	seen := make(map[string]int)
+	if err := tiered.ForEachTree(func(id string, idx profile.Index) error {
+		seen[id] = idx.Size()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != resident.Len() || seen[ev] != wsize {
+		t.Fatalf("ForEachTree saw %d trees, %q with size %d", len(seen), ev, seen[ev])
+	}
+
+	// SelfCheck validates the cached size/distinct against the tier bag.
+	if err := tiered.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTierEvictPromote covers the eviction/promotion error paths, the
+// swap callbacks, and that a promoted document answers like it never left.
+func TestTierEvictPromote(t *testing.T) {
+	docs := gen.XMarkForest(19, 6, 600)
+	resident, tiered, ft, _ := tieredCopy(t, docs)
+
+	if err := tiered.Evict([]string{"nope"}, nil); err == nil || !strings.Contains(err.Error(), "not indexed") {
+		t.Fatalf("evicting unknown: %v", err)
+	}
+	if err := tiered.Evict([]string{"doc000"}, nil); err == nil || !strings.Contains(err.Error(), "already evicted") {
+		t.Fatalf("double evict: %v", err)
+	}
+	if err := tiered.Promote("nope", profile.Index{}, nil); err == nil || !strings.Contains(err.Error(), "not indexed") {
+		t.Fatalf("promoting unknown: %v", err)
+	}
+	if err := tiered.Promote("doc001", profile.Index{}, nil); err == nil || !strings.Contains(err.Error(), "already resident") {
+		t.Fatalf("promoting resident: %v", err)
+	}
+	if err := tiered.Promote("doc000", nil, nil); err == nil || !strings.Contains(err.Error(), "nil bag") {
+		t.Fatalf("promoting with nil bag: %v", err)
+	}
+
+	// Promote doc000 back; the swap callback drops the tier copy under
+	// the same lock, like the store does.
+	epoch := tiered.Epoch()
+	swapped := false
+	bag := ft.bags["doc000"]
+	if err := tiered.Promote("doc000", bag.Clone(), func() {
+		swapped = true
+		delete(ft.bags, "doc000")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !swapped {
+		t.Fatal("promote swap callback did not run")
+	}
+	if tiered.Evicted("doc000") {
+		t.Fatal("doc000 still evicted after promotion")
+	}
+	if tiered.Epoch() != epoch {
+		t.Fatal("promotion advanced the epoch")
+	}
+
+	// And evict it again with a swap callback, round-tripping the bag.
+	swapped = false
+	if err := tiered.Evict([]string{"doc000"}, func() {
+		swapped = true
+		ft.bags["doc000"] = bag
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !swapped {
+		t.Fatal("evict swap callback did not run")
+	}
+	if tiered.Epoch() != epoch {
+		t.Fatal("eviction advanced the epoch")
+	}
+	for _, tau := range []float64{0.5, 1.5} {
+		if want, got := resident.Lookup(docs[0], tau), tiered.Lookup(docs[0], tau); !matchesEqual(want, got) {
+			t.Fatalf("tau %v after promote/evict round trip: %v, want %v", tau, got, want)
+		}
+	}
+	if err := tiered.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTierAddEvicted covers registering documents that were never
+// resident — the segmented store's open path.
+func TestTierAddEvicted(t *testing.T) {
+	docs := gen.XMarkForest(23, 8, 800)
+	resident := forest.New(p33)
+	tiered := forest.New(p33)
+	ft := newFakeTier()
+	tiered.SetTier(ft)
+	for i, d := range docs {
+		id := fmt.Sprintf("doc%03d", i)
+		if err := resident.Add(id, d); err != nil {
+			t.Fatal(err)
+		}
+		bag := profile.BuildIndex(d, p33)
+		ft.bags[id] = bag
+		epoch := tiered.Epoch()
+		if err := tiered.AddEvicted(id, bag.Size(), len(bag)); err != nil {
+			t.Fatal(err)
+		}
+		if tiered.Epoch() == epoch {
+			t.Fatal("AddEvicted did not advance the epoch")
+		}
+	}
+	if err := tiered.AddEvicted("doc000", 1, 1); err == nil || !strings.Contains(err.Error(), "already indexed") {
+		t.Fatalf("duplicate AddEvicted: %v", err)
+	}
+	if tiered.Len() != resident.Len() || tiered.Size() != resident.Size() {
+		t.Fatal("Len/Size wrong after AddEvicted")
+	}
+	if tiered.ResidentSize() != 0 {
+		t.Fatal("ResidentSize nonzero on a fully evicted forest")
+	}
+	for _, tau := range []float64{0.3, 0.8} {
+		if want, got := resident.Lookup(docs[2], tau), tiered.Lookup(docs[2], tau); !matchesEqual(want, got) {
+			t.Fatalf("tau %v: %v, want %v", tau, got, want)
+		}
+	}
+	if err := tiered.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTierDetachedErrors covers the two tier-inconsistency failures:
+// an evicted document with no tier attached, and a tier that does not
+// hold the document it is supposed to serve.
+func TestTierDetachedErrors(t *testing.T) {
+	docs := gen.XMarkForest(29, 4, 400)
+	_, tiered, ft, evicted := tieredCopy(t, docs)
+	ev := evicted[0]
+
+	delete(ft.bags, ev)
+	if _, err := tiered.Distance(ev, "doc001"); err == nil || !strings.Contains(err.Error(), "does not hold") {
+		t.Fatalf("Distance with a hole in the tier: %v", err)
+	}
+
+	tiered.SetTier(nil)
+	if got := tiered.TreeIndex(evicted[1]); got != nil {
+		t.Fatalf("TreeIndex with no tier = %v, want nil", got)
+	}
+	if _, err := tiered.DistanceTo(docs[0], evicted[1]); err == nil || !strings.Contains(err.Error(), "no tier is attached") {
+		t.Fatalf("DistanceTo with no tier: %v", err)
+	}
+	if err := tiered.ForEachTree(func(string, profile.Index) error { return nil }); err == nil {
+		t.Fatal("ForEachTree with no tier succeeded")
+	}
+	if err := tiered.SelfCheck(); err == nil {
+		t.Fatal("SelfCheck with no tier succeeded")
+	}
+	// Lookups do not error without a tier: the τ>1 scan-all path scores
+	// every registered document from its cached size (overlap 0 for the
+	// now-unreachable evicted bags), so nothing is silently dropped.
+	if got := tiered.Lookup(docs[1], 1.5); len(got) != tiered.Len() {
+		t.Fatalf("detached lookup returned %d matches, want %d", len(got), tiered.Len())
+	}
+}
+
+// TestTierCounters verifies the tier read's work lands on the
+// forest_bloom_* and forest_tier_* counters when a collector is attached.
+func TestTierCounters(t *testing.T) {
+	docs := gen.XMarkForest(31, 12, 1200)
+	_, tiered, _, _ := tieredCopy(t, docs)
+	col := obs.NewCollector()
+	tiered.SetCollector(col)
+	tiered.SetPlanMode(forest.PlanExhaustive)
+	if got := tiered.Lookup(docs[0], 0.8); len(got) == 0 {
+		t.Fatal("lookup over the tier found nothing")
+	}
+	if col.Counter("forest_tier_segments_probed").Load() == 0 {
+		t.Fatal("forest_tier_segments_probed not incremented")
+	}
+	if col.Counter("forest_bloom_checks").Load() == 0 {
+		t.Fatal("forest_bloom_checks not incremented")
+	}
+	if col.Counter("forest_bloom_skips").Load() == 0 {
+		t.Fatal("forest_bloom_skips not incremented")
+	}
+	if col.Counter("forest_tier_postings_scanned").Load() == 0 {
+		t.Fatal("forest_tier_postings_scanned not incremented")
+	}
+}

@@ -43,7 +43,6 @@ import (
 	"pqgram/internal/forest"
 	"pqgram/internal/obs"
 	"pqgram/internal/profile"
-	"pqgram/internal/store"
 	"pqgram/internal/tree"
 )
 
@@ -119,12 +118,26 @@ type Result struct {
 	Epoch uint64
 }
 
+// Backend is the durable mutation sink of a store-backed server. Both
+// persistent store kinds implement it: the monolithic snapshot+journal
+// *store.Store and the segmented *store.Segmented (LSM-style, for
+// collections larger than RAM). Queries never go through the backend —
+// the forest answers them, merging its storage tier transparently.
+//
+// Pass a nil Backend (not a typed nil pointer) for a purely in-memory
+// server.
+type Backend interface {
+	Put(id string, t *tree.Tree) (int, error)
+	Remove(id string) error
+	Update(id string, tn *tree.Tree, log edit.Log) (core.Stats, error)
+}
+
 // Server is the serving tier over one forest (optionally backed by a
 // journaled store). It is safe for concurrent use. Create it with New;
 // the zero value is not usable.
 type Server struct {
 	forest *forest.Index
-	store  *store.Store
+	store  Backend
 	cfg    Config
 	col    *obs.Collector
 
@@ -166,7 +179,7 @@ type serveMetrics struct {
 // journaled through it (st.Forest() must be f). A nil collector is
 // replaced by a private one, so instrumentation is always on; pass the
 // collector you scrape to see it.
-func New(f *forest.Index, st *store.Store, cfg Config, col *obs.Collector) *Server {
+func New(f *forest.Index, st Backend, cfg Config, col *obs.Collector) *Server {
 	if col == nil {
 		col = obs.NewCollector()
 	}

@@ -1,0 +1,113 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+)
+
+// TestBloomNoFalseNegatives is the filter's hard contract: a key that was
+// added is always reported as possibly present. A false negative would
+// make a lookup skip a segment that holds real postings — a wrong answer,
+// not a performance bug.
+func TestBloomNoFalseNegatives(t *testing.T) {
+	for _, n := range []int{1, 2, 17, 256, 5000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		bf := newBloom(n)
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = rng.Uint64()
+			bf.add(keys[i])
+		}
+		for _, k := range keys {
+			if !bf.mayContain(k) {
+				t.Fatalf("n=%d: false negative for key %016x", n, k)
+			}
+		}
+	}
+}
+
+// TestBloomFalsePositiveRate checks the sizing: at 10 bits/key with 6
+// hashes the theoretical false-positive rate is under 1%; allow 3% to keep
+// the property test robust across seeds.
+func TestBloomFalsePositiveRate(t *testing.T) {
+	const n, probes = 2000, 20000
+	rng := rand.New(rand.NewSource(7))
+	bf := newBloom(n)
+	member := make(map[uint64]bool, n)
+	for i := 0; i < n; i++ {
+		k := rng.Uint64()
+		member[k] = true
+		bf.add(k)
+	}
+	fp := 0
+	for i := 0; i < probes; i++ {
+		k := rng.Uint64()
+		if member[k] {
+			continue
+		}
+		if bf.mayContain(k) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.03 {
+		t.Fatalf("false-positive rate %.4f exceeds 3%% (%d/%d)", rate, fp, probes)
+	}
+}
+
+// TestBloomEmptyAndClamp: an empty filter rejects everything, and the
+// sizing clamps (n<1, tiny n) never produce a filter below one word.
+func TestBloomEmptyAndClamp(t *testing.T) {
+	for _, n := range []int{-5, 0, 1} {
+		bf := newBloom(n)
+		if len(bf.bits) < 1 {
+			t.Fatalf("newBloom(%d): %d words, want >= 1", n, len(bf.bits))
+		}
+		if bf.mayContain(12345) {
+			t.Fatalf("newBloom(%d): empty filter claims membership", n)
+		}
+	}
+}
+
+// TestBloomMarshalRoundTrip: the serialized filter reproduces exactly the
+// same bit array — and therefore the same membership answers — after
+// unmarshal.
+func TestBloomMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	bf := newBloom(300)
+	keys := make([]uint64, 300)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		bf.add(keys[i])
+	}
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	cw := &countingCRCWriter{w: bw, h: crc32.NewIEEE()}
+	bf.marshalInto(cw)
+	if cw.err != nil {
+		t.Fatal(cw.err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cr := &countingCRCReader{r: bufio.NewReader(bytes.NewReader(buf.Bytes())), h: crc32.NewIEEE()}
+	got, err := unmarshalBloom(cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.bits) != len(bf.bits) {
+		t.Fatalf("word count %d != %d", len(got.bits), len(bf.bits))
+	}
+	for i := range bf.bits {
+		if got.bits[i] != bf.bits[i] {
+			t.Fatalf("word %d differs after round trip", i)
+		}
+	}
+	for _, k := range keys {
+		if !got.mayContain(k) {
+			t.Fatalf("false negative after round trip: %016x", k)
+		}
+	}
+}

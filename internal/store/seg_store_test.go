@@ -1,0 +1,322 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"pqgram/internal/forest"
+	"pqgram/internal/fsio"
+	"pqgram/internal/gen"
+	"pqgram/internal/obs"
+	"pqgram/internal/profile"
+	"pqgram/internal/tree"
+)
+
+// TestSegmentedLifecycleOnDisk exercises the real-filesystem constructors
+// end to end: create, bulk-add, auto-detect via IsSegmented, reopen, and
+// query a store whose documents all live in segment files.
+func TestSegmentedLifecycleOnDisk(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "idx.pqg")
+	if IsSegmented(base) {
+		t.Fatal("IsSegmented true before creation")
+	}
+	s, err := CreateSegmented(base, p33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Path() != base {
+		t.Fatalf("Path = %q", s.Path())
+	}
+	docs := make([]forest.Doc, 6)
+	for i := range docs {
+		docs[i] = forest.Doc{ID: fmt.Sprintf("doc-%d", i), Tree: gen.XMark(int64(i), 25)}
+	}
+	if err := s.AddAll(docs, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddAll([]forest.Doc{{ID: "doc-0", Tree: docs[0].Tree}}, 1); err == nil {
+		t.Fatal("AddAll accepted a duplicate id")
+	}
+	if err := s.AddAll([]forest.Doc{{ID: "x", Tree: docs[0].Tree}, {ID: "x", Tree: docs[1].Tree}}, 1); err == nil {
+		t.Fatal("AddAll accepted an in-batch duplicate")
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil { // idempotent no-op: nothing resident
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Segments != 1 || st.ResidentDocs != 0 || st.EvictedDocs != 6 {
+		t.Fatalf("after flush: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !IsSegmented(base) {
+		t.Fatal("IsSegmented false after creation")
+	}
+	rs, err := OpenSegmented(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if rs.Forest().Len() != 6 {
+		t.Fatalf("reopened with %d docs", rs.Forest().Len())
+	}
+	if ms := rs.Forest().Lookup(docs[3].Tree, 0.5); len(ms) == 0 || ms[0].TreeID != "doc-3" {
+		t.Fatalf("segment-served lookup: %v", ms)
+	}
+	if err := rs.Forest().SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSegmentedPutAndErrors covers Put's replace semantics and the
+// mutation error paths shared with the monolithic store.
+func TestSegmentedPutAndErrors(t *testing.T) {
+	fs := fsio.NewMemFS()
+	s, err := CreateSegmentedFS(fs, "idx.pqg", p33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	grams, err := s.Put("a", tree.MustParse("r(x y)"))
+	if err != nil || grams == 0 {
+		t.Fatalf("fresh Put: %d grams, %v", grams, err)
+	}
+	if err := s.Add("a", tree.MustParse("r(z)")); err == nil {
+		t.Fatal("Add accepted an existing id")
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Put of an evicted document: journaled remove (tombstone) + add.
+	if _, err := s.Put("a", tree.MustParse("r(x y z)")); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.ResidentDocs != 1 || st.EvictedDocs != 0 || st.PendingTombstones != 1 {
+		t.Fatalf("after evicted Put: %+v", st)
+	}
+	if err := s.Remove("ghost"); err == nil {
+		t.Fatal("Remove accepted an unknown id")
+	}
+	if _, err := s.Update("ghost", tree.MustParse("g"), nil); err == nil {
+		t.Fatal("Update accepted an unknown id")
+	}
+	// Flush writes the new copy; the tombstone is unnecessary (same id is
+	// re-stored) and must not shadow it.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if ms := s.Forest().Lookup(tree.MustParse("r(x y z)"), 0.2); len(ms) != 1 || ms[0].TreeID != "a" {
+		t.Fatalf("replaced doc lost: %v", ms)
+	}
+}
+
+// TestSegmentedEmptyCompact: compacting a store whose every document was
+// removed publishes a segment-less manifest, and the store reopens empty.
+func TestSegmentedEmptyCompact(t *testing.T) {
+	fs := fsio.NewMemFS()
+	s, err := CreateSegmentedFS(fs, "idx.pqg", p33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("a", tree.MustParse("r(x)")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Segments != 0 || st.EvictedDocs != 0 || st.ResidentDocs != 0 {
+		t.Fatalf("empty compact left %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := OpenSegmentedFS(fs, "idx.pqg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Forest().Len() != 0 {
+		t.Fatalf("reopened with %d docs", rs.Forest().Len())
+	}
+	rs.Close()
+	if fs.OpenHandles() != 0 {
+		t.Fatalf("%d handles leaked", fs.OpenHandles())
+	}
+}
+
+// TestSegmentedMetrics: the collector sees the segment lifecycle — flush
+// and compaction counters, shape gauges, and the replayed-journal metrics
+// on reattach after a recovery.
+func TestSegmentedMetrics(t *testing.T) {
+	fs := fsio.NewMemFS()
+	s, err := CreateSegmentedFS(fs, "idx.pqg", p33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetSync(true) // cover the sync branches of append and resetJournal
+	col := obs.NewCollector()
+	col.SetTracer(obs.NewTracer(1, 16))
+	s.SetCollector(col)
+	if s.Collector() != col {
+		t.Fatal("Collector() did not return the attached collector")
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Add(fmt.Sprintf("doc-%d", i), gen.XMark(int64(i), 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("late", gen.XMark(99, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	snap := col.Snapshot()
+	for name, want := range map[string]int64{
+		"store_segment_flushes":      1,
+		"store_segment_flushed_docs": 5,
+		"store_segment_compactions":  1,
+		"store_journal_appends":      6,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Fatalf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+	if snap.Gauges["store_segment_count"] != 1 || snap.Gauges["store_evicted_docs"] != 6 {
+		t.Fatalf("shape gauges: count=%d evicted=%d",
+			snap.Gauges["store_segment_count"], snap.Gauges["store_evicted_docs"])
+	}
+	if snap.Gauges["store_segment_bytes"] <= 0 {
+		t.Fatalf("store_segment_bytes = %d", snap.Gauges["store_segment_bytes"])
+	}
+	if snap.Gauges["store_journal_bytes"] != journalHeaderLen {
+		t.Fatalf("store_journal_bytes = %d after compact", snap.Gauges["store_journal_bytes"])
+	}
+
+	// Leave a journaled mutation unflushed, reopen, and reattach: the
+	// replay must be published, including its synthesized trace span.
+	if err := s.Add("tail", gen.XMark(100, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := OpenSegmentedFS(fs, "idx.pqg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	col2 := obs.NewCollector()
+	col2.SetTracer(obs.NewTracer(1, 16))
+	rs.SetCollector(col2)
+	snap2 := col2.Snapshot()
+	if snap2.Counters["store_journal_replays"] != 1 || snap2.Counters["store_journal_replay_records"] != 1 {
+		t.Fatalf("replay counters: %d replays, %d records",
+			snap2.Counters["store_journal_replays"], snap2.Counters["store_journal_replay_records"])
+	}
+	found := false
+	for _, tr := range col2.Tracer().RecentTraces(16) {
+		if tr.Root.Name == "store.replay" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no synthesized store.replay trace after reattach")
+	}
+	// Detach: the metrics pointer drops and mutations keep working.
+	rs.SetCollector(nil)
+	if rs.Collector() != nil {
+		t.Fatal("Collector() non-nil after detach")
+	}
+	if err := rs.Add("post-detach", gen.XMark(101, 15)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSegmentedTierSpans: with tracing on, a lookup over segment-served
+// documents produces forest spans that carry the tier's bloom and probe
+// counters (the forest_bloom_* / tier counter plumbing end to end).
+func TestSegmentedTierSpans(t *testing.T) {
+	fs := fsio.NewMemFS()
+	s, err := CreateSegmentedFS(fs, "idx.pqg", p33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 6; i++ {
+		if err := s.Add(fmt.Sprintf("doc-%d", i), gen.XMark(int64(i), 25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	col := obs.NewCollector()
+	s.SetCollector(col)
+	if ms := s.Forest().Lookup(gen.XMark(0, 25), 0.8); len(ms) == 0 {
+		t.Fatal("lookup found nothing")
+	}
+	snap := col.Snapshot()
+	if snap.Counters["forest_tier_segments_probed"] == 0 {
+		t.Fatalf("no segments probed: %v", snap.Counters)
+	}
+	if snap.Counters["forest_bloom_checks"] == 0 {
+		t.Fatalf("no bloom checks recorded: %v", snap.Counters)
+	}
+}
+
+// TestSegmentedOrphanSegmentInvisible: a crash can leave a segment file
+// the manifest never adopted; the next flush must rename over it and the
+// orphan must never influence answers in between.
+func TestSegmentedOrphanSegmentInvisible(t *testing.T) {
+	fs := fsio.NewMemFS()
+	s, err := CreateSegmentedFS(fs, "idx.pqg", p33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("a", tree.MustParse("r(x y)")); err != nil {
+		t.Fatal(err)
+	}
+	// Plant an orphan at the sequence number the next flush will use,
+	// holding a document the store was never given.
+	orphan := []segDoc{{id: "phantom", bag: profile.BuildIndex(tree.MustParse("q(a b c)"), p33)}}
+	if _, _, err := writeSegment(fs, segmentPath("idx.pqg", s.Stats().NextSeq), p33, s.Stats().NextSeq, orphan, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := OpenSegmentedFS(fs, "idx.pqg")
+	if err != nil {
+		t.Fatalf("open with orphan present: %v", err)
+	}
+	if rs.Forest().Has("phantom") {
+		t.Fatal("orphan segment resurrected a document")
+	}
+	if err := rs.Flush(); err != nil { // renames over the orphan
+		t.Fatal(err)
+	}
+	if rs.Forest().Has("phantom") || rs.Forest().Len() != 1 {
+		t.Fatalf("after reclaiming flush: %d docs", rs.Forest().Len())
+	}
+	if ms := rs.Forest().Lookup(tree.MustParse("r(x y)"), 0.5); len(ms) != 1 || ms[0].TreeID != "a" {
+		t.Fatalf("lookup after orphan reclaim: %v", ms)
+	}
+	rs.Close()
+}

@@ -1,8 +1,14 @@
-// Package store persists pq-gram forest indexes in a compact, checksummed
-// binary format — the durable form of the relation (treeId, pqg, cnt) of
-// Figure 4 of the paper. The format is deterministic (trees and tuples are
-// sorted), so the serialized size is a stable measure for the index-size
-// experiment (Figure 14, left).
+// Package store persists pq-gram forest indexes — the durable form of the
+// relation (treeId, pqg, cnt) of Figure 4 of the paper — through two
+// engines: the monolithic snapshot-plus-journal store of this file and
+// journal.go, and the segmented out-of-core engine of segstore.go. Every
+// on-disk format of both engines is specified in STORAGE.md.
+//
+// This file is the monolithic snapshot codec: one compact, checksummed
+// file holding the whole index. The format is deterministic (trees and
+// tuples are sorted), so the serialized size is a stable measure for the
+// index-size experiment (Figure 14, left) and the trailing checksum
+// identifies the snapshot's exact content.
 //
 // Layout (all integers are unsigned varints unless noted):
 //

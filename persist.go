@@ -27,3 +27,35 @@ func OpenStore(path string) (*Store, error) { return store.OpenStore(path) }
 // dropped, and whether a stale or foreign journal had to be discarded.
 // Available from Store.Recovery after an open.
 type RecoveryInfo = store.RecoveryInfo
+
+// Segmented is the out-of-core variant of Store: an LSM-style storage
+// engine whose memtable is the forest itself. Flush evicts the mutated
+// documents into an immutable, checksummed, bloom-filtered segment file;
+// lookups merge the in-RAM postings with segment streams and stay
+// byte-identical to the all-in-RAM path. Use it when the collection is
+// larger than the RAM you want to spend. The on-disk format is specified
+// in STORAGE.md.
+type Segmented = store.Segmented
+
+// SegmentStats describes the current shape of a segmented store: live
+// segments and their total bytes, resident (memtable) vs evicted
+// (segment-served) documents, and pending tombstones.
+type SegmentStats = store.SegmentStats
+
+// CreateSegmented creates a new empty segmented store rooted at path
+// (path+".manifest", path+".NNNNNN.seg" segments, path+".wal" journal).
+func CreateSegmented(path string, p Params) (*Segmented, error) {
+	return store.CreateSegmented(path, profile.Params(p))
+}
+
+// OpenSegmented opens a segmented store: loads the manifest, verifies and
+// maps every live segment, replays the journal against the memtable, and
+// discards a stale journal left by a crash between manifest swap and
+// journal reset.
+func OpenSegmented(path string) (*Segmented, error) {
+	return store.OpenSegmented(path)
+}
+
+// IsSegmented reports whether path names a segmented store, by probing
+// for its manifest file. Tools use it to auto-detect which opener to use.
+func IsSegmented(path string) bool { return store.IsSegmented(path) }
