@@ -20,7 +20,7 @@ COVER_FLOOR_OBS     ?= 85
 COVER_FLOOR_SERVE   ?= 80
 COVER_FLOOR_STORE   ?= 80
 
-.PHONY: check fmt-check lint vet build test fuzz cover bench bench-smoke bench-json
+.PHONY: check fmt-check lint vet build test race fuzz cover bench bench-smoke bench-json
 
 check: fmt-check vet lint build test fuzz cover bench-smoke
 
@@ -43,6 +43,13 @@ build:
 
 test:
 	$(GO) test -race ./...
+
+# Dedicated race-detector pass (its own CI job): every test twice under
+# a bounded GOMAXPROCS, giving schedule-dependent interleavings a second
+# chance to trip the locking protocols that lockcheck and lockorder
+# enforce statically.
+race:
+	GOMAXPROCS=4 $(GO) test -race -count=2 ./...
 
 # Each fuzz target runs alone (go test allows one -fuzz per invocation).
 fuzz:

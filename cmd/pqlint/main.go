@@ -1,4 +1,4 @@
-// Command pqlint runs the repository's static-analysis suite: five
+// Command pqlint runs the repository's static-analysis suite: ten
 // analyzers that enforce the crash-safety, concurrency and determinism
 // invariants the index's correctness arguments rest on (see internal/lint
 // and the "Enforced invariants" section of ARCHITECTURE.md). It is built
@@ -12,7 +12,10 @@
 // Packages default to ./... relative to the enclosing module. The exit
 // code is 0 when the tree is clean, 1 when any finding is reported, and
 // 2 on usage or load errors. Findings on a line can be suppressed by a
-// //pqlint:allow <analyzer> comment on that line or the line above.
+// //pqlint:allow <analyzer> comment on that line or the line above; a
+// //pqlint:allowfile <analyzer> comment suppresses the named analyzers
+// for its whole file. Loader failures (syntax errors, unresolvable
+// imports) are reported with their file:line position.
 package main
 
 import (

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -81,5 +83,58 @@ func TestFlagErrors(t *testing.T) {
 	errb.Reset()
 	if code := run([]string{"-only", "fsiocheck", "-skip", "fsiocheck"}, &out, &errb); code != 2 {
 		t.Errorf("pqlint -only fsiocheck -skip fsiocheck = exit %d, want 2", code)
+	}
+}
+
+func TestSplitNames(t *testing.T) {
+	got := splitNames(" lockcheck, ,atomiccheck ,,goroutinecheck")
+	want := []string{"lockcheck", "atomiccheck", "goroutinecheck"}
+	if len(got) != len(want) {
+		t.Fatalf("splitNames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("splitNames[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestOnlyCommaList: a comma-separated -only selects all named
+// analyzers, and -skip removes from that selection.
+func TestOnlyCommaList(t *testing.T) {
+	const fixture = "./internal/lint/testdata/src/internal/store/errcheckfix"
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", "../..", "-only", "detcheck, errcheck-durability", fixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("pqlint -only detcheck,errcheck-durability = exit %d, want 1\nstderr:\n%s", code, &errb)
+	}
+	if !strings.Contains(out.String(), "errcheck-durability") {
+		t.Errorf("comma-separated -only did not run errcheck-durability:\n%s", &out)
+	}
+	out.Reset()
+	code = run([]string{"-C", "../..", "-only", "detcheck,errcheck-durability", "-skip", "errcheck-durability", fixture}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("with -skip errcheck-durability exit %d, want 0\nstdout:\n%s", code, &out)
+	}
+}
+
+// TestLoadErrorPositioned: a module with a syntax error exits 2 and the
+// stderr message carries the file:line position of the bad token.
+func TestLoadErrorPositioned(t *testing.T) {
+	dir := t.TempDir()
+	writeFile := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("go.mod", "module brokenmod\n\ngo 1.21\n")
+	writeFile("bad.go", "package bad\n\nfunc f( {\n")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", dir, "."}, &out, &errb); code != 2 {
+		t.Fatalf("pqlint on broken module = exit %d, want 2\nstderr:\n%s", code, &errb)
+	}
+	if !strings.Contains(errb.String(), "bad.go:3:") {
+		t.Errorf("stderr %q does not carry the file:line position", errb.String())
 	}
 }

@@ -165,6 +165,7 @@ func runDemo(h http.Handler) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//pqlint:allow goroutinecheck demo server: serves until the process exits with main
 	go http.Serve(ln, h)
 	base := "http://" + ln.Addr().String()
 	client := func(method, path string, body []byte) map[string]any {

@@ -63,12 +63,18 @@ const numShards = 1 << shardBits
 
 // shard is one stripe of the inverted postings pqg → (treeId, cnt). Its
 // mutex guards the outer map and every inner posting list reachable from
-// it.
+// it; structural operations holding the registry write lock exclude
+// every shard reader and writer wholesale, which is the Index.mu:w
+// alternative of the guard.
 type shard struct {
 	mu       sync.RWMutex
-	postings map[profile.LabelTuple]map[string]int
+	postings map[profile.LabelTuple]map[string]int // guarded by mu or Index.mu:w
 }
 
+// add merges one posting. Callers hold s.mu for writing, or the registry
+// write lock (which excludes all shard access).
+//
+//pqlint:locked s.mu
 func (s *shard) add(lt profile.LabelTuple, id string, c int) {
 	m := s.postings[lt]
 	if m == nil {
@@ -78,6 +84,9 @@ func (s *shard) add(lt profile.LabelTuple, id string, c int) {
 	m[id] += c
 }
 
+// remove drops one posting. Same locking contract as add.
+//
+//pqlint:locked s.mu
 func (s *shard) remove(lt profile.LabelTuple, id string) {
 	if m := s.postings[lt]; m != nil {
 		delete(m, id)
@@ -97,9 +106,9 @@ func (s *shard) remove(lt profile.LabelTuple, id string) {
 // write lock, like idx itself on eviction/promotion).
 type treeEntry struct {
 	mu       sync.RWMutex
-	idx      profile.Index
+	idx      profile.Index // guarded by mu or Index.mu:w
 	size     atomic.Int64
-	distinct int
+	distinct int // guarded by Index.mu
 }
 
 // Index is the pq-gram index of a forest of named trees. It is safe for
@@ -112,7 +121,7 @@ type Index struct {
 	// the read lock for its full duration, so structural ops never
 	// interleave with an in-flight lookup or update.
 	mu     sync.RWMutex
-	trees  map[string]*treeEntry
+	trees  map[string]*treeEntry // guarded by mu
 	shards [numShards]shard
 
 	// obs is the attached instrumentation, nil when the index is not
@@ -142,10 +151,22 @@ type Index struct {
 	metric metricIndex
 
 	// tier is the storage tier serving evicted documents (tier.go), nil
-	// when every document is resident. Guarded by mu; attached once at
-	// open time by the segmented store.
-	tier Tier
+	// when every document is resident. Attached once at open time by the
+	// segmented store.
+	tier Tier // guarded by mu
 }
+
+// The package's lock-acquisition order, enforced by the lockorder
+// analyzer. The registry lock is always outermost, per-document bag
+// locks nest inside it, postings stripes inside those, and the metric
+// index's lock is innermost on the mutation path (it is never held
+// while acquiring any other forest lock). Multi-instance acquisitions
+// of the same class (two bag locks in Distance, the pairwise join) are
+// sanctioned separately: always in ascending tree-ID order.
+//
+//pqlint:lockorder Index.mu < treeEntry.mu < shard.mu
+//pqlint:lockorder treeEntry.mu < metricIndex.mu
+//pqlint:lockorder Index.mu < metricIndex.mu
 
 // New creates an empty forest index with the given pq-gram parameters.
 func New(pr profile.Params) *Index {
@@ -202,6 +223,7 @@ func (f *Index) IDs() []string {
 	return f.idsLocked()
 }
 
+//pqlint:locked f.mu:r
 func (f *Index) idsLocked() []string {
 	out := make([]string, 0, len(f.trees))
 	for id := range f.trees {
@@ -227,6 +249,8 @@ func (f *Index) AddIndex(id string, idx profile.Index) error {
 
 // addIndexLocked requires f.mu held for writing; under the write lock the
 // shards need no locking of their own.
+//
+//pqlint:locked f.mu
 func (f *Index) addIndexLocked(id string, idx profile.Index) error {
 	if _, ok := f.trees[id]; ok {
 		return fmt.Errorf("forest: tree %q already indexed", id)
@@ -252,6 +276,7 @@ func (f *Index) Remove(id string) error {
 	return f.removeLocked(id)
 }
 
+//pqlint:locked f.mu
 func (f *Index) removeLocked(id string) error {
 	e, ok := f.trees[id]
 	if !ok {
@@ -426,6 +451,8 @@ func (f *Index) ApplyDeltas(id string, iPlus, iMinus profile.Index) error {
 // applyDeltasEntry requires f.mu held for reading. The entry lock is held
 // across both the bag and the postings phase so that updates to the same
 // document serialize as a whole and never observe each other half-applied.
+//
+//pqlint:locked f.mu:r
 func (f *Index) applyDeltasEntry(e *treeEntry, id string, iPlus, iMinus profile.Index) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -630,6 +657,8 @@ func (f *Index) lookupIndexSpanned(q profile.Index, tau float64, m *metrics, sp 
 // sharing at least one tuple with the query and scores them all — the
 // reference lookup the pruned path must match. It requires f.mu held
 // (read suffices) and tau ≤ 1.
+//
+//pqlint:locked f.mu:r
 func (f *Index) lookupExhaustiveLocked(q profile.Index, qSize int, tau float64, m *metrics, sp *obs.Span) []Match {
 	scan := sp.Child("scan")
 	overlaps, scanned := f.overlapsLocked(q)
@@ -668,6 +697,8 @@ func (f *Index) LookupTop(query *tree.Tree, k int) []Match {
 // It requires f.mu held (read suffices); the query tuples are grouped by
 // shard so each stripe is locked once. The second result is the number of
 // posting entries scanned — the scan stage's work attribute.
+//
+//pqlint:locked f.mu:r
 func (f *Index) overlapsLocked(q profile.Index) (map[string]int, int64) {
 	type tupleCount struct {
 		lt profile.LabelTuple
@@ -752,6 +783,7 @@ func (f *Index) Distance(id1, id2 string) (float64, error) {
 	}
 	a.mu.RLock()
 	defer a.mu.RUnlock()
+	//pqlint:allow lockorder — two bag locks of one class, always in ascending tree-ID order (the global multi-entry order), so concurrent Distance calls cannot deadlock
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	abag, err := f.bagOfLocked(id1, a)

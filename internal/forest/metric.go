@@ -755,6 +755,8 @@ func (f *Index) lookupIndexTopKSpanned(q profile.Index, k int, m *metrics, sp *o
 // lookupTopExhaustiveLocked scores every indexed tree through the
 // postings and keeps the k best — the brute-force reference the metric
 // path must match. Requires f.mu held (read suffices) and k > 0.
+//
+//pqlint:locked f.mu:r
 func (f *Index) lookupTopExhaustiveLocked(q profile.Index, qSize, k int, m *metrics, sp *obs.Span) []Match {
 	scan := sp.Child("scan")
 	overlaps, scanned := f.overlapsLocked(q)
@@ -932,6 +934,8 @@ func (f *Index) MetricRestore(dump []MetricNodeDump) error {
 // bag equal to the live one, every routing interval and subtree aggregate
 // contains the true values, and the partition invariant D ≤ radius ⇔
 // inside holds. Requires f.mu held for writing and the index built.
+//
+//pqlint:locked f.mu
 func (f *Index) metricSelfCheckLocked() error {
 	mi := &f.metric
 	seen := make(map[string]bool, len(f.trees))

@@ -386,12 +386,15 @@ func (f *Index) SimilarityJoinWorkers(tau float64, workers int) (pairs []Pair) {
 // bags are prefetched from the storage tier once up front — the all-pairs
 // join reads every bag O(n) times, and tier fetches are positioned disk
 // reads.
+//
+//pqlint:locked f.mu:r
 func (f *Index) joinAllPairsLocked(tau float64, workers int) []Pair {
 	ids := f.idsLocked()
 	var tierBags map[string]profile.Index
 	if f.tier != nil {
 		tierBags = make(map[string]profile.Index)
 		for _, id := range ids {
+			//pqlint:allow lockcheck only the pointer's nil-ness is read; the pointer swaps only under the registry write lock, which f.mu:r excludes
 			if f.trees[id].idx == nil {
 				if bag, ok := f.tier.Bag(id); ok {
 					tierBags[id] = bag
@@ -400,7 +403,7 @@ func (f *Index) joinAllPairsLocked(tau float64, workers int) []Pair {
 		}
 	}
 	bagOf := func(id string, e *treeEntry) profile.Index {
-		if e.idx != nil {
+		if e.idx != nil { //pqlint:allow lockcheck every caller holds e.mu read-locked around the call, which excludes delta application
 			return e.idx
 		}
 		return tierBags[id]
@@ -418,6 +421,7 @@ func (f *Index) joinAllPairsLocked(tau float64, workers int) []Pair {
 				abag := bagOf(ids[i], a)
 				for j := i + 1; j < len(ids); j++ {
 					b := f.trees[ids[j]]
+					//pqlint:allow lockorder two bag locks of one class, taken in ascending tree-ID order (the global multi-entry order), so workers cannot deadlock
 					b.mu.RLock()
 					d := abag.Distance(bagOf(ids[j], b))
 					b.mu.RUnlock()

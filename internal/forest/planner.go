@@ -76,6 +76,8 @@ func (f *Index) PlanMode() PlanMode { return PlanMode(f.plan.Load()) }
 // f.mu held (read suffices). The pruned path is sound only for τ ≤ 1
 // (above that, trees sharing no tuple qualify and postings cannot
 // enumerate them) and a non-empty query bag.
+//
+//pqlint:locked f.mu:r
 func (f *Index) usePrunedLocked(qSize int, tau float64) bool {
 	if tau <= 0 || tau > 1 || qSize == 0 {
 		return false
@@ -98,6 +100,8 @@ func (f *Index) usePrunedLocked(qSize int, tau float64) bool {
 // document is in the answer and the postings scan is already optimal.
 // Once the metric index is built (and therefore paid for and maintained),
 // the auto mode uses it for any k below the collection size.
+//
+//pqlint:locked f.mu:r
 func (f *Index) useMetricLocked(k int) bool {
 	switch f.PlanMode() {
 	case PlanExhaustive:
@@ -159,6 +163,8 @@ func (sc *lookupScratch) release() {
 // receives a "generate" child covering the rare-first candidate
 // generation — with the Def-3 size window and the loosest o_min bound as
 // attributes — and a "verify" child covering the bag-probe finish.
+//
+//pqlint:locked f.mu:r
 func (f *Index) lookupPrunedLocked(q profile.Index, qSize int, tau float64, m *metrics, sp *obs.Span) []Match {
 	sc := scratchPool.Get().(*lookupScratch)
 	defer sc.release()

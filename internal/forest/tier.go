@@ -85,6 +85,7 @@ func (f *Index) Evicted(id string) bool {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	e, ok := f.trees[id]
+	//pqlint:allow lockcheck only the pointer's nil-ness is read; the pointer swaps only under the registry write lock, which f.mu:r excludes
 	return ok && e.idx == nil
 }
 
@@ -98,6 +99,7 @@ func (f *Index) ResidentSize() int {
 	defer f.mu.RUnlock()
 	n := int64(0)
 	for _, e := range f.trees {
+		//pqlint:allow lockcheck only the pointer's nil-ness is read; the pointer swaps only under the registry write lock, which f.mu:r excludes
 		if e.idx != nil {
 			n += e.size.Load()
 		}
@@ -111,6 +113,7 @@ func (f *Index) EvictedLen() int {
 	defer f.mu.RUnlock()
 	n := 0
 	for _, e := range f.trees {
+		//pqlint:allow lockcheck only the pointer's nil-ness is read; the pointer swaps only under the registry write lock, which f.mu:r excludes
 		if e.idx == nil {
 			n++
 		}
@@ -217,8 +220,10 @@ func (f *Index) AddEvicted(id string, size, distinct int) error {
 // suffices) and, for resident entries, e.mu if concurrent delta
 // application must be excluded. It fails only on a tier inconsistency: an
 // evicted entry the tier does not serve.
+//
+//pqlint:locked f.mu:r
 func (f *Index) bagOfLocked(id string, e *treeEntry) (profile.Index, error) {
-	if e.idx != nil {
+	if e.idx != nil { //pqlint:allow lockcheck the pointer is stable under f.mu; callers that must exclude concurrent delta application hold e.mu as documented above
 		return e.idx, nil
 	}
 	if f.tier == nil {
@@ -235,6 +240,8 @@ func (f *Index) bagOfLocked(id string, e *treeEntry) (profile.Index, error) {
 // records the tier read's work on the span and counters. A document lives
 // in exactly one tier, so merging is plain addition. Requires f.mu held
 // (read suffices).
+//
+//pqlint:locked f.mu:r
 func (f *Index) tierOverlapsLocked(q profile.Index, ov map[string]int, m *metrics, sp *obs.Span) {
 	if f.tier == nil {
 		return
@@ -265,6 +272,8 @@ func (f *Index) tierOverlapsLocked(q profile.Index, ov map[string]int, m *metric
 // (SimilarityJoinWorkers), so together the two passes cover every
 // candidate pair exactly once. Requires f.mu held (read suffices); sizes
 // and filter mirror the stripe sweep's arguments.
+//
+//pqlint:locked f.mu:r
 func (f *Index) joinTierPairsLocked(tau float64, sizes map[string]int, filter bool) ([]Pair, int64) {
 	if f.tier == nil {
 		return nil, 0

@@ -35,9 +35,33 @@ func TestAliasCheck(t *testing.T) {
 	linttest.Run(t, "testdata/src/internal/profile/aliasfix", lint.AliasCheck)
 }
 
+func TestLockCheck(t *testing.T) {
+	linttest.Run(t, "testdata/src/internal/forest/lockfix", lint.LockCheck)
+}
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, "testdata/src/internal/forest/orderfix", lint.LockOrder)
+}
+
+func TestAtomicCheck(t *testing.T) {
+	linttest.Run(t, "testdata/src/internal/store/atomicfix", lint.AtomicCheck)
+}
+
+func TestGoroutineCheck(t *testing.T) {
+	linttest.Run(t, "testdata/src/internal/serve/gofix", lint.GoroutineCheck)
+}
+
 // TestAllowSemantics proves the escape hatch is honored on the comment's
-// own line and the next line only, that naming the wrong analyzer does
+// own line and the next line only — including inside switch and select
+// case bodies and on defer lines — that naming the wrong analyzer does
 // not suppress, and that unknown or missing names are findings.
 func TestAllowSemantics(t *testing.T) {
 	linttest.Run(t, "testdata/src/internal/store/allowfix", lint.ErrcheckDurability)
+}
+
+// TestAllowFileSemantics proves //pqlint:allowfile suppresses the named
+// analyzers for the whole file, leaves unnamed analyzers reporting, and
+// reports unknown or missing names.
+func TestAllowFileSemantics(t *testing.T) {
+	linttest.Run(t, "testdata/src/internal/store/allowfilefix", lint.ErrcheckDurability, lint.FsioCheck)
 }

@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicCheck enforces all-or-nothing atomicity per field: a struct
+// field that is ever accessed through sync/atomic must never be
+// accessed non-atomically, because a single plain load or store next to
+// atomic ones is a data race. Two field shapes are covered:
+//
+//   - typed atomics (atomic.Int64, atomic.Pointer[T], atomic.Value, ...):
+//     the field may only be used as a method receiver or have its
+//     address taken — assigning over it or copying it by value bypasses
+//     the atomicity (and copies the internal state);
+//   - plain integer/pointer fields passed as &x.f to sync/atomic
+//     functions anywhere in the package: every other access must also
+//     go through sync/atomic.
+//
+// The constructor init path is exempt: accesses through a local bound
+// to a fresh composite literal or new(T) happen before the value is
+// shared.
+var AtomicCheck = &Analyzer{
+	Name: "atomiccheck",
+	Doc:  "fields accessed via sync/atomic must never be accessed non-atomically outside init",
+	Run:  runAtomicCheck,
+}
+
+func runAtomicCheck(p *Pass) {
+	info := p.Pkg.Info
+	// Pass 1: fields whose address feeds a sync/atomic call.
+	plain := make(map[*types.Var]token.Pos)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !atomicPkgCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || ue.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v := fieldVarOf(info, sel); v != nil {
+					if _, seen := plain[v]; !seen {
+						plain[v] = call.Pos()
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Pass 2: check every field access against both shapes.
+	for _, f := range p.Pkg.Files {
+		freshByFunc := make(map[ast.Node]map[types.Object]bool)
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			v := fieldVarOf(info, sel)
+			if v == nil {
+				return true
+			}
+			typed := typedAtomic(v.Type())
+			_, isPlain := plain[v]
+			if !typed && !isPlain {
+				return true
+			}
+			if freshBase(info, freshByFunc, stack, sel) {
+				return true
+			}
+			if typed {
+				checkTypedAtomicUse(p, info, sel, stack)
+				return true
+			}
+			if !atomicArgContext(info, stack) {
+				p.ReportHintf(sel.Pos(),
+					"go through sync/atomic for every access, or drop atomics and guard the field with a mutex",
+					"non-atomic access to %s, which is accessed via sync/atomic elsewhere (line %d)",
+					types.ExprString(sel), p.Pkg.Fset.Position(plain[v]).Line)
+			}
+			return true
+		})
+	}
+}
+
+// checkTypedAtomicUse flags uses of a typed-atomic field other than
+// method calls and address-taking.
+func checkTypedAtomicUse(p *Pass, info *types.Info, sel *ast.SelectorExpr, stack []ast.Node) {
+	parent := parentNode(stack)
+	switch pn := parent.(type) {
+	case *ast.SelectorExpr:
+		if s := info.Selections[pn]; s != nil && s.Kind() == types.MethodVal {
+			return // x.f.Load(), x.f.Store(...), ...
+		}
+	case *ast.UnaryExpr:
+		if pn.Op == token.AND {
+			return // &x.f: passing the atomic by pointer keeps it atomic
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range pn.Lhs {
+			if ast.Unparen(lhs) == sel {
+				p.ReportHintf(sel.Pos(), "use the field's Store method",
+					"non-atomic reinitialization of atomic field %s", types.ExprString(sel))
+				return
+			}
+		}
+	}
+	p.ReportHintf(sel.Pos(), "call Load() on the field instead of copying the atomic by value",
+		"atomic field %s copied by value", types.ExprString(sel))
+}
+
+// atomicArgContext reports whether the node on top of the stack sits in
+// the sanctioned &x.f position of a sync/atomic call.
+func atomicArgContext(info *types.Info, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	ue, ok := stack[len(stack)-1].(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return false
+	}
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.CallExpr:
+			return atomicPkgCall(info, n)
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// freshBase reports whether the access base is a fresh local of the
+// enclosing function (the constructor init-path exemption), computing
+// the function's fresh set on first use.
+func freshBase(info *types.Info, cache map[ast.Node]map[types.Object]bool, stack []ast.Node, sel *ast.SelectorExpr) bool {
+	root, _, ok := exprKey(info, sel.X)
+	if !ok {
+		return false
+	}
+	fn := enclosingFunc(stack)
+	if fn == nil {
+		return false
+	}
+	fresh, ok := cache[fn]
+	if !ok {
+		fresh = freshLocals(info, funcBody(fn))
+		cache[fn] = fresh
+	}
+	return fresh[root]
+}
+
+func parentNode(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+// typedAtomic reports whether t is one of sync/atomic's typed atomics.
+func typedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// atomicPkgCall reports whether call invokes a sync/atomic package
+// function (atomic.AddInt64, atomic.LoadPointer, ...).
+func atomicPkgCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := info.ObjectOf(id).(*types.PkgName)
+	return ok && pkg.Imported().Path() == "sync/atomic"
+}

@@ -28,6 +28,16 @@
 //     output stream without an intervening sort, and a top-k ranking
 //     drained from a heap must be sorted with the tie-broken comparator
 //     before it is returned (the nondeterminism bug class).
+//   - lockcheck: fields annotated `// guarded by <mu>` are only accessed
+//     while that mutex is held (write-held for writes), and every
+//     acquired lock is released on all return paths.
+//   - lockorder: lock acquisitions follow the package's declared
+//     //pqlint:lockorder partial order; same-class nesting is flagged as
+//     a potential deadlock.
+//   - atomiccheck: a field ever accessed via sync/atomic (or a typed
+//     atomic) is never accessed non-atomically outside its init path.
+//   - goroutinecheck: every go statement has a provable join (WaitGroup
+//     Add-before-go / Done-on-all-paths) or shutdown (stop channel) path.
 //
 // # Suppression
 //
@@ -36,8 +46,13 @@
 //	//pqlint:allow fsiocheck — reason the invariant holds anyway
 //
 // The comment applies to the line it is on and to the next line only.
-// Unknown analyzer names in an allow comment are themselves reported, so
-// a typo cannot silently disable checking.
+// The file-scoped variant
+//
+//	//pqlint:allowfile goroutinecheck — reason the whole file is exempt
+//
+// suppresses the named analyzers everywhere in its file. Unknown
+// analyzer names in either form are themselves reported, so a typo
+// cannot silently disable checking.
 package lint
 
 import (
@@ -104,7 +119,10 @@ func (p *Pass) ReportHintf(pos token.Pos, hint, format string, args ...any) {
 
 // All returns every analyzer of the suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{FsioCheck, ObsCheck, SpanCheck, AliasCheck, ErrcheckDurability, DetCheck}
+	return []*Analyzer{
+		FsioCheck, ObsCheck, SpanCheck, AliasCheck, ErrcheckDurability, DetCheck,
+		LockCheck, LockOrder, AtomicCheck, GoroutineCheck,
+	}
 }
 
 // ByName resolves analyzer names (e.g. from -only/-skip flags) against
@@ -135,8 +153,13 @@ func Names(as []*Analyzer) []string {
 }
 
 // allowPrefix is the suppression-comment marker. The full form is
-// "//pqlint:allow name1,name2 optional reason".
-const allowPrefix = "pqlint:allow"
+// "//pqlint:allow name1,name2 optional reason". The file-scoped variant
+// "//pqlint:allowfile name1,name2 reason" suppresses the named
+// analyzers for the whole file.
+const (
+	allowPrefix     = "pqlint:allow"
+	allowFilePrefix = "pqlint:allowfile"
+)
 
 // Run executes the analyzers over the packages, applies the
 // //pqlint:allow suppressions, and returns the surviving diagnostics
@@ -152,11 +175,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 
 	// allowed[file][line] = analyzer names suppressed at that line. An
 	// allow comment on line N covers findings on N (trailing comments)
-	// and on N+1, and nothing else.
+	// and on N+1, and nothing else. allowedFile[file] = analyzer names
+	// suppressed for the entire file by //pqlint:allowfile.
 	allowed := make(map[string]map[int]map[string]bool)
+	allowedFile := make(map[string]map[string]bool)
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
-			scanAllows(pkg, f, allowed, known, report)
+			scanAllows(pkg, f, allowed, allowedFile, known, report)
 		}
 	}
 
@@ -169,7 +194,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 
 	kept := diags[:0]
 	for _, d := range diags {
-		if d.Analyzer != "pqlint" && suppressed(allowed, d) {
+		if d.Analyzer != "pqlint" && (suppressed(allowed, d) || allowedFile[d.File][d.Analyzer]) {
 			continue
 		}
 		kept = append(kept, d)
@@ -203,9 +228,9 @@ func suppressed(allowed map[string]map[int]map[string]bool, d Diagnostic) bool {
 	return false
 }
 
-// scanAllows indexes every //pqlint:allow comment of the file and
-// reports malformed ones.
-func scanAllows(pkg *Package, f *ast.File, allowed map[string]map[int]map[string]bool, known map[string]bool, report func(Diagnostic)) {
+// scanAllows indexes every //pqlint:allow and //pqlint:allowfile
+// comment of the file and reports malformed ones.
+func scanAllows(pkg *Package, f *ast.File, allowed map[string]map[int]map[string]bool, allowedFile map[string]map[string]bool, known map[string]bool, report func(Diagnostic)) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
@@ -213,7 +238,13 @@ func scanAllows(pkg *Package, f *ast.File, allowed map[string]map[int]map[string
 			if !strings.HasPrefix(text, allowPrefix) {
 				continue
 			}
-			rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+			// allowPrefix is a prefix of allowFilePrefix: distinguish first.
+			fileScoped := strings.HasPrefix(text, allowFilePrefix)
+			marker, prefix := "//pqlint:allow", allowPrefix
+			if fileScoped {
+				marker, prefix = "//pqlint:allowfile", allowFilePrefix
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
 			pos := pkg.Fset.Position(c.Pos())
 			names := ""
 			if fields := strings.Fields(rest); len(fields) > 0 {
@@ -223,8 +254,8 @@ func scanAllows(pkg *Package, f *ast.File, allowed map[string]map[int]map[string
 				report(Diagnostic{
 					Analyzer: "pqlint", Pos: pos,
 					File: pos.Filename, Line: pos.Line, Col: pos.Column,
-					Message: "//pqlint:allow comment names no analyzer",
-					Hint:    "write //pqlint:allow <analyzer>[,<analyzer>...] <reason>",
+					Message: marker + " comment names no analyzer",
+					Hint:    "write " + marker + " <analyzer>[,<analyzer>...] <reason>",
 				})
 				continue
 			}
@@ -233,9 +264,16 @@ func scanAllows(pkg *Package, f *ast.File, allowed map[string]map[int]map[string
 					report(Diagnostic{
 						Analyzer: "pqlint", Pos: pos,
 						File: pos.Filename, Line: pos.Line, Col: pos.Column,
-						Message: fmt.Sprintf("unknown analyzer %q in //pqlint:allow comment", name),
+						Message: fmt.Sprintf("unknown analyzer %q in %s comment", name, marker),
 						Hint:    "known analyzers: " + strings.Join(Names(All()), ", "),
 					})
+					continue
+				}
+				if fileScoped {
+					if allowedFile[pos.Filename] == nil {
+						allowedFile[pos.Filename] = make(map[string]bool)
+					}
+					allowedFile[pos.Filename][name] = true
 					continue
 				}
 				if allowed[pos.Filename] == nil {

@@ -41,7 +41,10 @@ func TestByName(t *testing.T) {
 }
 
 func TestAllRegistered(t *testing.T) {
-	want := []string{"fsiocheck", "obscheck", "spancheck", "aliascheck", "errcheck-durability", "detcheck"}
+	want := []string{
+		"fsiocheck", "obscheck", "spancheck", "aliascheck", "errcheck-durability", "detcheck",
+		"lockcheck", "lockorder", "atomiccheck", "goroutinecheck",
+	}
 	got := Names(All())
 	if len(got) != len(want) {
 		t.Fatalf("All() = %v, want %v", got, want)

@@ -1,10 +1,12 @@
 package lint
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"os"
@@ -12,6 +14,50 @@ import (
 	"sort"
 	"strings"
 )
+
+// LoadError is a loader failure pinned to the source position that
+// caused it, when one is known: a syntax error points at its token, a
+// type-check or import-resolution failure at the offending line. The
+// driver prints it like a diagnostic (file:line:col: message) instead of
+// a bare exit-2 string.
+type LoadError struct {
+	Pos token.Position // Line == 0 when no position is known
+	Msg string
+}
+
+func (e *LoadError) Error() string {
+	if e.Pos.Line > 0 {
+		return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+	}
+	return e.Msg
+}
+
+// loadError pins err to a position if it carries one (parser syntax
+// errors arrive as a scanner.ErrorList, type-check failures as a
+// types.Error) and wraps it in a LoadError either way.
+func (l *Loader) loadError(context string, err error) error {
+	le := &LoadError{Msg: err.Error()}
+	if context != "" {
+		le.Msg = context + ": " + le.Msg
+	}
+	var list scanner.ErrorList
+	var terr types.Error
+	switch {
+	case errors.As(err, &list) && len(list) > 0:
+		le.Pos = list[0].Pos
+		le.Msg = list[0].Msg
+		if context != "" {
+			le.Msg = context + ": " + le.Msg
+		}
+	case errors.As(err, &terr):
+		le.Pos = terr.Fset.Position(terr.Pos)
+		le.Msg = terr.Msg
+		if context != "" {
+			le.Msg = context + ": " + le.Msg
+		}
+	}
+	return le
+}
 
 // Package is one type-checked package plus everything an analyzer needs
 // to inspect it.
@@ -211,7 +257,7 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, err
+			return nil, l.loadError("lint: syntax error", err)
 		}
 		if pkgName == "" {
 			pkgName = f.Name.Name
@@ -221,7 +267,7 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+		return nil, &LoadError{Msg: fmt.Sprintf("lint: no Go files in %s", dir)}
 	}
 
 	info := &types.Info{
@@ -236,7 +282,7 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	})}
 	tpkg, err := conf.Check(importPath, l.Fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+		return nil, l.loadError("lint: type-checking "+importPath, err)
 	}
 	pkg := &Package{
 		Path:   importPath,

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tempModule writes a minimal module with the given files (name → source)
+// and returns a loader rooted at it.
+func tempModule(t *testing.T, files map[string]string) (*Loader, string) {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module fixturemod\n\ngo 1.21\n"
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, dir
+}
+
+// loadErr runs Load and requires a *LoadError back.
+func loadErr(t *testing.T, l *Loader, pattern string) *LoadError {
+	t.Helper()
+	_, err := l.Load(pattern)
+	if err == nil {
+		t.Fatalf("Load(%q) succeeded, want error", pattern)
+	}
+	var le *LoadError
+	if !errors.As(err, &le) {
+		t.Fatalf("Load(%q) error is %T (%v), want *LoadError", pattern, err, err)
+	}
+	return le
+}
+
+// A syntax error must come back positioned at the offending file and
+// line, not as an unlocated string.
+func TestLoadSyntaxError(t *testing.T) {
+	l, _ := tempModule(t, map[string]string{
+		"p/p.go": "package p\n\nfunc broken( {\n",
+	})
+	le := loadErr(t, l, "p")
+	if !strings.HasSuffix(le.Pos.Filename, "p.go") || le.Pos.Line != 3 {
+		t.Errorf("error position = %v, want p.go line 3", le.Pos)
+	}
+	if !strings.Contains(le.Msg, "syntax error") {
+		t.Errorf("error message %q does not say syntax error", le.Msg)
+	}
+	if s := le.Error(); !strings.Contains(s, "p.go:3:") {
+		t.Errorf("Error() = %q, want file:line rendering", s)
+	}
+}
+
+// An unresolvable import is reported at the import declaration.
+func TestLoadUnresolvableImport(t *testing.T) {
+	l, _ := tempModule(t, map[string]string{
+		"p/p.go": "package p\n\nimport _ \"no/such/dependency\"\n",
+	})
+	le := loadErr(t, l, "p")
+	if !strings.HasSuffix(le.Pos.Filename, "p.go") || le.Pos.Line != 3 {
+		t.Errorf("error position = %v, want p.go line 3", le.Pos)
+	}
+	if !strings.Contains(le.Msg, "no/such/dependency") {
+		t.Errorf("error message %q does not name the import", le.Msg)
+	}
+}
+
+// A module-internal import of a broken package surfaces the inner
+// package's positioned error, not a generic failure on the importer.
+func TestLoadBrokenInternalImport(t *testing.T) {
+	l, _ := tempModule(t, map[string]string{
+		"p/p.go": "package p\n\nimport _ \"fixturemod/q\"\n",
+		"q/q.go": "package q\n\nvar x undefinedType\n",
+	})
+	le := loadErr(t, l, "p")
+	if !strings.Contains(le.Msg, "fixturemod/q") && !strings.Contains(le.Msg, "undefinedType") {
+		t.Errorf("error message %q does not point into package q", le.Msg)
+	}
+}
+
+// Asking for a directory with no Go files is an explicit error naming
+// the directory (no position exists to attach).
+func TestLoadEmptyDir(t *testing.T) {
+	l, dir := tempModule(t, map[string]string{
+		"empty/README.txt": "not a Go file\n",
+	})
+	le := loadErr(t, l, "empty")
+	if le.Pos.Line != 0 {
+		t.Errorf("error position = %v, want none", le.Pos)
+	}
+	if !strings.Contains(le.Msg, "no Go files") || !strings.Contains(le.Msg, filepath.Join(dir, "empty")) {
+		t.Errorf("error message %q does not name the empty directory", le.Msg)
+	}
+}
+
+// Two package clauses in one directory are a load failure.
+func TestLoadMixedPackages(t *testing.T) {
+	l, _ := tempModule(t, map[string]string{
+		"p/a.go": "package p\n",
+		"p/b.go": "package q\n",
+	})
+	if _, err := l.Load("p"); err == nil || !strings.Contains(err.Error(), "mixed packages") {
+		t.Errorf("Load(mixed) error = %v, want mixed-packages failure", err)
+	}
+}

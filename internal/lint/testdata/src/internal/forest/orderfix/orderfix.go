@@ -1,0 +1,74 @@
+// Package orderfix exercises lockorder: the //pqlint:lockorder
+// manifest, transitive closure, violation and uncovered-edge reporting,
+// and same-class nesting.
+//
+//pqlint:lockorder registry.mu < entry.mu < shard.mu
+package orderfix
+
+import "sync"
+
+type registry struct{ mu sync.RWMutex }
+
+type entry struct{ mu sync.Mutex }
+
+type shard struct{ mu sync.Mutex }
+
+type misc struct{ mu sync.Mutex }
+
+func inOrder(r *registry, e *entry, s *shard) {
+	r.mu.Lock()
+	e.mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	e.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// transitiveSkip holds registry and goes straight to shard: covered by
+// the closure of the declared chain.
+func transitiveSkip(r *registry, s *shard) {
+	r.mu.RLock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	r.mu.RUnlock()
+}
+
+func inverted(r *registry, e *entry) {
+	e.mu.Lock()
+	r.mu.Lock() // want `acquires registry\.mu while holding entry\.mu, violating the declared lock order`
+	r.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func selfNested(a, b *entry) {
+	a.mu.Lock()
+	b.mu.Lock() // want `acquires entry\.mu while already holding entry\.mu \(same lock class\)`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func uncovered(m *misc, e *entry) {
+	e.mu.Lock()
+	m.mu.Lock() // want `acquisition edge entry\.mu -> misc\.mu is not covered by the //pqlint:lockorder manifest`
+	m.mu.Unlock()
+	e.mu.Unlock()
+}
+
+// sequential lock/unlock pairs never nest, so no edges arise.
+func sequential(m *misc, e *entry) {
+	e.mu.Lock()
+	e.mu.Unlock()
+	m.mu.Lock()
+	m.mu.Unlock()
+}
+
+// assertionSeeded: the entry assertion participates in ordering edges
+// exactly like a lock taken in the body.
+//
+//pqlint:locked e.mu
+func assertionSeeded(e *entry, r *registry) {
+	r.mu.Lock() // want `acquires registry\.mu while holding entry\.mu, violating the declared lock order`
+	r.mu.Unlock()
+}
+
+/*pqlint:lockorder nothere.mu < entry.mu*/ // want `malformed //pqlint:lockorder manifest`

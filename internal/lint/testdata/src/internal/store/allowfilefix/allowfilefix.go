@@ -1,0 +1,36 @@
+// Fixture for the //pqlint:allowfile file-scoped escape hatch: the
+// named analyzers are suppressed everywhere in the file (no line range),
+// analyzers it does not name keep reporting, and unknown names are
+// findings that suppress nothing.
+//
+//pqlint:allowfile errcheck-durability fixture: every close in this file is best-effort cleanup
+package allowfilefix
+
+import "os"
+
+// Suppressed without a nearby comment: file scope has no line range.
+func farFromTheComment(f *os.File) {
+	f.Close()
+}
+
+func deferredToo(f *os.File) {
+	defer f.Close()
+}
+
+// The allowfile names only errcheck-durability, so fsiocheck still
+// reports in this file.
+func stillDirty(a, b string) error {
+	return os.Rename(a, b) // want `direct call to os\.Rename bypasses the fsio layer`
+}
+
+// An unknown analyzer in an allowfile comment is a finding.
+func unknownName(f *os.File) {
+	//pqlint:allowfile nosuchcheck fixture // want `unknown analyzer "nosuchcheck" in //pqlint:allowfile comment`
+	f.Close()
+}
+
+// An allowfile comment naming no analyzer at all is reported.
+func emptyAllowFile(f *os.File) {
+	/* want `//pqlint:allowfile comment names no analyzer` */ //pqlint:allowfile
+	f.Close()
+}

@@ -46,3 +46,38 @@ func commaList(f *os.File) {
 	//pqlint:allow errcheck-durability,fsiocheck fixture: both named
 	f.Close()
 }
+
+// Inside a switch case body both placements still work: comments in
+// clause bodies reach the file's comment list like any other.
+func switchCase(f *os.File, n int) {
+	switch n {
+	case 0:
+		f.Close() //pqlint:allow errcheck-durability fixture: best-effort
+	case 1:
+		//pqlint:allow errcheck-durability fixture: best-effort
+		f.Close()
+	default:
+		f.Close() // want `error from f\.Close is discarded on the durability path`
+	}
+}
+
+// Inside select case bodies.
+func selectCase(f *os.File, ch chan int) {
+	select {
+	case <-ch:
+		f.Close() //pqlint:allow errcheck-durability fixture: best-effort
+	default:
+		//pqlint:allow errcheck-durability fixture: best-effort
+		f.Close()
+	}
+}
+
+// On a defer line, trailing and line-above.
+func deferTrailing(f *os.File) {
+	defer f.Close() //pqlint:allow errcheck-durability fixture: best-effort
+}
+
+func deferLineAbove(f *os.File) {
+	//pqlint:allow errcheck-durability fixture: best-effort
+	defer f.Close()
+}

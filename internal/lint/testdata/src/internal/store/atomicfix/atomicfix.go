@@ -1,0 +1,57 @@
+// Package atomicfix exercises atomiccheck: all-or-nothing atomicity for
+// plain fields driven through sync/atomic and for typed atomics.
+package atomicfix
+
+import "sync/atomic"
+
+type stats struct {
+	hits  atomic.Int64
+	state atomic.Pointer[string]
+	total int64 // driven through atomic.AddInt64 below
+	name  string
+}
+
+func newStats() *stats {
+	s := &stats{}
+	s.total = 0 // fresh local: init path
+	return s
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.total, 1)
+	s.hits.Add(1)
+}
+
+func (s *stats) read() (int64, int64) {
+	return atomic.LoadInt64(&s.total), s.hits.Load()
+}
+
+func (s *stats) plainRead() int64 {
+	return s.total // want `non-atomic access to s\.total, which is accessed via sync/atomic elsewhere`
+}
+
+func (s *stats) plainWrite() {
+	s.total = 0 // want `non-atomic access to s\.total, which is accessed via sync/atomic elsewhere`
+}
+
+func (s *stats) typedReinit() {
+	s.hits = atomic.Int64{} // want `non-atomic reinitialization of atomic field s\.hits`
+}
+
+func (s *stats) typedCopy() atomic.Int64 {
+	return s.hits // want `atomic field s\.hits copied by value`
+}
+
+func (s *stats) pointerStore(v *string) {
+	s.state.Store(v) // generic typed atomic: method call is fine
+}
+
+func (s *stats) addressTaken() *atomic.Int64 {
+	return &s.hits // taking the address keeps the atomic shared, not copied
+}
+
+// name is never touched atomically, so plain access is fine.
+func (s *stats) label() string {
+	s.name = "x"
+	return s.name
+}

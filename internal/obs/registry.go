@@ -10,10 +10,10 @@ import (
 // and records through pointers — the registry lock is never on a hot path.
 type Registry struct {
 	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	funcs    map[string]func() any
+	counters map[string]*Counter   // guarded by mu
+	gauges   map[string]*Gauge     // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
+	funcs    map[string]func() any // guarded by mu
 }
 
 // NewRegistry creates an empty registry.

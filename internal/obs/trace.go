@@ -221,7 +221,7 @@ const traceStripes = 8
 
 type traceStripe struct {
 	mu  sync.Mutex
-	buf []TraceSnapshot // ring of the stripe's most recent traces
+	buf []TraceSnapshot // guarded by mu; ring of the stripe's most recent traces
 }
 
 // Tracer samples queries for tracing and retains the most recent traces

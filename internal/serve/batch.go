@@ -28,14 +28,21 @@ type flightKey struct {
 type flight struct {
 	done   chan struct{}
 	out    []forest.Match
-	joined int64 // requests sharing this traversal, including the leader
+	joined int64 // guarded by batcher.mu; requests sharing this traversal, including the leader
 }
 
 type batcher struct {
 	mu      sync.Mutex
-	flights map[flightKey]*flight
-	m       serveMetrics // by value: the handles are fixed at New
+	flights map[flightKey]*flight // guarded by mu
+	m       serveMetrics          // by value: the handles are fixed at New
 }
+
+// Serving-tier lock order. The two locks are never actually nested today
+// (the batcher runs the traversal unlocked and the cache is consulted
+// outside any flight), but the declared order pins the direction future
+// code must use.
+//
+//pqlint:lockorder batcher.mu < resultCache.mu
 
 func newBatcher(m serveMetrics) *batcher {
 	return &batcher{flights: make(map[flightKey]*flight), m: m}

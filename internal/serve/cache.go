@@ -61,10 +61,10 @@ func mix64(v uint64) uint64 {
 // hits the entry; it is never mutated after insertion.
 type cacheEntry struct {
 	key   queryKey
-	q     profile.Index // cloned query bag, verified on every hit
-	out   []forest.Match
-	epoch uint64
-	elem  *list.Element
+	q     profile.Index  // guarded by resultCache.mu; cloned query bag, verified on every hit
+	out   []forest.Match // guarded by resultCache.mu
+	epoch uint64         // guarded by resultCache.mu
+	elem  *list.Element  // guarded by resultCache.mu
 }
 
 // resultCache is a mutex-guarded LRU. The lock is held only for map and
@@ -73,9 +73,9 @@ type cacheEntry struct {
 type resultCache struct {
 	mu      sync.Mutex
 	max     int
-	entries map[queryKey]*cacheEntry
-	lru     list.List    // front = most recently used; values are *cacheEntry
-	m       serveMetrics // by value: the handles are fixed at New
+	entries map[queryKey]*cacheEntry // guarded by mu
+	lru     list.List                // guarded by mu; front = most recently used; values are *cacheEntry
+	m       serveMetrics             // by value: the handles are fixed at New
 }
 
 func newResultCache(max int, m serveMetrics) *resultCache {
@@ -133,6 +133,7 @@ func (c *resultCache) put(key queryKey, q profile.Index, out []forest.Match, epo
 	}
 }
 
+//pqlint:locked c.mu
 func (c *resultCache) removeLocked(e *cacheEntry) {
 	c.lru.Remove(e.elem)
 	delete(c.entries, e.key)

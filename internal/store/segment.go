@@ -127,9 +127,9 @@ type segment struct {
 	postsOff int64
 
 	mu    sync.Mutex
-	f     fsio.File
-	cache map[int]*segBlock
-	order []int // FIFO eviction order of cache keys
+	f     fsio.File         // guarded by mu
+	cache map[int]*segBlock // guarded by mu
+	order []int             // guarded by mu; FIFO eviction order of cache keys
 }
 
 // --- counting checksum streams ---------------------------------------
@@ -620,6 +620,8 @@ func (s *segment) close() error {
 }
 
 // readAt fills p from the segment file at off. Callers hold s.mu.
+//
+//pqlint:locked s.mu
 func (s *segment) readAt(p []byte, off int64) error {
 	if s.f == nil {
 		return fmt.Errorf("store: segment %s: read after close", s.path)

@@ -92,19 +92,26 @@ type Segmented struct {
 
 	// mu guards the segment bookkeeping below. Lock order: the forest's
 	// registry lock is always taken before mu (tier reads run under the
-	// registry lock; Evict/Promote swap callbacks take mu inside it).
+	// registry lock; Evict/Promote swap callbacks take mu inside it) —
+	// a cross-package edge, so it lives here in prose rather than in the
+	// package //pqlint:lockorder manifest.
 	mu       sync.RWMutex
-	segs     []*segment        // live segments, ascending seq
-	loc      map[string]segLoc // evicted doc → live segment copy
-	tombs    map[string]bool   // flushed ids deleted/promoted since the last flush
-	dirty    map[string]bool   // resident ids (mutated since the last flush)
-	nextSeq  uint64
-	manCRC   uint32   // crc of the live manifest; the journal header binds to it
-	obsolete []uint64 // superseded segment files whose removal is still pending
+	segs     []*segment        // guarded by mu; live segments, ascending seq
+	loc      map[string]segLoc // guarded by mu; evicted doc → live segment copy
+	tombs    map[string]bool   // guarded by mu; flushed ids deleted/promoted since the last flush
+	dirty    map[string]bool   // guarded by mu; resident ids (mutated since the last flush)
+	nextSeq  uint64            // guarded by mu
+	manCRC   uint32            // guarded by mu; crc of the live manifest; the journal header binds to it
+	obsolete []uint64          // guarded by mu; superseded segment files whose removal is still pending
 
 	obs      atomic.Pointer[segMetrics]
 	recovery RecoveryInfo
 }
+
+// Store-internal lock order: tier reads hold the store lock while they
+// fault posting blocks in through a segment's block cache.
+//
+//pqlint:lockorder Segmented.mu < segment.mu
 
 // IsSegmented reports whether path names a segmented store, by probing
 // for its manifest file on the host filesystem. Tools use it to pick the
